@@ -1,0 +1,64 @@
+"""Appendix B -- filtering for real services.
+
+Paper: a substantial share of hosts serve "pseudo services" across more than a
+thousand contiguous ports; removing duplicate-content services and then any
+host serving more than ten services identifies pseudo-service hosts with
+100 % recall and 99 % precision.
+
+The reproduction seeds a scan over every pseudo host plus a sample of real
+hosts and measures the filter's recall/precision against the universe's ground
+truth labels.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.scanner.filtering import PseudoServiceFilter, filter_quality
+from repro.scanner.pipeline import ScanPipeline
+
+
+def _collect_observations(universe):
+    pipeline = ScanPipeline(universe)
+    observations = []
+    pseudo_hosts = set()
+    for host in universe.hosts.values():
+        if host.is_pseudo_host():
+            pseudo_hosts.add(host.ip)
+            lo, _ = host.pseudo_port_range
+            targets = [(host.ip, lo + offset) for offset in range(20)]
+            fingerprints = pipeline.lzr.fingerprint_many(targets)
+            observations.extend(pipeline.zgrab.grab_many(fingerprints))
+    for ip, port in list(universe.real_service_pairs())[:3000]:
+        fingerprints = pipeline.lzr.fingerprint_many([(ip, port)])
+        observations.extend(pipeline.zgrab.grab_many(fingerprints))
+    return observations, pseudo_hosts
+
+
+def test_appendix_b_pseudo_service_filtering(run_once, universe):
+    observations, pseudo_hosts = _collect_observations(universe)
+
+    def experiment():
+        report = PseudoServiceFilter().apply(observations)
+        return report, filter_quality(report, pseudo_hosts)
+
+    report, quality = run_once(experiment)
+
+    print()
+    print(format_table(
+        ("quantity", "value", "paper"),
+        [
+            ("pseudo-service hosts in universe", len(pseudo_hosts), "-"),
+            ("observations before filtering", len(observations), "-"),
+            ("observations removed", report.removed_count(), ">80% of pseudo services"),
+            ("filter recall (pseudo hosts flagged)", f"{quality['recall']:.1%}", "100%"),
+            ("filter precision", f"{quality['precision']:.1%}", "99%"),
+        ],
+        title="Appendix B (reproduced): pseudo-service filtering",
+    ))
+
+    assert quality["recall"] == 1.0
+    assert quality["precision"] >= 0.9
+    # The filter leaves the real services largely untouched.
+    kept_real = sum(1 for obs in report.kept
+                    if universe.lookup(obs.ip, obs.port) is not None)
+    assert kept_real >= 0.95 * (len(observations) - report.removed_count())

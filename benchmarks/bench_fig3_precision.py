@@ -1,0 +1,58 @@
+"""Figure 3 -- GPS precision.
+
+Paper: configured with a 1 % seed and a small (/20) scanning step size, GPS
+finds the first services of its schedule with precision an order of magnitude
+(and at the 94th percentile of services, 204x) higher than exhaustively
+probing ports in the optimal order, and its precision decays as it exhausts
+its predictions in descending order of predictability.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table, run_precision_experiment
+from repro.analysis.reporting import format_ratio
+
+
+def test_fig3_precision(run_once, universe, censys_dataset, scale):
+    experiment = run_once(run_precision_experiment, universe, censys_dataset,
+                          seed_fraction=scale.default_seed_fraction, step_size=20)
+
+    def sample(series, count=10):
+        if len(series) <= count:
+            return series
+        step = max(1, len(series) // count)
+        return series[::step]
+
+    print()
+    print(format_table(
+        ("fraction of services found", "GPS precision", "exhaustive precision"),
+        [
+            (f"{fraction:.3f}", f"{precision:.5f}",
+             f"{_exhaustive_at(experiment.exhaustive_all, fraction):.5f}")
+            for fraction, precision in sample(experiment.gps_all)
+        ],
+        title="Fig 3 (reproduced): precision vs fraction of services found",
+    ))
+
+    for target in (0.2, 0.5):
+        advantage = experiment.precision_advantage_at(target)
+        print(f"Precision advantage over exhaustive at {target:.0%} coverage: "
+              f"{format_ratio(advantage)} (paper: >10x throughout, 204x at the "
+              f"94th percentile; the synthetic universe is denser, compressing "
+              f"the ratio)")
+
+    # Shape checks: GPS is more precise than exhaustive probing, and the
+    # precision of its schedule decreases as coverage grows.
+    advantage = experiment.precision_advantage_at(0.2)
+    assert advantage is not None and advantage > 1.0
+    early = [precision for fraction, precision in experiment.gps_all if fraction <= 0.3]
+    late = [precision for fraction, precision in experiment.gps_all if fraction >= 0.7]
+    if early and late:
+        assert max(early) >= max(late)
+
+
+def _exhaustive_at(series, fraction):
+    for covered, precision in series:
+        if covered >= fraction:
+            return precision
+    return series[-1][1] if series else 0.0

@@ -1,0 +1,56 @@
+"""Section 2 -- target generation algorithms on IPv4.
+
+Paper: Entropy/IP and EIP, adapted to predict IPv4 addresses one octet at a
+time and trained on 1,000 known addresses per port, find only 19 % of the
+services in the Censys dataset -- and collecting 1,000 responsive training
+addresses per port by random probing would require scanning a quarter of the
+address space per port, which is what makes TGAs impractical across all ports.
+
+The reproduction runs the per-port octet-model TGA over the synthetic
+Censys-like dataset with the paper's candidate-budget rule and reports both
+the recall and the (usually prohibitive) training-acquisition cost.
+"""
+
+from __future__ import annotations
+
+from repro.analysis import format_table
+from repro.baselines.tga import (
+    TGAConfig,
+    candidates_budget_from_dataset,
+    estimate_training_acquisition_probes,
+    evaluate_tga,
+)
+
+
+def test_sec2_tga_verification(run_once, universe, censys_dataset):
+    # The paper's 1M candidates per port are ~0.03 % of the 3.7 B address
+    # space; use the same *relative* budget here (the per-port-population rule
+    # of Section 2 would be far more generous in a universe this dense).
+    space = censys_dataset.address_space_size
+    budget = max(candidates_budget_from_dataset(censys_dataset, multiple=10) // 10,
+                 int(0.0003 * space))
+    result = run_once(evaluate_tga, censys_dataset,
+                      TGAConfig(candidates_per_port=budget, seed=1))
+
+    acquisition = estimate_training_acquisition_probes(censys_dataset, 1000)
+    expensive_ports = sum(1 for probes in acquisition.values()
+                          if probes >= 0.25 * space)
+
+    print()
+    print(format_table(
+        ("quantity", "value", "paper"),
+        [
+            ("candidate budget per port", budget, "1M (per 3.7B space)"),
+            ("fraction of services found", f"{result.fraction_found:.1%}", "19%"),
+            ("candidate probes (100% scans)", f"{result.probes / space:.2f}", "-"),
+            ("ports needing >=25% of the space probed to collect training data",
+             f"{expensive_ports} of {len(acquisition)}", "90% of ports"),
+        ],
+        title="Section 2 (reproduced): TGA verification",
+    ))
+
+    # Shape checks: the TGA misses a large share of the dataset even with its
+    # training data handed to it, and acquiring that training data by random
+    # probing would be prohibitive for the large majority of ports.
+    assert result.fraction_found < 0.75
+    assert expensive_ports > 0.5 * len(acquisition)

@@ -1,0 +1,59 @@
+"""Shared fixtures for the benchmark harness.
+
+Every benchmark module reproduces one table or figure of the paper against the
+same medium-scale synthetic universe.  The universe and the two ground-truth
+datasets are built once per session; each benchmark then runs its experiment
+(usually once, via ``benchmark.pedantic``) and prints the rows/series the
+paper reports so that ``pytest benchmarks/ --benchmark-only`` leaves a full,
+readable record of the reproduction next to the timing numbers.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.scenarios import (
+    MEDIUM_SCALE,
+    make_censys_dataset,
+    make_lzr_dataset,
+    make_universe,
+)
+
+
+@pytest.fixture(scope="session")
+def scale():
+    """The experiment scale every benchmark uses."""
+    return MEDIUM_SCALE
+
+
+@pytest.fixture(scope="session")
+def universe(scale):
+    """The medium-scale synthetic universe (deterministic)."""
+    return make_universe(scale, seed=3)
+
+
+@pytest.fixture(scope="session")
+def censys_dataset(universe, scale):
+    """Censys-like ground truth: 100 % coverage of the top ports."""
+    return make_censys_dataset(universe, scale)
+
+
+@pytest.fixture(scope="session")
+def lzr_dataset(universe, scale):
+    """LZR-like ground truth: sampled scan across all ports (>2 IPs per port)."""
+    return make_lzr_dataset(universe, scale)
+
+
+@pytest.fixture()
+def run_once(benchmark):
+    """Run an experiment exactly once under pytest-benchmark timing.
+
+    The experiments are deterministic and (for the larger figures) take
+    seconds, so a single timed round is both sufficient and honest.
+    """
+
+    def _run(func, *args, **kwargs):
+        return benchmark.pedantic(func, args=args, kwargs=kwargs,
+                                  rounds=1, iterations=1)
+
+    return _run

@@ -1,0 +1,96 @@
+#!/usr/bin/env python3
+"""Security sweep: finding exposed services hiding on non-standard ports.
+
+The paper's motivation is that security-critical services increasingly live on
+unassigned ports (databases behind port-forwards, telnet on 2323, IoT admin
+panels on vendor-specific ports) where popularity-ordered scanning never
+looks.  This example plays the role of a security team with a fixed bandwidth
+budget: it runs GPS, then reports the exposed-service classes it surfaced --
+split into services on their assigned port versus services found on
+unexpected ports -- and compares with what a same-budget exhaustive scan of
+the most popular ports would have seen.
+
+Run it with:  python examples/security_sweep.py
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Set, Tuple
+
+from repro.analysis import SMALL_SCALE, make_universe
+from repro.core import GPS, GPSConfig
+from repro.net.ports import PORT_SERVICE_NAMES
+from repro.scanner import ScanPipeline
+
+#: Protocols a security review typically flags when exposed to the Internet.
+SENSITIVE_PROTOCOLS = {
+    "telnet": "remote shells with weak/no auth",
+    "mysql": "databases",
+    "postgres": "databases",
+    "mssql": "databases",
+    "redis": "databases",
+    "memcached": "caches (amplification + data exposure)",
+    "vnc": "remote desktops",
+    "ipmi": "server management controllers",
+    "smb": "file shares",
+    "rtsp": "camera streams",
+}
+
+BANDWIDTH_BUDGET_FULL_SCANS = 40.0
+
+
+def main() -> None:
+    universe = make_universe(SMALL_SCALE, seed=21)
+    pipeline = ScanPipeline(universe)
+    gps = GPS(pipeline, GPSConfig(
+        seed_fraction=0.05,
+        step_size=16,
+        max_full_scans=BANDWIDTH_BUDGET_FULL_SCANS,
+    ))
+    result = gps.run()
+
+    # Classify every discovered sensitive service by whether it sits on the
+    # port IANA assigns to its protocol (the only place a targeted single-port
+    # scan would have looked) or on an unexpected port.
+    on_assigned: Counter = Counter()
+    off_assigned: Counter = Counter()
+    examples: Dict[str, Tuple[int, int]] = {}
+    for observation in result.all_observations():
+        protocol = observation.protocol
+        if protocol not in SENSITIVE_PROTOCOLS:
+            continue
+        assigned_here = PORT_SERVICE_NAMES.get(observation.port, "") == protocol
+        if assigned_here:
+            on_assigned[protocol] += 1
+        else:
+            off_assigned[protocol] += 1
+            examples.setdefault(protocol, (observation.ip, observation.port))
+
+    print(f"Bandwidth budget: {BANDWIDTH_BUDGET_FULL_SCANS:.0f} '100% scans' "
+          f"(spent {pipeline.ledger.full_scans():.1f})")
+    print(f"Services discovered: {len(result.discovered_pairs())}\n")
+    print(f"{'protocol':<12} {'risk':<42} {'assigned port':>13} {'other ports':>12}")
+    for protocol, risk in SENSITIVE_PROTOCOLS.items():
+        total = on_assigned[protocol] + off_assigned[protocol]
+        if total == 0:
+            continue
+        print(f"{protocol:<12} {risk:<42} {on_assigned[protocol]:>13} "
+              f"{off_assigned[protocol]:>12}")
+
+    hidden = sum(off_assigned.values())
+    visible = sum(on_assigned.values())
+    total = hidden + visible
+    if total:
+        print(f"\n{hidden} of {total} sensitive services "
+              f"({hidden / total:.0%}) were NOT on their assigned port -- a "
+              f"single-port scan of the assigned ports would have missed them.")
+    print("\nExample findings on unexpected ports:")
+    for protocol, (ip, port) in list(examples.items())[:5]:
+        print(f"  {protocol:<10} on port {port:>5} "
+              f"(assigned: {'none' if protocol not in PORT_SERVICE_NAMES.values() else 'elsewhere'})"
+              f" at host id {ip}")
+
+
+if __name__ == "__main__":
+    main()

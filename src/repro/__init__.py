@@ -1,0 +1,41 @@
+"""GPS: Predicting IPv4 Services Across All Ports (SIGCOMM 2022) -- reproduction.
+
+This package reproduces the GPS system and its evaluation against a synthetic
+IPv4 universe.  The usual workflow is:
+
+>>> from repro.internet import UniverseConfig, generate_universe
+>>> from repro.scanner import ScanPipeline
+>>> from repro.core import GPS, GPSConfig
+>>> universe = generate_universe(UniverseConfig(host_count=500, seed=3))
+>>> pipeline = ScanPipeline(universe)
+>>> gps = GPS(pipeline, GPSConfig(seed_fraction=0.02, step_size=16))
+>>> run = gps.run()  # doctest: +SKIP
+
+Sub-packages:
+
+* :mod:`repro.core` -- the GPS system (the paper's contribution);
+* :mod:`repro.internet` -- the synthetic Internet substrate;
+* :mod:`repro.scanner` -- the simulated ZMap/LZR/ZGrab scan pipeline;
+* :mod:`repro.engine` -- the parallel computation engine (BigQuery substitute);
+* :mod:`repro.datasets` -- ground-truth datasets and seed/test splits;
+* :mod:`repro.baselines` -- exhaustive scanning, the XGBoost-style scanner,
+  target generation algorithms and the recommender baseline;
+* :mod:`repro.analysis` -- the evaluation harness behind every table/figure.
+"""
+
+from repro.core import GPS, GPSConfig, FeatureConfig
+from repro.internet import Universe, UniverseConfig, generate_universe
+from repro.scanner import ScanPipeline
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GPS",
+    "GPSConfig",
+    "FeatureConfig",
+    "Universe",
+    "UniverseConfig",
+    "generate_universe",
+    "ScanPipeline",
+    "__version__",
+]

@@ -1,0 +1,81 @@
+"""Evaluation harness: the code behind every table and figure in the paper.
+
+Each module corresponds to one experiment family; the benchmarks under
+``benchmarks/`` are thin wrappers that call these functions with standard
+scales and print the rows/series the paper reports.
+
+* :mod:`repro.analysis.scenarios` -- shared experiment scales, universe and
+  dataset builders, standard GPS runs;
+* :mod:`repro.analysis.coverage` -- coverage-versus-bandwidth experiments
+  (Figure 2) plus the step-size and seed-size parameter sweeps (Figures 5-6);
+* :mod:`repro.analysis.precision` -- the precision experiment (Figure 3);
+* :mod:`repro.analysis.comparison` -- GPS versus the XGBoost-style scanner
+  (Figure 4);
+* :mod:`repro.analysis.feature_analysis` -- feature dimensionality (Table 1),
+  most-predictive feature values (Table 3) and network-feature candidates
+  (Table 4 / Appendix C);
+* :mod:`repro.analysis.performance` -- the performance breakdown (Table 2);
+* :mod:`repro.analysis.limits` -- the random-host-configuration limit study
+  (Section 7) and the churn measurement (Section 3);
+* :mod:`repro.analysis.reporting` -- plain-text table/series rendering.
+"""
+
+from repro.analysis.scenarios import (
+    SMALL_SCALE,
+    MEDIUM_SCALE,
+    ExperimentScale,
+    make_censys_dataset,
+    make_lzr_dataset,
+    make_universe,
+    run_gps_on_dataset,
+)
+from repro.analysis.coverage import (
+    CoverageExperiment,
+    run_coverage_experiment,
+    run_seed_size_sweep,
+    run_step_size_sweep,
+)
+from repro.analysis.precision import PrecisionExperiment, run_precision_experiment
+from repro.analysis.comparison import (
+    PortComparison,
+    XGBoostComparison,
+    run_xgboost_comparison,
+)
+from repro.analysis.feature_analysis import (
+    feature_dimensionality,
+    most_predictive_feature_types,
+    most_predictive_feature_types_from_run,
+    network_feature_predictiveness,
+)
+from repro.analysis.performance import PerformanceBreakdown, run_performance_breakdown
+from repro.analysis.limits import run_churn_measurement, run_ideal_conditions_study
+from repro.analysis.reporting import format_curve, format_table
+
+__all__ = [
+    "ExperimentScale",
+    "SMALL_SCALE",
+    "MEDIUM_SCALE",
+    "make_universe",
+    "make_censys_dataset",
+    "make_lzr_dataset",
+    "run_gps_on_dataset",
+    "CoverageExperiment",
+    "run_coverage_experiment",
+    "run_step_size_sweep",
+    "run_seed_size_sweep",
+    "PrecisionExperiment",
+    "run_precision_experiment",
+    "PortComparison",
+    "XGBoostComparison",
+    "run_xgboost_comparison",
+    "feature_dimensionality",
+    "most_predictive_feature_types",
+    "most_predictive_feature_types_from_run",
+    "network_feature_predictiveness",
+    "PerformanceBreakdown",
+    "run_performance_breakdown",
+    "run_ideal_conditions_study",
+    "run_churn_measurement",
+    "format_table",
+    "format_curve",
+]

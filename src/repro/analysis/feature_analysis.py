@@ -1,0 +1,266 @@
+"""Feature analysis: Tables 1, 3 and 4.
+
+* :func:`feature_dimensionality` -- Table 1: how many unique values each GPS
+  feature takes in a ground-truth dataset.
+* :func:`most_predictive_feature_types` -- Table 3: for every seed service,
+  which *type* of feature tuple (e.g. ``(Port, Port's protocol)`` or
+  ``(Port, ASN, HTTP body hash)``) is the most predictive of it, weighted by
+  services and by normalized services.
+* :func:`network_feature_predictiveness` -- Table 4 / Appendix C: which
+  network-layer feature (ASN or /16-/23 subnet) is most predictive when GPS is
+  configured with all of them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from repro.core.config import FeatureConfig
+from repro.core.features import PredictorTuple, extract_host_features
+from repro.core.model import build_model
+from repro.datasets.builders import GroundTruthDataset
+from repro.internet.banners import APP_FEATURE_KEYS
+from repro.internet.universe import Universe
+from repro.net.ipv4 import subnet_key
+from repro.scanner.records import ScanObservation
+
+#: Human-readable labels for the Table 1 rows, keyed by feature key.
+FEATURE_LABELS: Dict[str, str] = {
+    "protocol": "Protocol",
+    "tls_cert_hash": "TLS Cert: Hash",
+    "tls_cert_org": "TLS Cert: Organization",
+    "tls_cert_subject": "TLS Cert: Subject Name",
+    "http_html_title": "HTTP: HTML title",
+    "http_body_hash": "HTTP: Body Hash",
+    "http_server": "HTTP: Server",
+    "http_header": "HTTP: Header",
+    "ssh_host_key": "SSH: Host Key",
+    "ssh_banner": "SSH: Banner",
+    "vnc_desktop_name": "VNC: Desktop Name",
+    "smtp_banner": "SMTP: Banner",
+    "ftp_banner": "FTP: Banner",
+    "imap_banner": "IMAP: Banner",
+    "pop3_banner": "POP3: Banner",
+    "cwmp_header": "CWMP: Header",
+    "cwmp_body_hash": "CWMP: Body Hash",
+    "telnet_banner": "Telnet: Banner",
+    "pptp_vendor": "PPTP: Vendor",
+    "mysql_version": "MYSQL: Server Version",
+    "memcached_version": "Memcached: Server Version",
+    "mssql_version": "MSSQL: Server Version",
+    "ipmi_banner": "IPMI: Banner",
+}
+
+
+def feature_dimensionality(dataset: GroundTruthDataset,
+                           universe: Universe) -> List[Tuple[str, int]]:
+    """Table 1: number of unique values of every GPS feature in the dataset.
+
+    Application-layer dimensionalities are counted over the dataset's banner
+    fields; the two network-layer rows (/16 subnetwork and ASN) are counted
+    over the dataset's responsive addresses.
+    """
+    unique_values: Dict[str, set] = {key: set() for key in APP_FEATURE_KEYS}
+    subnets: set = set()
+    asns: set = set()
+    for observation in dataset.observations:
+        for key, value in observation.app_features.items():
+            if key in unique_values:
+                unique_values[key].add(value)
+        subnets.add(subnet_key(observation.ip, 16))
+        asn = universe.topology.asn_db.asn_of(observation.ip)
+        if asn:
+            asns.add(asn)
+
+    rows: List[Tuple[str, int]] = []
+    for key in APP_FEATURE_KEYS:
+        label = FEATURE_LABELS.get(key, key)
+        rows.append((label, len(unique_values[key])))
+    rows.append(("IP's /16 subnetwork", len(subnets)))
+    rows.append(("IP's ASN", len(asns)))
+    return rows
+
+
+def _feature_type(predictor: PredictorTuple) -> Tuple[str, ...]:
+    """The *type* of a predictor tuple: which feature kinds it combines.
+
+    Examples: ``("Port",)``, ``("Port", "protocol")``,
+    ``("Port", "asn", "http_body_hash")``.
+    """
+    tag = predictor[0]
+    if tag == "P":
+        return ("Port",)
+    if tag == "PA":
+        return ("Port", predictor[2])
+    if tag == "PN":
+        return ("Port", predictor[2])
+    if tag == "PAN":
+        return ("Port", predictor[4], predictor[2])
+    return (repr(predictor),)
+
+
+@dataclass
+class FeatureTypeShare:
+    """One row of Table 3 / Table 4."""
+
+    feature_type: Tuple[str, ...]
+    normalized_share: float
+    service_share: float
+
+    def label(self) -> str:
+        """Render the feature type the way the paper's tables do."""
+        return "(" + ", ".join(self.feature_type) + ")"
+
+
+def _best_predictor_shares(
+    observations: Sequence[ScanObservation],
+    universe: Universe,
+    feature_config: FeatureConfig,
+    restrict_families: Optional[Sequence[str]] = None,
+) -> List[FeatureTypeShare]:
+    """Shared machinery of Tables 3 and 4.
+
+    For every service on a multi-service host, find the predictor tuple (from
+    the host's other services) with the maximum conditional probability and
+    attribute the service to that tuple's feature type.  Shares are reported
+    both per service and per normalized service (each port weighted equally).
+    """
+    host_features = extract_host_features(observations, universe.topology.asn_db,
+                                          feature_config)
+    model = build_model(host_features)
+
+    port_populations: Dict[int, int] = {}
+    for observation in observations:
+        port_populations[observation.port] = port_populations.get(observation.port, 0) + 1
+
+    service_weight: Dict[Tuple[str, ...], float] = {}
+    normalized_weight: Dict[Tuple[str, ...], float] = {}
+    attributed_services = 0
+    attributed_ports: Dict[int, float] = {}
+
+    for host in host_features.values():
+        open_ports = host.open_ports()
+        if len(open_ports) < 2:
+            continue
+        for port_a in open_ports:
+            candidates: List[PredictorTuple] = []
+            for port_b in open_ports:
+                if port_b != port_a:
+                    candidates.extend(host.ports[port_b])
+            if restrict_families is not None:
+                candidates = [c for c in candidates if c[0] in restrict_families]
+            predictor, probability = model.best_predictor(candidates, port_a)
+            if predictor is None or probability <= 0.0:
+                continue
+            feature_type = _feature_type(predictor)
+            service_weight[feature_type] = service_weight.get(feature_type, 0.0) + 1.0
+            normalized_weight[feature_type] = (
+                normalized_weight.get(feature_type, 0.0)
+                + 1.0 / port_populations[port_a]
+            )
+            attributed_services += 1
+            attributed_ports[port_a] = attributed_ports.get(port_a, 0.0) + 1.0
+
+    total_services = sum(service_weight.values())
+    total_normalized = sum(normalized_weight.values())
+    shares = [
+        FeatureTypeShare(
+            feature_type=feature_type,
+            normalized_share=(normalized_weight[feature_type] / total_normalized
+                              if total_normalized else 0.0),
+            service_share=(service_weight[feature_type] / total_services
+                           if total_services else 0.0),
+        )
+        for feature_type in service_weight
+    ]
+    shares.sort(key=lambda share: -share.normalized_share)
+    return shares
+
+
+def most_predictive_feature_types(
+    dataset: GroundTruthDataset,
+    universe: Universe,
+    seed_observations: Optional[Sequence[ScanObservation]] = None,
+    feature_config: Optional[FeatureConfig] = None,
+    top: int = 5,
+) -> List[FeatureTypeShare]:
+    """Table 3: the feature types most often chosen as "most predictive"."""
+    observations = seed_observations if seed_observations is not None else dataset.observations
+    shares = _best_predictor_shares(observations, universe,
+                                    feature_config or FeatureConfig())
+    return shares[:top]
+
+
+def most_predictive_feature_types_from_run(
+    run, dataset: GroundTruthDataset, top: int = 5,
+) -> List[FeatureTypeShare]:
+    """Table 3, computed the way the paper computes it: from a GPS run.
+
+    Every ground-truth service that GPS's prediction scan confirmed is
+    attributed to the feature type of the pattern that predicted it; shares
+    are reported per service and per normalized service (weighting each
+    service by the inverse of its port's population in the ground truth).
+    Host-unique feature values (certificate hashes, SSH host keys) rarely win
+    here because they cannot generalise to hosts outside the seed -- which is
+    why the protocol- and network-level patterns dominate, as in the paper.
+    """
+    ground_truth = dataset.pairs()
+    truth_per_port: Dict[int, int] = {}
+    for _, port in ground_truth:
+        truth_per_port[port] = truth_per_port.get(port, 0) + 1
+
+    confirmed = {obs.pair() for obs in run.prediction_observations} & ground_truth
+    service_weight: Dict[Tuple[str, ...], float] = {}
+    normalized_weight: Dict[Tuple[str, ...], float] = {}
+    for prediction in run.predictions:
+        pair = prediction.pair()
+        if pair not in confirmed:
+            continue
+        feature_type = _feature_type(prediction.predictor)
+        service_weight[feature_type] = service_weight.get(feature_type, 0.0) + 1.0
+        normalized_weight[feature_type] = (
+            normalized_weight.get(feature_type, 0.0)
+            + 1.0 / truth_per_port[prediction.port]
+        )
+
+    total_services = sum(service_weight.values())
+    total_normalized = sum(normalized_weight.values())
+    shares = [
+        FeatureTypeShare(
+            feature_type=feature_type,
+            normalized_share=(normalized_weight[feature_type] / total_normalized
+                              if total_normalized else 0.0),
+            service_share=(service_weight[feature_type] / total_services
+                           if total_services else 0.0),
+        )
+        for feature_type in service_weight
+    ]
+    shares.sort(key=lambda share: -share.normalized_share)
+    return shares[:top]
+
+
+def network_feature_predictiveness(
+    dataset: GroundTruthDataset,
+    universe: Universe,
+    seed_observations: Optional[Sequence[ScanObservation]] = None,
+) -> List[FeatureTypeShare]:
+    """Table 4 / Appendix C: which network feature is most predictive.
+
+    GPS is configured with every candidate network feature (/16-/23 and the
+    ASN) and only the (Port, Net) predictor family, then each service is
+    attributed to the network feature of its best predictor.
+    """
+    config = FeatureConfig(
+        app_feature_keys=(),
+        network_feature_kinds=("asn", "subnet16", "subnet17", "subnet18",
+                               "subnet19", "subnet20", "subnet21", "subnet22",
+                               "subnet23"),
+        include_transport_only=False,
+        include_app=False,
+        include_network=True,
+        include_app_network=False,
+    )
+    observations = seed_observations if seed_observations is not None else dataset.observations
+    return _best_predictor_shares(observations, universe, config,
+                                  restrict_families=("PN",))

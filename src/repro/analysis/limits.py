@@ -1,0 +1,143 @@
+"""Limit studies: random host configuration (Section 7) and churn (Section 3).
+
+* :func:`run_ideal_conditions_study` reproduces the Section 7 thought
+  experiment: assume nearly all patterns are known (a 95 % seed), assume
+  feature correlations are perfect (every service of a host counts as found
+  the moment any one of its services is found), and use the largest scanning
+  step size (/0, i.e. whole-port sweeps).  The resulting coverage ceiling is
+  what any intelligent scanner -- GPS included -- could at best achieve, and
+  the gap to 100 % is attributable to hosts with random configurations.
+* :func:`run_churn_measurement` reproduces the Section 3 motivation: scan a
+  sample, wait (apply the churn model), re-scan, and report how many services
+  disappeared.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Set, Tuple
+
+from repro.core.metrics import CoveragePoint
+from repro.datasets.builders import GroundTruthDataset
+from repro.datasets.split import split_seed_test
+from repro.internet.churn import ChurnConfig, apply_churn, churn_summary
+from repro.internet.universe import Universe
+
+Pair = Tuple[int, int]
+
+
+@dataclass
+class IdealConditionsStudy:
+    """Result of the Section 7 study.
+
+    Attributes:
+        points: normalized-coverage curve under ideal conditions (each point is
+            one whole-port sweep).
+        exhaustive_full_scans: bandwidth of exhaustively scanning every port of
+            the dataset's domain.
+        achievable_normalized: the largest normalized coverage reachable with
+            less bandwidth than exhaustive scanning.
+    """
+
+    points: List[CoveragePoint]
+    exhaustive_full_scans: float
+    achievable_normalized: float
+
+
+def run_ideal_conditions_study(dataset: GroundTruthDataset,
+                               seed_fraction_of_dataset: float = 0.95,
+                               split_seed: int = 0) -> IdealConditionsStudy:
+    """Replay the Section 7 ideal-conditions experiment on a dataset.
+
+    The test half (the remaining 5 %) is what must be discovered; ports are
+    swept in descending order of how many *test* hosts they would newly reveal,
+    and every service of a revealed host counts as discovered immediately
+    (the "feature correlations are 100 % available and accurate" assumption).
+    """
+    if not 0.0 < seed_fraction_of_dataset < 1.0:
+        raise ValueError("seed_fraction_of_dataset must be in (0, 1)")
+    seed_fraction = seed_fraction_of_dataset * dataset.sample_fraction
+    split = split_seed_test(dataset, seed_fraction, seed=split_seed)
+    test_pairs = split.test_pairs()
+    if not test_pairs:
+        return IdealConditionsStudy(points=[], exhaustive_full_scans=0.0,
+                                    achievable_normalized=0.0)
+
+    ports_by_host: Dict[int, Set[int]] = {}
+    hosts_by_port: Dict[int, Set[int]] = {}
+    truth_per_port: Dict[int, int] = {}
+    for ip, port in test_pairs:
+        ports_by_host.setdefault(ip, set()).add(port)
+        hosts_by_port.setdefault(port, set()).add(ip)
+        truth_per_port[port] = truth_per_port.get(port, 0) + 1
+
+    space = dataset.address_space_size
+    port_domain_size = (len(dataset.port_domain) if dataset.port_domain
+                        else len(truth_per_port))
+    exhaustive_full_scans = float(port_domain_size)
+
+    covered_hosts: Set[int] = set()
+    found_per_port: Dict[int, int] = {}
+    normalized_sum = 0.0
+    points: List[CoveragePoint] = []
+    probes = 0
+    found = 0
+
+    remaining_ports = set(hosts_by_port)
+    while remaining_ports:
+        # Greedy: sweep the port that reveals the most not-yet-covered hosts.
+        best_port = max(
+            remaining_ports,
+            key=lambda port: (len(hosts_by_port[port] - covered_hosts), -port),
+        )
+        remaining_ports.discard(best_port)
+        newly_covered = hosts_by_port[best_port] - covered_hosts
+        if not newly_covered and points:
+            # Every remaining port only re-reveals known hosts; under the
+            # ideal-correlation assumption there is nothing left to gain.
+            break
+        probes += space  # a /0 step: one full scan of this port
+        for ip in newly_covered:
+            covered_hosts.add(ip)
+            for port in ports_by_host[ip]:
+                found += 1
+                found_per_port[port] = found_per_port.get(port, 0) + 1
+                normalized_sum += 1.0 / truth_per_port[port]
+        points.append(CoveragePoint(
+            full_scans=probes / space,
+            probes=probes,
+            found=found,
+            fraction=found / len(test_pairs),
+            normalized_fraction=normalized_sum / len(truth_per_port),
+            precision=found / probes if probes else 0.0,
+        ))
+
+    achievable = 0.0
+    for point in points:
+        if point.full_scans < exhaustive_full_scans:
+            achievable = max(achievable, min(1.0, point.normalized_fraction))
+    return IdealConditionsStudy(points=points,
+                                exhaustive_full_scans=exhaustive_full_scans,
+                                achievable_normalized=achievable)
+
+
+@dataclass
+class ChurnMeasurement:
+    """Result of the Section 3 churn measurement."""
+
+    days: int
+    service_loss: float
+    normalized_service_loss: float
+
+
+def run_churn_measurement(universe: Universe,
+                          churn: ChurnConfig | None = None) -> ChurnMeasurement:
+    """Apply the churn model and measure how many services disappeared."""
+    churn = churn or ChurnConfig()
+    later = apply_churn(universe, churn)
+    summary = churn_summary(universe, later)
+    return ChurnMeasurement(
+        days=churn.days,
+        service_loss=summary["service_loss"],
+        normalized_service_loss=summary["normalized_service_loss"],
+    )

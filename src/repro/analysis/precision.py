@@ -1,0 +1,96 @@
+"""Precision experiment (Figure 3).
+
+GPS probes its predictions in descending order of predictability, so its
+precision (services found per probe sent) is highest at the start of the scan
+schedule and decays as it works through less certain predictions.  Figure 3
+plots precision against the fraction of (all and normalized) services found
+and compares it with exhaustively probing ports in the optimal order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.analysis.coverage import CoverageExperiment, run_coverage_experiment
+from repro.core.metrics import CoveragePoint, coverage_curve, precision_curve
+from repro.datasets.builders import GroundTruthDataset
+from repro.internet.universe import Universe
+
+
+@dataclass
+class PrecisionExperiment:
+    """Result of the Figure 3 experiment.
+
+    Attributes:
+        coverage: the underlying coverage experiment (GPS + references).
+        gps_all: (fraction of all services found, precision) series for GPS.
+        gps_normalized: (normalized fraction found, precision) series for GPS.
+        exhaustive_all: same series for optimal port-order probing.
+    """
+
+    coverage: CoverageExperiment
+    gps_all: List[Tuple[float, float]]
+    gps_normalized: List[Tuple[float, float]]
+    exhaustive_all: List[Tuple[float, float]]
+
+    def precision_advantage_at(self, target_fraction: float) -> Optional[float]:
+        """GPS precision divided by exhaustive precision at a coverage level.
+
+        The paper reports GPS finding the 94th percentile of services with
+        204x more precision than exhaustive probing; this helper computes the
+        analogous ratio for the synthetic datasets.
+        """
+        gps = _precision_at(self.gps_all, target_fraction)
+        exhaustive = _precision_at(self.exhaustive_all, target_fraction)
+        if gps is None or exhaustive is None or exhaustive == 0.0:
+            return None
+        return gps / exhaustive
+
+
+def _precision_at(series: List[Tuple[float, float]],
+                  target_fraction: float) -> Optional[float]:
+    for fraction, precision in series:
+        if fraction >= target_fraction:
+            return precision
+    return None
+
+
+def run_precision_experiment(
+    universe: Universe,
+    dataset: GroundTruthDataset,
+    seed_fraction: float = 0.01,
+    step_size: int = 20,
+    split_seed: int = 0,
+) -> PrecisionExperiment:
+    """Run the Figure 3 experiment (small step size maximises precision).
+
+    Precision here characterises GPS's *scanning schedule* -- the priors and
+    prediction scans that the probabilistic model orders by predictability --
+    so the seed scan (pure random probing, whose precision is by definition
+    the universe's background density) is excluded from both the probe counts
+    and the set of services to be found, mirroring how the paper discusses
+    Figure 3 ("GPS scans services that are most predictable first").
+    """
+    coverage = run_coverage_experiment(universe, dataset, seed_fraction,
+                                       step_size=step_size, split_seed=split_seed)
+    run = coverage.run
+    seed_pairs = {obs.pair() for obs in run.seed_observations}
+    schedule_truth = dataset.pairs() - seed_pairs
+
+    seed_probes = 0
+    schedule_log = []
+    for batch in run.discovery_log:
+        if batch.phase == "seed":
+            seed_probes = batch.cumulative_probes
+            continue
+        schedule_log.append((batch.cumulative_probes - seed_probes, batch.pairs))
+    gps_points = coverage_curve(schedule_log, schedule_truth,
+                                dataset.address_space_size)
+
+    return PrecisionExperiment(
+        coverage=coverage,
+        gps_all=precision_curve(gps_points, normalized=False),
+        gps_normalized=precision_curve(gps_points, normalized=True),
+        exhaustive_all=precision_curve(coverage.optimal_points, normalized=False),
+    )

@@ -1,0 +1,65 @@
+"""Plain-text rendering of tables and curves.
+
+Benchmarks print their results through these helpers so that running
+``pytest benchmarks/ --benchmark-only`` leaves a readable record of every
+reproduced table and figure alongside the timing numbers.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence
+
+from repro.core.metrics import CoveragePoint
+
+
+def format_table(headers: Sequence[str], rows: Iterable[Sequence[object]],
+                 title: str = "") -> str:
+    """Render an ASCII table with aligned columns."""
+    string_rows: List[List[str]] = [[str(cell) for cell in row] for row in rows]
+    widths = [len(str(header)) for header in headers]
+    for row in string_rows:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match header width")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+
+    def render_row(cells: Sequence[str]) -> str:
+        return " | ".join(cell.ljust(widths[index]) for index, cell in enumerate(cells))
+
+    lines: List[str] = []
+    if title:
+        lines.append(title)
+    lines.append(render_row([str(h) for h in headers]))
+    lines.append("-+-".join("-" * width for width in widths))
+    lines.extend(render_row(row) for row in string_rows)
+    return "\n".join(lines)
+
+
+def format_curve(points: Sequence[CoveragePoint], label: str = "",
+                 max_rows: int = 12, normalized: bool = False) -> str:
+    """Render a coverage curve as a compact table of sampled points."""
+    if not points:
+        return f"{label}: (empty curve)"
+    if len(points) <= max_rows:
+        sampled = list(points)
+    else:
+        step = (len(points) - 1) / (max_rows - 1)
+        indices = sorted({int(round(i * step)) for i in range(max_rows)})
+        sampled = [points[i] for i in indices]
+    headers = ["bandwidth (100% scans)",
+               "normalized fraction" if normalized else "fraction",
+               "precision"]
+    rows = [
+        (f"{p.full_scans:.3f}",
+         f"{(p.normalized_fraction if normalized else p.fraction):.4f}",
+         f"{p.precision:.5f}")
+        for p in sampled
+    ]
+    return format_table(headers, rows, title=label)
+
+
+def format_ratio(value: float | None, digits: int = 1) -> str:
+    """Render a bandwidth-savings ratio ("7.6x", or "n/a" when undefined)."""
+    if value is None:
+        return "n/a"
+    return f"{value:.{digits}f}x"

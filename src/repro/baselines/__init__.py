@@ -1,0 +1,52 @@
+"""Baselines GPS is evaluated against.
+
+* :mod:`repro.baselines.exhaustive` -- exhaustive scanning, the
+  "optimal port-order" probing reference and the oracle predictor that the
+  paper plots alongside GPS in Figure 2;
+* :mod:`repro.baselines.gbdt` -- a from-scratch gradient-boosted decision tree
+  classifier (the learning substrate of the XGBoost-style scanner);
+* :mod:`repro.baselines.xgboost_scanner` -- a reimplementation of the Sarabi
+  et al. sequential per-port classifier scanner compared against in
+  Section 6.4 / Figure 4;
+* :mod:`repro.baselines.tga` -- Entropy/IP-style target generation algorithms,
+  used for the Section 2 verification experiment;
+* :mod:`repro.baselines.recommender` -- the hybrid matrix-factorization
+  recommender of Appendix A.
+"""
+
+from repro.baselines.exhaustive import (
+    exhaustive_all_ports_curve,
+    optimal_port_order_curve,
+    oracle_curve,
+    random_probe_precision,
+)
+from repro.baselines.gbdt import GradientBoostedTrees, GBDTConfig
+from repro.baselines.xgboost_scanner import (
+    PortScanOutcome,
+    XGBoostScanner,
+    XGBoostScannerConfig,
+)
+from repro.baselines.tga import TargetGenerationAlgorithm, TGAConfig, evaluate_tga
+from repro.baselines.recommender import (
+    HybridRecommender,
+    RecommenderConfig,
+    evaluate_recommender,
+)
+
+__all__ = [
+    "exhaustive_all_ports_curve",
+    "optimal_port_order_curve",
+    "oracle_curve",
+    "random_probe_precision",
+    "GradientBoostedTrees",
+    "GBDTConfig",
+    "XGBoostScanner",
+    "XGBoostScannerConfig",
+    "PortScanOutcome",
+    "TargetGenerationAlgorithm",
+    "TGAConfig",
+    "evaluate_tga",
+    "HybridRecommender",
+    "RecommenderConfig",
+    "evaluate_recommender",
+]

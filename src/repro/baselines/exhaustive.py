@@ -1,0 +1,143 @@
+"""Exhaustive-scanning baselines and the oracle reference.
+
+Figure 2 of the paper plots GPS against two references:
+
+* **exhaustive, optimal order** -- exhaustively probing whole ports, one at a
+  time, in the order that maximises the number of services found per port
+  scanned (i.e. descending popularity).  Each port costs exactly one
+  "100 % scan" of bandwidth and finds every ground-truth service on it.
+* **oracle** -- a predictor with perfect knowledge that sends exactly one
+  probe per true service; its bandwidth at full coverage is the number of
+  services divided by the address-space size.
+
+Both are computed analytically from a ground-truth dataset (no simulated
+probing is needed: their outcome is fully determined), returning the same
+:class:`~repro.core.metrics.CoveragePoint` series that GPS runs produce so the
+analysis layer can overlay them.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Set, Tuple
+
+from repro.core.metrics import CoveragePoint, per_port_counts
+from repro.datasets.builders import GroundTruthDataset
+
+Pair = Tuple[int, int]
+
+
+def _curve_from_port_order(dataset: GroundTruthDataset,
+                           ordered_ports: Sequence[int],
+                           probes_per_port: int) -> List[CoveragePoint]:
+    """Build a coverage curve for port-at-a-time exhaustive probing."""
+    truth = dataset.pairs()
+    truth_per_port = per_port_counts(truth)
+    port_count = len(truth_per_port)
+    total = len(truth)
+    space = dataset.address_space_size
+
+    found = 0
+    normalized_sum = 0.0
+    probes = 0
+    points: List[CoveragePoint] = []
+    for port in ordered_ports:
+        probes += probes_per_port
+        on_port = truth_per_port.get(port, 0)
+        if on_port:
+            found += on_port
+            normalized_sum += 1.0  # the whole port is found at once
+        points.append(CoveragePoint(
+            full_scans=probes / space,
+            probes=probes,
+            found=found,
+            fraction=found / total if total else 0.0,
+            normalized_fraction=normalized_sum / port_count if port_count else 0.0,
+            precision=found / probes if probes else 0.0,
+        ))
+    return points
+
+
+def optimal_port_order_curve(dataset: GroundTruthDataset) -> List[CoveragePoint]:
+    """The "exhaustive, optimal order" reference curve of Figure 2.
+
+    Ports are probed in descending order of ground-truth service count -- the
+    minimum set of ports that must be exhaustively probed to reach any given
+    coverage level (the paper's tighter-than-all-ports baseline).
+    """
+    registry = dataset.port_registry()
+    ordered = registry.ports_by_popularity()
+    return _curve_from_port_order(dataset, ordered, dataset.address_space_size)
+
+
+def exhaustive_all_ports_curve(dataset: GroundTruthDataset,
+                               total_ports: int = 65535) -> List[CoveragePoint]:
+    """Exhaustively scanning every port of the domain, most popular first.
+
+    Identical to :func:`optimal_port_order_curve` except that ports with zero
+    ground-truth services are still paid for, so the curve extends to the
+    full ``total_ports`` x one-scan cost the paper quotes as "exhaustive
+    scanning" (5.6 years at 1 Gb/s for all 65K ports).
+    """
+    registry = dataset.port_registry()
+    ordered = list(registry.ports_by_popularity())
+    if dataset.port_domain is not None:
+        remaining = [p for p in dataset.port_domain if p not in set(ordered)]
+        port_universe = len(dataset.port_domain)
+    else:
+        remaining = []
+        port_universe = total_ports
+    # Ports that hold no services (or are outside the dataset) still cost a
+    # full scan each; represent them as a single tail entry per port.
+    empty_ports = port_universe - len(ordered) - len(remaining)
+    ordered.extend(remaining)
+    ordered.extend([0] * max(0, empty_ports))  # placeholder ports find nothing
+    # Placeholder port number 0 never matches a ground-truth port.
+    return _curve_from_port_order(dataset, ordered, dataset.address_space_size)
+
+
+def oracle_curve(dataset: GroundTruthDataset, batches: int = 100) -> List[CoveragePoint]:
+    """The oracle reference: one probe per true service, nothing wasted."""
+    truth = sorted(dataset.pairs())
+    truth_per_port = per_port_counts(set(truth))
+    port_count = len(truth_per_port)
+    total = len(truth)
+    space = dataset.address_space_size
+    if total == 0:
+        return []
+
+    batch_size = max(1, total // max(1, batches))
+    found_per_port: Dict[int, int] = {}
+    points: List[CoveragePoint] = []
+    found = 0
+    normalized_sum = 0.0
+    for start in range(0, total, batch_size):
+        batch = truth[start:start + batch_size]
+        for _, port in batch:
+            found += 1
+            found_per_port[port] = found_per_port.get(port, 0) + 1
+            normalized_sum += 1.0 / truth_per_port[port]
+        probes = found
+        points.append(CoveragePoint(
+            full_scans=probes / space,
+            probes=probes,
+            found=found,
+            fraction=found / total,
+            normalized_fraction=normalized_sum / port_count,
+            precision=1.0,
+        ))
+    return points
+
+
+def random_probe_precision(dataset: GroundTruthDataset) -> float:
+    """Expected hit rate of a uniformly random (address, port) probe.
+
+    The paper uses "roughly the hit rate of randomly probing the majority of
+    ports" (about 1e-5) as the probability cut-off for predictive patterns;
+    this helper computes the analogous quantity for a synthetic dataset so
+    experiments can set the cut-off consistently with their universe density.
+    """
+    port_count = len(dataset.port_domain) if dataset.port_domain else 65535
+    total_slots = dataset.address_space_size * port_count
+    if total_slots == 0:
+        return 0.0
+    return len(dataset.pairs()) / total_slots

@@ -1,0 +1,224 @@
+"""A from-scratch gradient-boosted decision tree (GBDT) classifier.
+
+The closest prior work the paper compares against (Sarabi et al., "Smart
+Internet Probing") trains an XGBoost classifier per port.  XGBoost itself is
+not available offline, so this module implements the same model family --
+gradient boosting of shallow regression trees on the logistic loss -- with
+just numpy.  It is intentionally a compact, readable implementation rather
+than a tuned library: the comparison in Figure 4 depends on the *structure* of
+the baseline (a supervised per-port classifier chained over a port order), not
+on squeezing the last AUC point out of the booster.
+
+The implementation supports binary and real-valued features, shrinkage, row
+subsampling, and early stopping on a validation split, which is everything the
+XGBoost-scanner reimplementation needs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class GBDTConfig:
+    """Hyper-parameters of the boosted ensemble.
+
+    Attributes:
+        n_estimators: number of boosting rounds (trees).
+        max_depth: maximum depth of each regression tree.
+        learning_rate: shrinkage applied to each tree's contribution.
+        min_samples_leaf: minimum number of rows in a leaf.
+        subsample: fraction of rows sampled (without replacement) per tree.
+        random_state: RNG seed for row subsampling.
+    """
+
+    n_estimators: int = 40
+    max_depth: int = 3
+    learning_rate: float = 0.2
+    min_samples_leaf: int = 5
+    subsample: float = 1.0
+    random_state: int = 0
+
+    def __post_init__(self) -> None:
+        if self.n_estimators < 1:
+            raise ValueError("n_estimators must be >= 1")
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if not 0.0 < self.learning_rate <= 1.0:
+            raise ValueError("learning_rate must be in (0, 1]")
+        if self.min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        if not 0.0 < self.subsample <= 1.0:
+            raise ValueError("subsample must be in (0, 1]")
+
+
+class _TreeNode:
+    """One node of a regression tree (internal split or leaf)."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "value")
+
+    def __init__(self) -> None:
+        self.feature: Optional[int] = None
+        self.threshold: float = 0.0
+        self.left: Optional["_TreeNode"] = None
+        self.right: Optional["_TreeNode"] = None
+        self.value: float = 0.0
+
+    def is_leaf(self) -> bool:
+        return self.feature is None
+
+
+class _RegressionTree:
+    """A CART-style regression tree fit to gradient residuals."""
+
+    def __init__(self, max_depth: int, min_samples_leaf: int) -> None:
+        self.max_depth = max_depth
+        self.min_samples_leaf = min_samples_leaf
+        self.root: Optional[_TreeNode] = None
+
+    def fit(self, X: np.ndarray, residuals: np.ndarray) -> "_RegressionTree":
+        self.root = self._build(X, residuals, depth=0)
+        return self
+
+    def _build(self, X: np.ndarray, residuals: np.ndarray, depth: int) -> _TreeNode:
+        node = _TreeNode()
+        node.value = float(residuals.mean()) if len(residuals) else 0.0
+        if depth >= self.max_depth or len(residuals) < 2 * self.min_samples_leaf:
+            return node
+        split = self._best_split(X, residuals)
+        if split is None:
+            return node
+        feature, threshold, mask = split
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(X[mask], residuals[mask], depth + 1)
+        node.right = self._build(X[~mask], residuals[~mask], depth + 1)
+        return node
+
+    def _best_split(self, X: np.ndarray,
+                    residuals: np.ndarray) -> Optional[Tuple[int, float, np.ndarray]]:
+        """Find the (feature, threshold) split with maximum variance reduction."""
+        n_rows, n_features = X.shape
+        total_sum = residuals.sum()
+        best_gain = 1e-12
+        best: Optional[Tuple[int, float, np.ndarray]] = None
+        for feature in range(n_features):
+            column = X[:, feature]
+            values = np.unique(column)
+            if len(values) < 2:
+                continue
+            # Candidate thresholds: midpoints between consecutive distinct
+            # values (for binary port-response features this is just 0.5).
+            if len(values) > 16:
+                quantiles = np.quantile(column, np.linspace(0.05, 0.95, 15))
+                candidates = np.unique(quantiles)
+            else:
+                candidates = (values[:-1] + values[1:]) / 2.0
+            for threshold in candidates:
+                mask = column <= threshold
+                n_left = int(mask.sum())
+                n_right = n_rows - n_left
+                if n_left < self.min_samples_leaf or n_right < self.min_samples_leaf:
+                    continue
+                left_sum = residuals[mask].sum()
+                right_sum = total_sum - left_sum
+                # Variance-reduction gain (up to constants): sum^2 / n per side.
+                gain = (left_sum * left_sum / n_left
+                        + right_sum * right_sum / n_right
+                        - total_sum * total_sum / n_rows)
+                if gain > best_gain:
+                    best_gain = gain
+                    best = (feature, float(threshold), mask)
+        return best
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        if self.root is None:
+            raise RuntimeError("tree is not fitted")
+        out = np.empty(len(X), dtype=float)
+        for i, row in enumerate(X):
+            node = self.root
+            while not node.is_leaf():
+                node = node.left if row[node.feature] <= node.threshold else node.right
+            out[i] = node.value
+        return out
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -30.0, 30.0)))
+
+
+class GradientBoostedTrees:
+    """Binary classifier: boosted regression trees on the logistic loss."""
+
+    def __init__(self, config: Optional[GBDTConfig] = None) -> None:
+        self.config = config or GBDTConfig()
+        self._trees: List[_RegressionTree] = []
+        self._base_score: float = 0.0
+
+    # -- training -----------------------------------------------------------------
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "GradientBoostedTrees":
+        """Fit on a feature matrix ``X`` (n x d) and binary labels ``y`` (n,)."""
+        X = np.asarray(X, dtype=float)
+        y = np.asarray(y, dtype=float)
+        if X.ndim != 2:
+            raise ValueError("X must be a 2-D matrix")
+        if y.shape != (X.shape[0],):
+            raise ValueError("y must be a vector matching X's row count")
+        if len(np.unique(y)) < 2:
+            # Degenerate training set: predict the constant class probability.
+            self._trees = []
+            positive_rate = float(y.mean()) if len(y) else 0.0
+            positive_rate = min(max(positive_rate, 1e-6), 1 - 1e-6)
+            self._base_score = float(np.log(positive_rate / (1 - positive_rate)))
+            return self
+
+        rng = np.random.default_rng(self.config.random_state)
+        positive_rate = min(max(float(y.mean()), 1e-6), 1 - 1e-6)
+        self._base_score = float(np.log(positive_rate / (1 - positive_rate)))
+        scores = np.full(len(y), self._base_score, dtype=float)
+        self._trees = []
+
+        for _ in range(self.config.n_estimators):
+            probabilities = _sigmoid(scores)
+            residuals = y - probabilities  # negative gradient of log loss
+            if self.config.subsample < 1.0:
+                sample_size = max(2 * self.config.min_samples_leaf,
+                                  int(len(y) * self.config.subsample))
+                sample_size = min(sample_size, len(y))
+                rows = rng.choice(len(y), size=sample_size, replace=False)
+            else:
+                rows = np.arange(len(y))
+            tree = _RegressionTree(self.config.max_depth,
+                                   self.config.min_samples_leaf)
+            tree.fit(X[rows], residuals[rows])
+            update = tree.predict(X)
+            scores = scores + self.config.learning_rate * update
+            self._trees.append(tree)
+        return self
+
+    # -- inference ----------------------------------------------------------------
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        """Raw additive scores (log-odds)."""
+        X = np.asarray(X, dtype=float)
+        scores = np.full(len(X), self._base_score, dtype=float)
+        for tree in self._trees:
+            scores = scores + self.config.learning_rate * tree.predict(X)
+        return scores
+
+    def predict_proba(self, X: np.ndarray) -> np.ndarray:
+        """Probability of the positive class for each row."""
+        return _sigmoid(self.decision_function(X))
+
+    def predict(self, X: np.ndarray, threshold: float = 0.5) -> np.ndarray:
+        """Hard 0/1 predictions at a probability threshold."""
+        return (self.predict_proba(X) >= threshold).astype(int)
+
+    @property
+    def n_trees(self) -> int:
+        """Number of fitted trees (0 for the degenerate constant model)."""
+        return len(self._trees)

@@ -1,0 +1,203 @@
+"""Command-line interface for the GPS reproduction.
+
+The CLI wraps the most common workflows so they can be run without writing
+Python: a quickstart end-to-end GPS run, the Figure-2-style coverage
+experiment on either ground-truth dataset, the GPS-versus-XGBoost comparison,
+and the churn measurement.  Install the package and run::
+
+    gps-repro quickstart
+    gps-repro coverage --dataset lzr --scale medium
+    gps-repro compare-xgboost --ports 8
+    gps-repro churn --days 10
+
+Every command is deterministic for a given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import Optional, Sequence
+
+from repro.analysis.coverage import coverage_summary_rows, run_coverage_experiment
+from repro.analysis.comparison import run_xgboost_comparison
+from repro.analysis.limits import run_churn_measurement
+from repro.analysis.reporting import format_ratio, format_table
+from repro.analysis.scenarios import (
+    MEDIUM_SCALE,
+    SMALL_SCALE,
+    make_censys_dataset,
+    make_lzr_dataset,
+    make_universe,
+)
+from repro.core.config import GPSConfig
+from repro.core.gps import GPS
+from repro.core.metrics import fraction_of_services, normalized_fraction_of_services
+from repro.internet.churn import ChurnConfig
+from repro.scanner.pipeline import ScanPipeline
+
+_SCALES = {"small": SMALL_SCALE, "medium": MEDIUM_SCALE}
+
+
+def _scale(name: str):
+    return _SCALES[name]
+
+
+def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--scale", choices=sorted(_SCALES), default="small",
+                        help="experiment scale (universe size)")
+    parser.add_argument("--seed", type=int, default=7,
+                        help="RNG seed for universe generation")
+
+
+def cmd_quickstart(args: argparse.Namespace) -> int:
+    """Run GPS end to end on a fresh synthetic universe and print a summary."""
+    universe = make_universe(_scale(args.scale), seed=args.seed)
+    pipeline = ScanPipeline(universe)
+    gps = GPS(pipeline, GPSConfig(seed_fraction=args.seed_fraction,
+                                  step_size=args.step_size))
+    result = gps.run()
+    truth = set(universe.real_service_pairs())
+    found = result.discovered_pairs()
+    print(format_table(
+        ("quantity", "value"),
+        [
+            ("hosts in universe", len(universe.hosts)),
+            ("services in universe", len(truth)),
+            ("seed observations", len(result.seed_observations)),
+            ("priors scan entries", len(result.priors_plan)),
+            ("predictions issued", len(result.predictions)),
+            ("fraction of services found",
+             f"{fraction_of_services(found, truth):.1%}"),
+            ("normalized services found",
+             f"{normalized_fraction_of_services(found, truth):.1%}"),
+            ("bandwidth (100% scans)", f"{pipeline.ledger.full_scans():.1f}"),
+            ("bandwidth of exhaustive all-port scanning", 65535),
+        ],
+        title="GPS quickstart",
+    ))
+    return 0
+
+
+def cmd_coverage(args: argparse.Namespace) -> int:
+    """Run the Figure 2-style coverage experiment and print the summary rows."""
+    scale = _scale(args.scale)
+    universe = make_universe(scale, seed=args.seed)
+    if args.dataset == "censys":
+        dataset = make_censys_dataset(universe, scale)
+        seed_fraction = args.seed_fraction or scale.default_seed_fraction
+        seed_cost_mode = "scan"
+    else:
+        dataset = make_lzr_dataset(universe, scale)
+        seed_fraction = args.seed_fraction or dataset.sample_fraction / 2
+        seed_cost_mode = "available"
+    experiment = run_coverage_experiment(universe, dataset, seed_fraction,
+                                         step_size=args.step_size,
+                                         seed_cost_mode=seed_cost_mode)
+    print(format_table(
+        ("coverage target", "GPS bandwidth (100% scans)", "savings vs optimal order"),
+        coverage_summary_rows(experiment, targets=(0.5, 0.7, 0.8, 0.9)),
+        title=f"Coverage on the {dataset.name} dataset "
+              f"({seed_fraction:.1%} seed, /{args.step_size} step)",
+    ))
+    print(f"final fraction of services:  {experiment.final_fraction():.1%}")
+    print(f"final normalized services:   {experiment.final_normalized_fraction():.1%}")
+    print(f"total bandwidth:             "
+          f"{experiment.gps_points[-1].full_scans:.1f} 100% scans")
+    return 0
+
+
+def cmd_compare_xgboost(args: argparse.Namespace) -> int:
+    """Compare GPS against the XGBoost-style sequential scanner (Figure 4)."""
+    scale = _scale(args.scale)
+    universe = make_universe(scale, seed=args.seed)
+    dataset = make_censys_dataset(universe, scale)
+    ports = dataset.port_registry().top_ports(args.ports)
+    comparison = run_xgboost_comparison(universe, dataset, ports=ports,
+                                        seed_fraction=args.seed_fraction,
+                                        step_size=args.step_size)
+    print(format_table(
+        ("port", "GPS prior bw", "XGB prior bw", "GPS port bw", "XGB port bw"),
+        [(entry.port,
+          f"{entry.gps_prior_full_scans:.2f}", f"{entry.xgb_prior_full_scans:.2f}",
+          f"{entry.gps_port_full_scans:.4f}", f"{entry.xgb_port_full_scans:.4f}")
+         for entry in comparison.ports],
+        title="GPS vs XGBoost-style scanner (bandwidth in 100% scans)",
+    ))
+    print(f"average prior-bandwidth ratio (XGB/GPS): "
+          f"{format_ratio(comparison.average_prior_savings())}")
+    print(f"ports where GPS's target-port scan is cheaper: "
+          f"{comparison.ports_where_gps_cheaper()} of {len(comparison.ports)}")
+    return 0
+
+
+def cmd_churn(args: argparse.Namespace) -> int:
+    """Measure service churn between two scans (Section 3)."""
+    universe = make_universe(_scale(args.scale), seed=args.seed)
+    measurement = run_churn_measurement(universe, ChurnConfig(days=args.days,
+                                                              seed=args.seed))
+    print(format_table(
+        ("quantity", "value"),
+        [
+            ("days between scans", measurement.days),
+            ("services that disappeared", f"{measurement.service_loss:.1%}"),
+            ("normalized services that disappeared",
+             f"{measurement.normalized_service_loss:.1%}"),
+        ],
+        title="Churn measurement",
+    ))
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    """Construct the argument parser (exposed for tests and docs)."""
+    parser = argparse.ArgumentParser(
+        prog="gps-repro",
+        description="GPS (SIGCOMM 2022) reproduction: predict IPv4 services "
+                    "across all ports on a synthetic Internet.",
+    )
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    quickstart = subparsers.add_parser("quickstart",
+                                       help="run GPS end to end and print a summary")
+    _add_common_arguments(quickstart)
+    quickstart.add_argument("--seed-fraction", type=float, default=0.05)
+    quickstart.add_argument("--step-size", type=int, default=16)
+    quickstart.set_defaults(func=cmd_quickstart)
+
+    coverage = subparsers.add_parser("coverage",
+                                     help="coverage-vs-bandwidth experiment (Figure 2)")
+    _add_common_arguments(coverage)
+    coverage.add_argument("--dataset", choices=("censys", "lzr"), default="censys")
+    coverage.add_argument("--seed-fraction", type=float, default=None,
+                          help="seed size (defaults to the scale's standard value)")
+    coverage.add_argument("--step-size", type=int, default=16)
+    coverage.set_defaults(func=cmd_coverage)
+
+    compare = subparsers.add_parser("compare-xgboost",
+                                    help="GPS vs the sequential classifier (Figure 4)")
+    _add_common_arguments(compare)
+    compare.add_argument("--ports", type=int, default=10,
+                         help="number of popular ports to compare on")
+    compare.add_argument("--seed-fraction", type=float, default=0.02)
+    compare.add_argument("--step-size", type=int, default=16)
+    compare.set_defaults(func=cmd_compare_xgboost)
+
+    churn = subparsers.add_parser("churn",
+                                  help="service churn between scans (Section 3)")
+    _add_common_arguments(churn)
+    churn.add_argument("--days", type=int, default=10)
+    churn.set_defaults(func=cmd_churn)
+
+    return parser
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    """CLI entry point; returns the process exit code."""
+    parser = build_parser()
+    args = parser.parse_args(list(argv) if argv is not None else None)
+    return args.func(args)
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -1,0 +1,159 @@
+"""Feature extraction: turning observations into predictor tuples.
+
+GPS models four interactions between feature categories (Section 5.2):
+
+* Expression 4 -- ``P(Port_a | Port_b)``: the bare transport-layer predictor;
+* Expression 5 -- ``P(Port_a | (Port_b, App_b))``: the port plus one
+  application-layer feature value of the service on that port;
+* Expression 6 -- ``P(Port_a | (Port_b, Net))``: the port plus a network-layer
+  feature of the host (its ASN or /N subnetwork);
+* Expression 7 -- ``P(Port_a | (Port_b, App_b, Net))``: all three.
+
+A *predictor tuple* is the hashable encoding of one conditioning event:
+
+* ``("P",  port_b)``
+* ``("PA", port_b, app_key, app_value)``
+* ``("PN", port_b, net_kind, net_value)``
+* ``("PAN", port_b, app_key, app_value, net_kind, net_value)``
+
+Tuples embed the port, so a tuple observed on a host identifies exactly one of
+the host's services; the co-occurrence model counts, for each tuple, how often
+each *other* port is open on the same host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.config import FeatureConfig
+from repro.net.asn import AsnDatabase
+from repro.net.ipv4 import subnet_key
+from repro.scanner.records import ScanObservation, observations_by_host
+
+#: Type alias for predictor tuples (kept as plain tuples for hashability and
+#: cheap serialization; the first element is the family tag).
+PredictorTuple = Tuple
+
+
+def network_feature_values(ip: int, asn_db: Optional[AsnDatabase],
+                           kinds: Sequence[str]) -> List[Tuple[str, int]]:
+    """Network-layer feature values of an address.
+
+    Returns ``(kind, value)`` pairs, e.g. ``("asn", 64512)`` or
+    ``("subnet16", <subnet key>)``.  An unknown ASN (value 0) is skipped: it
+    would otherwise act as a gigantic catch-all "network" shared by every
+    unannounced host.
+    """
+    values: List[Tuple[str, int]] = []
+    for kind in kinds:
+        if kind == "asn":
+            if asn_db is None:
+                continue
+            asn = asn_db.asn_of(ip)
+            if asn:
+                values.append(("asn", asn))
+        elif kind.startswith("subnet"):
+            prefix_len = int(kind[len("subnet"):])
+            values.append((kind, subnet_key(ip, prefix_len)))
+        else:
+            raise ValueError(f"unknown network feature kind: {kind}")
+    return values
+
+
+def predictor_tuples_for_observation(
+    observation: ScanObservation,
+    net_values: Sequence[Tuple[str, int]],
+    config: FeatureConfig,
+) -> List[PredictorTuple]:
+    """All predictor tuples derivable from one observed service."""
+    port = observation.port
+    tuples: List[PredictorTuple] = []
+    if config.include_transport_only:
+        tuples.append(("P", port))
+
+    app_items: List[Tuple[str, str]] = []
+    if config.include_app or config.include_app_network:
+        for key in config.app_feature_keys:
+            value = observation.app_features.get(key)
+            if value:
+                app_items.append((key, value))
+
+    if config.include_app:
+        for key, value in app_items:
+            tuples.append(("PA", port, key, value))
+    if config.include_network:
+        for kind, value in net_values:
+            tuples.append(("PN", port, kind, value))
+    if config.include_app_network:
+        for key, app_value in app_items:
+            for kind, net_value in net_values:
+                tuples.append(("PAN", port, key, app_value, kind, net_value))
+    return tuples
+
+
+@dataclass
+class HostFeatures:
+    """Everything GPS knows about one host from a set of observations.
+
+    Attributes:
+        ip: host address.
+        ports: mapping of open port to the predictor tuples derived from the
+            service observed on that port.
+        net_values: the host's network-layer feature values.
+    """
+
+    ip: int
+    ports: Dict[int, List[PredictorTuple]] = field(default_factory=dict)
+    net_values: List[Tuple[str, int]] = field(default_factory=list)
+
+    def open_ports(self) -> List[int]:
+        """The host's observed open ports, ascending."""
+        return sorted(self.ports)
+
+
+def extract_host_features(
+    observations: Iterable[ScanObservation],
+    asn_db: Optional[AsnDatabase],
+    config: FeatureConfig,
+) -> Dict[int, HostFeatures]:
+    """Group observations by host and compute predictor tuples for each service.
+
+    This is the feature-extraction step that, in the paper's implementation,
+    happens inside BigQuery by selecting banner fields, deriving the subnet
+    from the address and joining against an ASN table.
+    """
+    hosts: Dict[int, HostFeatures] = {}
+    for ip, host_observations in observations_by_host(observations).items():
+        net_values = network_feature_values(ip, asn_db, config.network_feature_kinds)
+        host = HostFeatures(ip=ip, net_values=net_values)
+        for observation in host_observations:
+            host.ports[observation.port] = predictor_tuples_for_observation(
+                observation, net_values, config
+            )
+        hosts[ip] = host
+    return hosts
+
+
+def describe_predictor(predictor: PredictorTuple) -> str:
+    """Human-readable rendering of a predictor tuple (used in reports).
+
+    >>> describe_predictor(("PA", 22, "ssh_banner", "SSH-2.0-x"))
+    "(Port 22, ssh_banner='SSH-2.0-x')"
+    """
+    tag = predictor[0]
+    if tag == "P":
+        return f"(Port {predictor[1]})"
+    if tag == "PA":
+        return f"(Port {predictor[1]}, {predictor[2]}={predictor[3]!r})"
+    if tag == "PN":
+        return f"(Port {predictor[1]}, {predictor[2]}={predictor[3]})"
+    if tag == "PAN":
+        return (f"(Port {predictor[1]}, {predictor[2]}={predictor[3]!r}, "
+                f"{predictor[4]}={predictor[5]})")
+    return repr(predictor)
+
+
+def predictor_family(predictor: PredictorTuple) -> str:
+    """The family tag of a predictor tuple ("P", "PA", "PN" or "PAN")."""
+    return predictor[0]

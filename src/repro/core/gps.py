@@ -1,0 +1,295 @@
+"""The GPS orchestrator: the four-phase system of Section 5 end to end.
+
+:class:`GPS` ties together the scan pipeline, the feature extraction, the
+co-occurrence model, the priors planner and the predictive-feature index into
+the four-phase process the paper describes:
+
+1. collect (or accept) a seed set;
+2. build the probabilistic model;
+3. plan and execute the priors scan, finding at least one service per host;
+4. build the predictions list and execute the prediction scan.
+
+Every scan batch appends to a *discovery log* of
+``(cumulative probes, newly discovered (ip, port) pairs)`` entries, from which
+the analysis layer derives all coverage/precision/bandwidth curves; the
+orchestrator itself never looks at the ground truth.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.core.config import GPSConfig
+from repro.core.features import HostFeatures, extract_host_features
+from repro.core.model import CooccurrenceModel, build_model, build_model_with_engine
+from repro.core.predictions import PredictedService, PredictiveFeatureIndex
+from repro.core.priors import PriorsEntry, build_priors_plan
+from repro.scanner.bandwidth import ScanCategory
+from repro.scanner.pipeline import ScanPipeline, SeedScanResult
+from repro.scanner.records import ScanObservation
+
+Pair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class DiscoveryBatch:
+    """One batch of the discovery log.
+
+    Attributes:
+        phase: ``"seed"``, ``"priors"`` or ``"prediction"``.
+        cumulative_probes: total probes sent by GPS up to and including this
+            batch (across all phases).
+        pairs: (ip, port) services newly discovered by this batch.
+    """
+
+    phase: str
+    cumulative_probes: int
+    pairs: Tuple[Pair, ...]
+
+
+@dataclass
+class GPSRunResult:
+    """Everything a GPS run produced.
+
+    Attributes:
+        config: the configuration the run used.
+        seed_observations: the (filtered) seed set GPS learned from.
+        priors_observations: services discovered by the priors scan.
+        prediction_observations: services discovered by the prediction scan.
+        priors_plan: the ordered priors scan list.
+        predictions: the ordered predictions list (before probing).
+        model: the co-occurrence model built from the seed.
+        feature_index: the most-predictive-feature-values index.
+        discovery_log: bandwidth-annotated discovery batches.
+        model_build_seconds: wall-clock time spent building the model and the
+            prediction structures (the "computation" row of Table 2).
+        truncated_by_budget: whether the bandwidth budget stopped the run
+            before the scan schedule was exhausted.
+    """
+
+    config: GPSConfig
+    seed_observations: List[ScanObservation]
+    priors_observations: List[ScanObservation] = field(default_factory=list)
+    prediction_observations: List[ScanObservation] = field(default_factory=list)
+    priors_plan: List[PriorsEntry] = field(default_factory=list)
+    predictions: List[PredictedService] = field(default_factory=list)
+    model: Optional[CooccurrenceModel] = None
+    feature_index: Optional[PredictiveFeatureIndex] = None
+    discovery_log: List[DiscoveryBatch] = field(default_factory=list)
+    model_build_seconds: float = 0.0
+    truncated_by_budget: bool = False
+
+    def discovered_pairs(self) -> Set[Pair]:
+        """All (ip, port) services GPS discovered, across all phases."""
+        pairs: Set[Pair] = set()
+        for batch in self.discovery_log:
+            pairs.update(batch.pairs)
+        return pairs
+
+    def all_observations(self) -> List[ScanObservation]:
+        """All observations across phases (seed, priors, prediction)."""
+        return (list(self.seed_observations) + list(self.priors_observations)
+                + list(self.prediction_observations))
+
+    def log_as_tuples(self) -> List[Tuple[int, Tuple[Pair, ...]]]:
+        """Discovery log in the shape :func:`repro.core.metrics.coverage_curve` expects."""
+        return [(batch.cumulative_probes, batch.pairs) for batch in self.discovery_log]
+
+
+class GPS:
+    """The GPS system bound to one scan pipeline and one configuration."""
+
+    def __init__(self, pipeline: ScanPipeline, config: Optional[GPSConfig] = None) -> None:
+        self.pipeline = pipeline
+        self.config = config or GPSConfig()
+        self._asn_db = pipeline.universe.topology.asn_db
+
+    # -- public API -----------------------------------------------------------------
+
+    def run(self, seed: Optional[SeedScanResult] = None,
+            seed_cost_probes: Optional[int] = None) -> GPSRunResult:
+        """Execute the full four-phase process.
+
+        Args:
+            seed: a pre-collected seed set (dataset-split evaluation mode).
+                When omitted, GPS collects its own seed scan through the
+                pipeline, paying the full random-probing cost.
+            seed_cost_probes: bandwidth to charge for a supplied seed set.
+                Defaults to ``seed_fraction x |port domain| x address space``,
+                the cost of the random scan that would have produced it.
+        """
+        config = self.config
+        ledger = self.pipeline.ledger
+
+        # Phase 1: seed set.
+        if seed is None:
+            seed = self.pipeline.seed_scan(
+                config.seed_fraction,
+                seed=config.seed_scan_seed,
+                ports=list(config.port_domain) if config.port_domain else None,
+            )
+        elif seed_cost_probes is None:
+            port_count = (len(config.port_domain) if config.port_domain
+                          else 65535)
+            seed_cost_probes = int(round(
+                config.seed_fraction * port_count
+                * self.pipeline.universe.address_space_size()
+            ))
+        if seed_cost_probes:
+            ledger.record(ScanCategory.SEED, probes=seed_cost_probes,
+                          responses=len(seed.observations))
+
+        result = GPSRunResult(config=config, seed_observations=list(seed.observations))
+        discovered: Set[Pair] = set()
+        self._log_batch(result, "seed", ledger.total_probes(),
+                        [obs.pair() for obs in seed.observations], discovered)
+
+        budget_probes = self._budget_probes()
+
+        # Phase 2: probabilistic model.
+        build_start = time.perf_counter()
+        host_features = extract_host_features(seed.observations, self._asn_db,
+                                              config.feature_config)
+        if config.use_engine:
+            model = build_model_with_engine(host_features, config.executor)
+        else:
+            model = build_model(host_features)
+        result.model = model
+
+        # Phase 3: priors scan (find the first service of every host).
+        priors_plan = build_priors_plan(host_features, model, config.step_size,
+                                        config.port_domain)
+        result.priors_plan = priors_plan
+        result.model_build_seconds += time.perf_counter() - build_start
+
+        for entry in priors_plan:
+            if budget_probes is not None and ledger.total_probes() >= budget_probes:
+                result.truncated_by_budget = True
+                break
+            observations = self.pipeline.scan_prefix(entry.port, entry.subnet,
+                                                     category=ScanCategory.PRIORS)
+            result.priors_observations.extend(observations)
+            self._log_batch(result, "priors", ledger.total_probes(),
+                            [obs.pair() for obs in observations], discovered)
+
+        # Phase 4: predict and scan remaining services.
+        build_start = time.perf_counter()
+        feature_index = PredictiveFeatureIndex.from_seed(
+            host_features, model,
+            probability_cutoff=config.probability_cutoff,
+            port_domain=config.port_domain,
+            min_pattern_support=config.min_pattern_support,
+        )
+        result.feature_index = feature_index
+        predictions = feature_index.predict(
+            result.priors_observations, self._asn_db, config.feature_config,
+            known_pairs=set(discovered),
+        )
+        result.predictions = predictions
+        result.model_build_seconds += time.perf_counter() - build_start
+
+        for start in range(0, len(predictions), config.prediction_batch_size):
+            if budget_probes is not None and ledger.total_probes() >= budget_probes:
+                result.truncated_by_budget = True
+                break
+            batch = predictions[start:start + config.prediction_batch_size]
+            observations = self.pipeline.scan_pairs(
+                (prediction.pair() for prediction in batch),
+                category=ScanCategory.PREDICTION,
+            )
+            result.prediction_observations.extend(observations)
+            self._log_batch(result, "prediction", ledger.total_probes(),
+                            [obs.pair() for obs in observations], discovered)
+        return result
+
+    def predict_for_known_hosts(
+        self,
+        seed: SeedScanResult,
+        known_observations: Sequence[ScanObservation],
+        scan: bool = True,
+    ) -> GPSRunResult:
+        """Predict remaining services for hosts that are already known.
+
+        This is the deployment mode Section 7 describes for IPv6 (and more
+        generally for any hitlist): the address space is too large to sweep
+        subnetworks, but "given known addresses that respond on at least one
+        port, GPS can be used to predict other responsive services on the
+        known addresses".  The priors-scan phase is skipped entirely -- the
+        supplied ``known_observations`` play its role -- and only the targeted
+        prediction scan is executed (or merely planned when ``scan=False``).
+
+        Args:
+            seed: the seed set to learn patterns from.
+            known_observations: one or more observed services per known host.
+            scan: probe the predictions through the pipeline (``True``) or
+                only return the ordered predictions list (``False``).
+        """
+        config = self.config
+        ledger = self.pipeline.ledger
+        result = GPSRunResult(config=config, seed_observations=list(seed.observations))
+        discovered: Set[Pair] = set()
+        self._log_batch(result, "seed", ledger.total_probes(),
+                        [obs.pair() for obs in seed.observations], discovered)
+
+        build_start = time.perf_counter()
+        host_features = extract_host_features(seed.observations, self._asn_db,
+                                              config.feature_config)
+        if config.use_engine:
+            model = build_model_with_engine(host_features, config.executor)
+        else:
+            model = build_model(host_features)
+        result.model = model
+
+        feature_index = PredictiveFeatureIndex.from_seed(
+            host_features, model,
+            probability_cutoff=config.probability_cutoff,
+            port_domain=config.port_domain,
+            min_pattern_support=config.min_pattern_support,
+        )
+        result.feature_index = feature_index
+
+        known = list(known_observations)
+        result.priors_observations = known
+        known_pairs = set(discovered) | {obs.pair() for obs in known}
+        predictions = feature_index.predict(known, self._asn_db,
+                                            config.feature_config,
+                                            known_pairs=known_pairs)
+        result.predictions = predictions
+        result.model_build_seconds = time.perf_counter() - build_start
+
+        if not scan:
+            return result
+
+        budget_probes = self._budget_probes()
+        for start in range(0, len(predictions), config.prediction_batch_size):
+            if budget_probes is not None and ledger.total_probes() >= budget_probes:
+                result.truncated_by_budget = True
+                break
+            batch = predictions[start:start + config.prediction_batch_size]
+            observations = self.pipeline.scan_pairs(
+                (prediction.pair() for prediction in batch),
+                category=ScanCategory.PREDICTION,
+            )
+            result.prediction_observations.extend(observations)
+            self._log_batch(result, "prediction", ledger.total_probes(),
+                            [obs.pair() for obs in observations], discovered)
+        return result
+
+    # -- helpers ------------------------------------------------------------------------
+
+    def _budget_probes(self) -> Optional[int]:
+        if self.config.max_full_scans is None:
+            return None
+        return int(self.config.max_full_scans
+                   * self.pipeline.universe.address_space_size())
+
+    @staticmethod
+    def _log_batch(result: GPSRunResult, phase: str, cumulative_probes: int,
+                   pairs: Sequence[Pair], discovered: Set[Pair]) -> None:
+        new_pairs = tuple(pair for pair in pairs if pair not in discovered)
+        discovered.update(new_pairs)
+        result.discovery_log.append(DiscoveryBatch(
+            phase=phase, cumulative_probes=cumulative_probes, pairs=new_pairs
+        ))

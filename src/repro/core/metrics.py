@@ -1,0 +1,159 @@
+"""Evaluation metrics: the quantities every figure and table in the paper reports.
+
+* :func:`fraction_of_services` -- Equation 1: services found over services in
+  the ground truth.
+* :func:`normalized_fraction_of_services` -- Equation 2: the per-port fractions
+  averaged over ports, so discovering all services of an uncommon port weighs
+  as much as discovering all services of port 80.
+* :func:`coverage_curve` / :func:`precision_curve` -- the
+  bandwidth-versus-coverage and precision-versus-coverage series behind
+  Figures 2, 3, 5 and 6, computed from a bandwidth-annotated discovery log.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Sequence, Set, Tuple
+
+Pair = Tuple[int, int]
+
+
+@dataclass(frozen=True)
+class CoveragePoint:
+    """One point of a coverage-versus-bandwidth curve.
+
+    Attributes:
+        full_scans: cumulative bandwidth in units of 100 % scans.
+        probes: cumulative probes sent.
+        found: cumulative ground-truth services found.
+        fraction: Equation 1 at this point.
+        normalized_fraction: Equation 2 at this point.
+        precision: ground-truth services found per probe sent so far.
+    """
+
+    full_scans: float
+    probes: int
+    found: int
+    fraction: float
+    normalized_fraction: float
+    precision: float
+
+
+def fraction_of_services(found_pairs: Iterable[Pair],
+                         ground_truth_pairs: Set[Pair]) -> float:
+    """Equation 1: |found ∩ ground truth| / |ground truth|."""
+    if not ground_truth_pairs:
+        return 0.0
+    found = set(found_pairs) & ground_truth_pairs
+    return len(found) / len(ground_truth_pairs)
+
+
+def per_port_counts(pairs: Iterable[Pair]) -> Dict[int, int]:
+    """Count services per port."""
+    counts: Dict[int, int] = {}
+    for _, port in pairs:
+        counts[port] = counts.get(port, 0) + 1
+    return counts
+
+
+def normalized_fraction_of_services(found_pairs: Iterable[Pair],
+                                    ground_truth_pairs: Set[Pair]) -> float:
+    """Equation 2: average, over ports, of the per-port fraction found."""
+    if not ground_truth_pairs:
+        return 0.0
+    truth_per_port = per_port_counts(ground_truth_pairs)
+    found = set(found_pairs) & ground_truth_pairs
+    found_per_port = per_port_counts(found)
+    total = sum(
+        found_per_port.get(port, 0) / count for port, count in truth_per_port.items()
+    )
+    return total / len(truth_per_port)
+
+
+def coverage_curve(
+    discovery_log: Sequence[Tuple[int, Sequence[Pair]]],
+    ground_truth_pairs: Set[Pair],
+    address_space_size: int,
+) -> List[CoveragePoint]:
+    """Turn a discovery log into a coverage-versus-bandwidth curve.
+
+    Args:
+        discovery_log: ordered ``(cumulative_probes, newly_discovered_pairs)``
+            entries, as produced by :class:`repro.core.gps.GPS`.
+        ground_truth_pairs: the evaluation ground truth (Equation 1/2
+            denominators).
+        address_space_size: addresses per "100 % scan" unit.
+
+    Returns:
+        One :class:`CoveragePoint` per log entry, cumulative in both bandwidth
+        and coverage.
+    """
+    if address_space_size <= 0:
+        raise ValueError("address_space_size must be positive")
+    truth_per_port = per_port_counts(ground_truth_pairs)
+    port_count = len(truth_per_port)
+    truth_total = len(ground_truth_pairs)
+
+    found_pairs: Set[Pair] = set()
+    found_per_port: Dict[int, int] = {}
+    normalized_sum = 0.0
+    points: List[CoveragePoint] = []
+
+    for cumulative_probes, new_pairs in discovery_log:
+        for pair in new_pairs:
+            if pair in ground_truth_pairs and pair not in found_pairs:
+                found_pairs.add(pair)
+                port = pair[1]
+                found_per_port[port] = found_per_port.get(port, 0) + 1
+                normalized_sum += 1.0 / truth_per_port[port]
+        found = len(found_pairs)
+        fraction = found / truth_total if truth_total else 0.0
+        normalized = normalized_sum / port_count if port_count else 0.0
+        precision = found / cumulative_probes if cumulative_probes else 0.0
+        points.append(CoveragePoint(
+            full_scans=cumulative_probes / address_space_size,
+            probes=cumulative_probes,
+            found=found,
+            fraction=fraction,
+            normalized_fraction=normalized,
+            precision=precision,
+        ))
+    return points
+
+
+def precision_curve(points: Sequence[CoveragePoint],
+                    normalized: bool = False) -> List[Tuple[float, float]]:
+    """Precision as a function of the fraction of services found (Figure 3)."""
+    out: List[Tuple[float, float]] = []
+    for point in points:
+        x = point.normalized_fraction if normalized else point.fraction
+        out.append((x, point.precision))
+    return out
+
+
+def bandwidth_to_reach(points: Sequence[CoveragePoint], target_fraction: float,
+                       normalized: bool = False) -> float | None:
+    """Bandwidth (in 100 % scans) at which the curve first reaches a coverage level.
+
+    Returns ``None`` when the curve never reaches the target; used throughout
+    the analysis layer to compute the "GPS saves N x bandwidth" statements.
+    """
+    if not 0.0 <= target_fraction <= 1.0:
+        raise ValueError("target_fraction must be within [0, 1]")
+    for point in points:
+        value = point.normalized_fraction if normalized else point.fraction
+        if value >= target_fraction:
+            return point.full_scans
+    return None
+
+
+def bandwidth_savings(gps_points: Sequence[CoveragePoint],
+                      baseline_points: Sequence[CoveragePoint],
+                      target_fraction: float,
+                      normalized: bool = False) -> float | None:
+    """Ratio of baseline to GPS bandwidth at equal coverage (the paper's "N x less")."""
+    gps_bandwidth = bandwidth_to_reach(gps_points, target_fraction, normalized)
+    baseline_bandwidth = bandwidth_to_reach(baseline_points, target_fraction, normalized)
+    if gps_bandwidth is None or baseline_bandwidth is None or gps_bandwidth == 0:
+        return None
+    return baseline_bandwidth / gps_bandwidth

@@ -1,0 +1,189 @@
+"""The conditional-probability (co-occurrence) model.
+
+GPS's predictive engine is nothing more than conditional probabilities between
+predictor tuples and target ports (Section 5.2):
+
+    P(Port_a | predictor) = #hosts where predictor holds and Port_a is open
+                            -----------------------------------------------
+                                    #hosts where predictor holds
+
+Because a predictor tuple embeds the port it was observed on, a host
+contributes at most one occurrence per tuple, so both counts are plain host
+counts.  The numerators for different predictors never interact, which is what
+makes the computation "parallelizable across all 65K ports" in the paper's
+terms; :func:`build_model_with_engine` expresses exactly the same computation
+as a self-join + group-by on the parallel engine, and the test suite asserts
+the two implementations produce identical probabilities.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+
+from repro.core.features import HostFeatures, PredictorTuple
+from repro.engine.ops import group_count, hash_join
+from repro.engine.parallel import ExecutorConfig, partitioned_group_count
+from repro.engine.table import Table
+
+
+@dataclass
+class CooccurrenceModel:
+    """Conditional probabilities P(target port | predictor tuple).
+
+    Attributes:
+        cooccurrence: ``predictor -> {target_port -> co-occurrence count}``.
+        denominators: ``predictor -> number of hosts exhibiting the predictor``.
+    """
+
+    cooccurrence: Dict[PredictorTuple, Dict[int, int]] = field(default_factory=dict)
+    denominators: Dict[PredictorTuple, int] = field(default_factory=dict)
+
+    # -- queries -----------------------------------------------------------------
+
+    def probability(self, predictor: PredictorTuple, target_port: int) -> float:
+        """P(target_port open | predictor observed on the host)."""
+        denom = self.denominators.get(predictor, 0)
+        if denom == 0:
+            return 0.0
+        return self.cooccurrence.get(predictor, {}).get(target_port, 0) / denom
+
+    def targets_for(self, predictor: PredictorTuple) -> Dict[int, float]:
+        """All target ports with non-zero probability for a predictor."""
+        denom = self.denominators.get(predictor, 0)
+        if denom == 0:
+            return {}
+        return {
+            port: count / denom
+            for port, count in self.cooccurrence.get(predictor, {}).items()
+        }
+
+    def best_predictor(self, candidates: Iterable[PredictorTuple],
+                       target_port: int,
+                       min_support: int = 1) -> Tuple[Optional[PredictorTuple], float]:
+        """The candidate predictor with the highest probability for a target port.
+
+        Args:
+            candidates: predictor tuples available on the host.
+            target_port: the port whose probability is maximised.
+            min_support: minimum number of seed hosts a predictor must have
+                been observed on to be eligible.  Patterns seen on a single
+                host (host-unique certificate hashes, SSH keys) trivially reach
+                probability 1.0 but cannot generalise to new hosts; requiring
+                support of at least two mirrors the paper's premise that GPS
+                predicts services "given at least two responsive IP addresses
+                on a port to train from".
+
+        Ties are broken by support (more widely observed patterns first) and
+        then by the predictor tuple itself, so the priors plan and the
+        predictive-feature index are reproducible.
+        """
+        best: Optional[PredictorTuple] = None
+        best_prob = 0.0
+        best_support = 0
+        for predictor in candidates:
+            support = self.denominators.get(predictor, 0)
+            if support < min_support:
+                continue
+            prob = self.probability(predictor, target_port)
+            if prob <= 0.0:
+                continue
+            better = (prob > best_prob
+                      or (prob == best_prob and support > best_support)
+                      or (prob == best_prob and support == best_support
+                          and best is not None and predictor < best))
+            if better:
+                best = predictor
+                best_prob = prob
+                best_support = support
+        if best_prob == 0.0:
+            return None, 0.0
+        return best, best_prob
+
+    def predictor_count(self) -> int:
+        """Number of distinct predictor tuples seen in the seed set."""
+        return len(self.denominators)
+
+    def known_target_ports(self) -> List[int]:
+        """All ports that appear as a prediction target, ascending."""
+        ports = set()
+        for targets in self.cooccurrence.values():
+            ports.update(targets)
+        return sorted(ports)
+
+
+def build_model(host_features: Mapping[int, HostFeatures]) -> CooccurrenceModel:
+    """Single-core reference implementation of model building.
+
+    For each host, for each service's predictor tuples, count (a) the host
+    toward the predictor's denominator and (b) every *other* open port of the
+    host toward the predictor's co-occurrence counts.
+    """
+    model = CooccurrenceModel()
+    for host in host_features.values():
+        open_ports = list(host.ports)
+        for port_b, predictors in host.ports.items():
+            other_ports = [port for port in open_ports if port != port_b]
+            for predictor in predictors:
+                model.denominators[predictor] = model.denominators.get(predictor, 0) + 1
+                if not other_ports:
+                    continue
+                targets = model.cooccurrence.setdefault(predictor, {})
+                for port_a in other_ports:
+                    targets[port_a] = targets.get(port_a, 0) + 1
+    return model
+
+
+# -- engine-backed implementation --------------------------------------------------------
+
+
+def host_features_to_tables(host_features: Mapping[int, HostFeatures]) -> Tuple[Table, Table]:
+    """Flatten host features into the two relations the engine query joins.
+
+    Returns ``(features, ports)`` where ``features`` has one row per
+    (host, service, predictor tuple) and ``ports`` one row per (host, open
+    port) -- the shape the paper's BigQuery implementation materialises before
+    its self-join.
+    """
+    feature_rows: List[Tuple[int, int, PredictorTuple]] = []
+    port_rows: List[Tuple[int, int]] = []
+    for host in host_features.values():
+        for port_b, predictors in host.ports.items():
+            port_rows.append((host.ip, port_b))
+            for predictor in predictors:
+                feature_rows.append((host.ip, port_b, predictor))
+    features = Table.from_rows(("ip", "port", "predictor"), feature_rows)
+    ports = Table.from_rows(("ip", "port"), port_rows)
+    return features, ports
+
+
+def build_model_with_engine(host_features: Mapping[int, HostFeatures],
+                            executor: Optional[ExecutorConfig] = None) -> CooccurrenceModel:
+    """Model building expressed as engine operations (the BigQuery analogue).
+
+    The computation is: JOIN the feature relation with the port relation on
+    the host address, drop self-pairs, GROUP BY (predictor, target port) to
+    obtain the co-occurrence counts, and GROUP BY predictor over the feature
+    relation to obtain the denominators.  With an ``executor`` the group-bys
+    run hash-partitioned across workers.
+    """
+    executor = executor or ExecutorConfig()
+    features, ports = host_features_to_tables(host_features)
+
+    joined = hash_join(features, ports, on=("ip",),
+                       left_prefix="b_", right_prefix="a_",
+                       exclude_self_pairs_on=("b_port", "a_port"))
+
+    if executor.backend == "serial" and executor.workers == 1:
+        pair_counts = group_count(joined, ("b_predictor", "a_port"))
+        denom_counts = group_count(features, ("predictor",))
+    else:
+        pair_counts = partitioned_group_count(joined, ("b_predictor", "a_port"), executor)
+        denom_counts = partitioned_group_count(features, ("predictor",), executor)
+
+    model = CooccurrenceModel()
+    for (predictor,), count in denom_counts.items():
+        model.denominators[predictor] = count
+    for (predictor, port_a), count in pair_counts.items():
+        model.cooccurrence.setdefault(predictor, {})[port_a] = count
+    return model

@@ -1,0 +1,193 @@
+"""Predicting remaining services (Section 5.4).
+
+Once the priors scan has surfaced at least one service per responsive host,
+GPS uses the features of those services to predict every remaining service:
+
+1. Build the **most predictive feature values list** from the seed set: for
+   every service ``(IP, Port_a)`` in the seed, find the predictor tuple (from
+   the host's *other* services) with the maximum ``P(Port_a)``; keep it if the
+   probability clears the cut-off (1e-5, roughly the hit rate of random
+   probing).  The list maps predictor tuples to the ports they predict.
+2. For every service discovered by the priors scan, extract its predictor
+   tuples and look them up in the list; every hit emits a predicted
+   ``(IP, Port_a)`` pair.
+3. The predictions list is ordered by probability, descending, so that the
+   most predictable services are scanned first (this ordering is what gives
+   GPS its precision profile in Figure 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
+
+from repro.core.config import FeatureConfig
+from repro.core.features import (
+    HostFeatures,
+    PredictorTuple,
+    network_feature_values,
+    predictor_tuples_for_observation,
+)
+from repro.core.model import CooccurrenceModel
+from repro.net.asn import AsnDatabase
+from repro.scanner.records import ScanObservation
+
+
+@dataclass(frozen=True)
+class PredictiveFeature:
+    """One entry of the most-predictive-feature-values list."""
+
+    predictor: PredictorTuple
+    target_port: int
+    probability: float
+
+
+@dataclass(frozen=True)
+class PredictedService:
+    """One predicted (ip, port) target, with the pattern that produced it."""
+
+    ip: int
+    port: int
+    probability: float
+    predictor: PredictorTuple
+
+    def pair(self) -> Tuple[int, int]:
+        """The (ip, port) identity of the prediction."""
+        return (self.ip, self.port)
+
+
+class PredictiveFeatureIndex:
+    """The "most predictive feature values" list, indexed for fast lookup."""
+
+    def __init__(self, features: Iterable[PredictiveFeature]) -> None:
+        self._by_predictor: Dict[PredictorTuple, Dict[int, float]] = {}
+        count = 0
+        for feature in features:
+            targets = self._by_predictor.setdefault(feature.predictor, {})
+            existing = targets.get(feature.target_port)
+            if existing is None or feature.probability > existing:
+                targets[feature.target_port] = feature.probability
+            count += 1
+        self._entry_count = sum(len(t) for t in self._by_predictor.values())
+
+    # -- construction -----------------------------------------------------------------
+
+    @classmethod
+    def from_seed(
+        cls,
+        host_features: Mapping[int, HostFeatures],
+        model: CooccurrenceModel,
+        probability_cutoff: float = 1e-5,
+        port_domain: Optional[Sequence[int]] = None,
+        min_pattern_support: int = 2,
+    ) -> "PredictiveFeatureIndex":
+        """Build the index from the seed set (step 1 of the Section 5.4 algorithm).
+
+        Every seed service that is predictable at all (it shares a host with at
+        least one other service, and the best pattern clears the cut-off) is
+        guaranteed to contribute the pattern most likely to find it -- the
+        property the paper highlights as crucial to the algorithm.
+
+        ``min_pattern_support`` requires the winning pattern to have been
+        observed on at least that many seed hosts (default two): host-unique
+        feature values reach probability 1.0 on their own host but cannot find
+        services anywhere else, so preferring the best *supported* pattern is
+        what lets the index generalise.  When no supported pattern exists for a
+        service, the selection falls back to the unsupported ones so the
+        service is still represented.
+        """
+        allowed: Optional[Set[int]] = set(port_domain) if port_domain is not None else None
+        features: List[PredictiveFeature] = []
+        for host in host_features.values():
+            open_ports = host.open_ports()
+            if len(open_ports) < 2:
+                continue
+            for port_a in open_ports:
+                if allowed is not None and port_a not in allowed:
+                    continue
+                candidates: List[PredictorTuple] = []
+                for port_b in open_ports:
+                    if port_b != port_a:
+                        candidates.extend(host.ports[port_b])
+                predictor, probability = model.best_predictor(
+                    candidates, port_a, min_support=min_pattern_support)
+                if predictor is None:
+                    predictor, probability = model.best_predictor(candidates, port_a)
+                if predictor is None or probability < probability_cutoff:
+                    continue
+                features.append(PredictiveFeature(predictor=predictor,
+                                                  target_port=port_a,
+                                                  probability=probability))
+        return cls(features)
+
+    # -- queries -----------------------------------------------------------------------
+
+    def __len__(self) -> int:
+        return self._entry_count
+
+    def predictors(self) -> List[PredictorTuple]:
+        """All predictor tuples present in the index."""
+        return list(self._by_predictor)
+
+    def targets_for(self, predictor: PredictorTuple) -> Dict[int, float]:
+        """Ports predicted by one predictor tuple (with probabilities)."""
+        return dict(self._by_predictor.get(predictor, {}))
+
+    def entries(self) -> List[PredictiveFeature]:
+        """All (predictor, target port, probability) entries, most probable first."""
+        out = [
+            PredictiveFeature(predictor=predictor, target_port=port, probability=prob)
+            for predictor, targets in self._by_predictor.items()
+            for port, prob in targets.items()
+        ]
+        out.sort(key=lambda f: (-f.probability, f.target_port))
+        return out
+
+    # -- prediction (steps 2-3) ----------------------------------------------------------
+
+    def predict(
+        self,
+        observations: Iterable[ScanObservation],
+        asn_db: Optional[AsnDatabase],
+        feature_config: FeatureConfig,
+        known_pairs: Optional[Set[Tuple[int, int]]] = None,
+    ) -> List[PredictedService]:
+        """Predict remaining services from discovered-service observations.
+
+        Args:
+            observations: services discovered so far (typically the priors
+                scan results; the seed services' patterns are already encoded
+                in the index itself).
+            asn_db: ASN database for network feature extraction.
+            feature_config: which predictor tuples to derive per observation.
+            known_pairs: (ip, port) pairs already discovered; predictions for
+                them are suppressed so bandwidth is not spent re-probing.
+
+        Returns:
+            Deduplicated predictions ordered by probability (descending), the
+            order in which GPS probes them.
+        """
+        known = known_pairs or set()
+        best: Dict[Tuple[int, int], PredictedService] = {}
+        for observation in observations:
+            net_values = network_feature_values(observation.ip, asn_db,
+                                                feature_config.network_feature_kinds)
+            predictors = predictor_tuples_for_observation(observation, net_values,
+                                                          feature_config)
+            for predictor in predictors:
+                targets = self._by_predictor.get(predictor)
+                if not targets:
+                    continue
+                for target_port, probability in targets.items():
+                    pair = (observation.ip, target_port)
+                    if target_port == observation.port or pair in known:
+                        continue
+                    current = best.get(pair)
+                    if current is None or probability > current.probability:
+                        best[pair] = PredictedService(ip=observation.ip,
+                                                      port=target_port,
+                                                      probability=probability,
+                                                      predictor=predictor)
+        predictions = list(best.values())
+        predictions.sort(key=lambda p: (-p.probability, p.ip, p.port))
+        return predictions

@@ -1,0 +1,41 @@
+"""Ground-truth datasets and seed/test splitting.
+
+The paper evaluates GPS against two ground-truth datasets (Section 6.1):
+
+* the **Censys Universal dataset** -- 100 % IPv4 scans of the ~2K most popular
+  ports;
+* a **1 % LZR scan** of the IPv4 address space across all 65K ports, filtered
+  to ports with more than two responsive addresses.
+
+Neither is available offline, so :func:`build_censys_like` and
+:func:`build_lzr_like` construct the analogous datasets from the synthetic
+universe: the former takes every real service on the top-N most populated
+ports, the latter takes the services of a random address sample across all
+ports.  Both are filtered for real services by construction (pseudo services
+never enter the ground truth), mirroring the paper's Appendix B filtering.
+
+:func:`split_seed_test` reproduces the paper's evaluation methodology: each
+address (and all its services) is randomly assigned to either the seed set or
+the test set.
+"""
+
+from repro.datasets.builders import (
+    GroundTruthDataset,
+    build_censys_like,
+    build_lzr_like,
+    build_full_dataset,
+)
+from repro.datasets.split import SeedTestSplit, split_seed_test, seed_scan_cost_probes
+from repro.datasets.io import load_observations_jsonl, save_observations_jsonl
+
+__all__ = [
+    "GroundTruthDataset",
+    "build_censys_like",
+    "build_lzr_like",
+    "build_full_dataset",
+    "SeedTestSplit",
+    "split_seed_test",
+    "seed_scan_cost_probes",
+    "load_observations_jsonl",
+    "save_observations_jsonl",
+]

@@ -1,0 +1,176 @@
+"""Ground-truth dataset builders.
+
+A :class:`GroundTruthDataset` is what every experiment evaluates against: a
+named set of fully-featured service observations, the port domain it covers,
+and the fraction of the address space it observed.  Building a dataset does
+not consume scan bandwidth -- it plays the role of the reference data (Censys,
+the authors' month-long LZR scan) that the paper treats as ground truth.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+from repro.internet.universe import Universe
+from repro.net.ports import PortRegistry
+from repro.scanner.records import ScanObservation
+
+Pair = Tuple[int, int]
+
+
+@dataclass
+class GroundTruthDataset:
+    """A ground-truth dataset plus the metadata experiments need.
+
+    Attributes:
+        name: dataset label (``"censys-like"``, ``"lzr-like"``, ...).
+        observations: every service in the dataset, with full features.
+        port_domain: ports the dataset covers (``None`` = all 65,535).
+        sample_fraction: fraction of the address space the dataset observed
+            (1.0 for a Censys-style 100 % scan, 0.01 for an LZR-style 1 % scan).
+        address_space_size: size of one "100 % scan" unit for this universe.
+    """
+
+    name: str
+    observations: List[ScanObservation]
+    port_domain: Optional[Tuple[int, ...]]
+    sample_fraction: float
+    address_space_size: int
+    _pairs: Optional[Set[Pair]] = field(default=None, repr=False)
+
+    def pairs(self) -> Set[Pair]:
+        """All (ip, port) services in the dataset (cached)."""
+        if self._pairs is None:
+            self._pairs = {obs.pair() for obs in self.observations}
+        return self._pairs
+
+    def ips(self) -> List[int]:
+        """Distinct responsive addresses in the dataset, ascending."""
+        return sorted({obs.ip for obs in self.observations})
+
+    def port_registry(self) -> PortRegistry:
+        """Per-port service counts within the dataset."""
+        return PortRegistry.from_ports(port for _, port in self.pairs())
+
+    def service_count(self) -> int:
+        """Total number of services in the dataset."""
+        return len(self.observations)
+
+    def restricted_to_ports(self, ports: Sequence[int], name: Optional[str] = None) -> "GroundTruthDataset":
+        """A copy containing only services on the given ports."""
+        allowed = set(ports)
+        return GroundTruthDataset(
+            name=name or f"{self.name}-restricted",
+            observations=[obs for obs in self.observations if obs.port in allowed],
+            port_domain=tuple(sorted(allowed)),
+            sample_fraction=self.sample_fraction,
+            address_space_size=self.address_space_size,
+        )
+
+    def filtered_min_responsive_ips(self, minimum: int,
+                                    name: Optional[str] = None) -> "GroundTruthDataset":
+        """Keep only ports with at least ``minimum`` responsive addresses.
+
+        The paper's LZR evaluation keeps ports with *greater than two*
+        responsive addresses, i.e. ``minimum=3``.  The filter narrows the
+        evaluation ground truth but not the dataset's *scan* domain: a seed
+        scan across all ports still pays for all ports, so ``port_domain`` is
+        left unchanged.
+        """
+        counts: Dict[int, Set[int]] = {}
+        for obs in self.observations:
+            counts.setdefault(obs.port, set()).add(obs.ip)
+        allowed = {port for port, ips in counts.items() if len(ips) >= minimum}
+        return GroundTruthDataset(
+            name=name or f"{self.name}-min{minimum}",
+            observations=[obs for obs in self.observations if obs.port in allowed],
+            port_domain=self.port_domain,
+            sample_fraction=self.sample_fraction,
+            address_space_size=self.address_space_size,
+        )
+
+
+def _observation_from_record(record) -> ScanObservation:
+    return ScanObservation(ip=record.ip, port=record.port, protocol=record.protocol,
+                           app_features=dict(record.app_features), ttl=record.ttl)
+
+
+def build_full_dataset(universe: Universe, name: str = "full") -> GroundTruthDataset:
+    """Every real service in the universe (the omniscient reference)."""
+    observations = [_observation_from_record(record) for record in universe.real_services()]
+    return GroundTruthDataset(
+        name=name,
+        observations=observations,
+        port_domain=None,
+        sample_fraction=1.0,
+        address_space_size=universe.address_space_size(),
+    )
+
+
+def build_censys_like(universe: Universe, top_ports: int = 2000,
+                      name: str = "censys-like") -> GroundTruthDataset:
+    """A Censys-style dataset: 100 % coverage of the top-N most populated ports."""
+    if top_ports < 1:
+        raise ValueError("top_ports must be >= 1")
+    registry = universe.port_registry()
+    ports = tuple(sorted(registry.top_ports(top_ports)))
+    allowed = set(ports)
+    observations = [
+        _observation_from_record(record)
+        for record in universe.real_services()
+        if record.port in allowed
+    ]
+    return GroundTruthDataset(
+        name=name,
+        observations=observations,
+        port_domain=ports,
+        sample_fraction=1.0,
+        address_space_size=universe.address_space_size(),
+    )
+
+
+def build_lzr_like(universe: Universe, sample_fraction: float = 0.01,
+                   seed: int = 11, min_responsive_ips: int = 3,
+                   name: str = "lzr-like") -> GroundTruthDataset:
+    """An LZR-style dataset: an address-sample scan across all ports.
+
+    Args:
+        universe: the ground-truth universe to sample.
+        sample_fraction: fraction of the announced address space the scan
+            covered (the paper uses 1 %).
+        seed: RNG seed for the address sample.
+        min_responsive_ips: minimum responsive addresses per port for the port
+            to be kept (the paper keeps ports with more than two, i.e. 3).
+        name: dataset label.
+    """
+    if not 0.0 < sample_fraction <= 1.0:
+        raise ValueError("sample_fraction out of range")
+    rng = random.Random(seed)
+    space = universe.address_space_size()
+    target = max(1, int(round(space * sample_fraction)))
+
+    # Sampling uniformly from announced space and keeping the hits is
+    # equivalent to sampling each responsive host independently with
+    # probability ``sample_fraction`` -- which is how we draw it, so the
+    # builder does not need to enumerate millions of dark addresses.
+    sampled_hosts = [
+        ip for ip in universe.all_ips() if rng.random() < sample_fraction
+    ]
+    sampled_set = set(sampled_hosts)
+    observations = [
+        _observation_from_record(record)
+        for record in universe.real_services()
+        if record.ip in sampled_set
+    ]
+    dataset = GroundTruthDataset(
+        name=name,
+        observations=observations,
+        port_domain=None,
+        sample_fraction=target / space,
+        address_space_size=space,
+    )
+    if min_responsive_ips > 1:
+        dataset = dataset.filtered_min_responsive_ips(min_responsive_ips, name=name)
+    return dataset

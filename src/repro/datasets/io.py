@@ -1,0 +1,82 @@
+"""Dataset serialization: JSON-lines persistence for scan observations.
+
+GPS deployments reuse seed scans ("if a seed scan is already available, GPS
+can forego collecting the initial seed scan, reducing the overall runtime by
+94 %", Section 6.5).  The reproduction supports the same workflow by saving
+and reloading observation sets as JSON lines, one observation per line, so
+expensive synthetic scans can be cached between experiments.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Iterable, List, Union
+
+from repro.scanner.records import ScanObservation
+
+PathLike = Union[str, Path]
+
+
+def observation_to_dict(observation: ScanObservation) -> dict:
+    """Convert an observation to a JSON-serialisable dict."""
+    return {
+        "ip": observation.ip,
+        "port": observation.port,
+        "protocol": observation.protocol,
+        "app_features": dict(observation.app_features),
+        "ttl": observation.ttl,
+    }
+
+
+def observation_from_dict(record: dict) -> ScanObservation:
+    """Rebuild an observation from its dict form, validating required fields."""
+    try:
+        ip = int(record["ip"])
+        port = int(record["port"])
+        protocol = str(record["protocol"])
+    except (KeyError, TypeError, ValueError) as exc:
+        raise ValueError(f"malformed observation record: {record!r}") from exc
+    if not 1 <= port <= 65535:
+        raise ValueError(f"invalid port in record: {port}")
+    app_features = record.get("app_features", {})
+    if not isinstance(app_features, dict):
+        raise ValueError("app_features must be a mapping")
+    return ScanObservation(
+        ip=ip,
+        port=port,
+        protocol=protocol,
+        app_features={str(k): str(v) for k, v in app_features.items()},
+        ttl=int(record.get("ttl", 64)),
+    )
+
+
+def save_observations_jsonl(observations: Iterable[ScanObservation],
+                            path: PathLike) -> int:
+    """Write observations as JSON lines; returns the number written."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    count = 0
+    with path.open("w", encoding="utf-8") as handle:
+        for observation in observations:
+            handle.write(json.dumps(observation_to_dict(observation), sort_keys=True))
+            handle.write("\n")
+            count += 1
+    return count
+
+
+def load_observations_jsonl(path: PathLike) -> List[ScanObservation]:
+    """Load observations previously written by :func:`save_observations_jsonl`."""
+    path = Path(path)
+    observations: List[ScanObservation] = []
+    with path.open("r", encoding="utf-8") as handle:
+        for line_number, line in enumerate(handle, start=1):
+            line = line.strip()
+            if not line:
+                continue
+            try:
+                record = json.loads(line)
+            except json.JSONDecodeError as exc:
+                raise ValueError(f"{path}:{line_number}: invalid JSON") from exc
+            observations.append(observation_from_dict(record))
+    return observations

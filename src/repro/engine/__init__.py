@@ -1,0 +1,57 @@
+"""Parallelizable computation engine: the reproduction's BigQuery substitute.
+
+The paper implements GPS's model building -- self-joining the seed scan to
+find all pairwise feature/port combinations, aggregating identical patterns,
+and computing conditional probabilities -- as SQL on Google BigQuery, because
+the computation is "heavily reading data, aggregating, and joining among
+shared data fields" (Section 5.5) and embarrassingly parallel.
+
+Offline we cannot use BigQuery, so this package provides the same primitives:
+
+* :class:`~repro.engine.table.Table` -- a small in-memory columnar table;
+* :mod:`~repro.engine.ops` -- projection, filtering, hash join and group-by
+  aggregation over tables;
+* :mod:`~repro.engine.parallel` -- executors that partition work by key and run
+  partitions serially, on a thread pool, or on a process pool, so the Table 2
+  experiment can measure how GPS's prediction computation scales with the
+  degree of parallelism.
+
+GPS's model (:mod:`repro.core.model`) ships two implementations: a direct
+dictionary-based one (the single-core reference) and one expressed against
+this engine; the test suite asserts they produce identical probabilities.
+"""
+
+from repro.engine.table import Column, Table
+from repro.engine.ops import (
+    aggregate,
+    filter_rows,
+    group_count,
+    hash_join,
+    project,
+)
+from repro.engine.parallel import (
+    ExecutorConfig,
+    ParallelExecutor,
+    SerialExecutor,
+    ThreadPoolExecutorBackend,
+    ProcessPoolExecutorBackend,
+    make_executor,
+    partitioned_group_count,
+)
+
+__all__ = [
+    "Column",
+    "Table",
+    "project",
+    "filter_rows",
+    "hash_join",
+    "group_count",
+    "aggregate",
+    "ExecutorConfig",
+    "ParallelExecutor",
+    "SerialExecutor",
+    "ThreadPoolExecutorBackend",
+    "ProcessPoolExecutorBackend",
+    "make_executor",
+    "partitioned_group_count",
+]

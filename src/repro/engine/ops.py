@@ -1,0 +1,134 @@
+"""Relational operations over :class:`~repro.engine.table.Table`.
+
+These are the four operations the GPS model-building "query" needs, mirroring
+the SQL the paper runs on BigQuery (Section 5.5):
+
+* :func:`project` / :func:`filter_rows` -- SELECT column subsets and WHERE
+  predicates;
+* :func:`hash_join` -- the self-JOIN of the seed scan on the host address that
+  produces every pairwise combination of a host's services;
+* :func:`group_count` / :func:`aggregate` -- GROUP BY feature pattern and
+  target port, counting occurrences, from which conditional probabilities are
+  derived.
+
+Everything is a pure function from tables to tables (or dictionaries), which
+is what lets :mod:`repro.engine.parallel` run the same operations partitioned
+across workers.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.engine.table import Table
+
+
+def project(table: Table, names: Sequence[str]) -> Table:
+    """Return a table with only the requested columns (SELECT a, b, ...)."""
+    missing = [name for name in names if name not in table.columns]
+    if missing:
+        raise KeyError(f"unknown columns: {missing}")
+    return Table(columns={name: list(table.columns[name]) for name in names})
+
+
+def filter_rows(table: Table, predicate: Callable[[Dict[str, Any]], bool]) -> Table:
+    """Return the rows for which ``predicate(record)`` is true (WHERE ...)."""
+    names = table.names
+    kept_rows = [
+        row for row in table.iter_rows()
+        if predicate(dict(zip(names, row)))
+    ]
+    return Table.from_rows(names, kept_rows)
+
+
+def hash_join(left: Table, right: Table, on: Sequence[str],
+              left_prefix: str = "l_", right_prefix: str = "r_",
+              exclude_self_pairs_on: Tuple[str, str] | None = None) -> Table:
+    """Inner hash join of two tables on equality of the ``on`` columns.
+
+    Output columns are the join keys (unprefixed) plus every non-key column of
+    each side with the corresponding prefix.  When
+    ``exclude_self_pairs_on=(left_col, right_col)`` is given, rows where the
+    two (prefixed) columns are equal are dropped -- this is how the GPS
+    self-join excludes the trivial pairing of a service with itself.
+    """
+    for name in on:
+        if name not in left.columns or name not in right.columns:
+            raise KeyError(f"join column {name!r} missing from one side")
+
+    left_value_cols = [name for name in left.names if name not in on]
+    right_value_cols = [name for name in right.names if name not in on]
+    out_names = (list(on)
+                 + [left_prefix + name for name in left_value_cols]
+                 + [right_prefix + name for name in right_value_cols])
+
+    # Build the hash index over the right side.
+    index: Dict[Tuple[Hashable, ...], List[Tuple[Any, ...]]] = {}
+    right_key_cols = [right.columns[name] for name in on]
+    right_val_cols = [right.columns[name] for name in right_value_cols]
+    for i in range(len(right)):
+        key = tuple(col[i] for col in right_key_cols)
+        value = tuple(col[i] for col in right_val_cols)
+        index.setdefault(key, []).append(value)
+
+    exclude_left = exclude_right = None
+    if exclude_self_pairs_on is not None:
+        exclude_left, exclude_right = exclude_self_pairs_on
+        if exclude_left not in out_names or exclude_right not in out_names:
+            raise KeyError(
+                f"exclude_self_pairs_on columns {exclude_self_pairs_on} not in output schema"
+            )
+
+    left_key_cols = [left.columns[name] for name in on]
+    left_val_cols = [left.columns[name] for name in left_value_cols]
+    rows: List[Tuple[Any, ...]] = []
+    for i in range(len(left)):
+        key = tuple(col[i] for col in left_key_cols)
+        matches = index.get(key)
+        if not matches:
+            continue
+        left_values = tuple(col[i] for col in left_val_cols)
+        for right_values in matches:
+            row = key + left_values + right_values
+            rows.append(row)
+
+    table = Table.from_rows(out_names, rows)
+    if exclude_left is not None and exclude_right is not None and len(table):
+        left_col = table.columns[exclude_left]
+        right_col = table.columns[exclude_right]
+        keep = [i for i in range(len(table)) if left_col[i] != right_col[i]]
+        table = Table(columns={
+            name: [col[i] for i in keep] for name, col in table.columns.items()
+        })
+    return table
+
+
+def group_count(table: Table, keys: Sequence[str]) -> Dict[Tuple[Any, ...], int]:
+    """GROUP BY ``keys`` and COUNT(*) -- the core aggregation of model building."""
+    counts: Dict[Tuple[Any, ...], int] = {}
+    for row in table.iter_rows(keys):
+        counts[row] = counts.get(row, 0) + 1
+    return counts
+
+
+def aggregate(table: Table, keys: Sequence[str], value: str,
+              func: Callable[[List[Any]], Any]) -> Dict[Tuple[Any, ...], Any]:
+    """GROUP BY ``keys`` and apply ``func`` to the list of ``value`` entries."""
+    groups: Dict[Tuple[Any, ...], List[Any]] = {}
+    value_col = table.columns[value]
+    key_cols = [table.columns[name] for name in keys]
+    for i in range(len(table)):
+        key = tuple(col[i] for col in key_cols)
+        groups.setdefault(key, []).append(value_col[i])
+    return {key: func(values) for key, values in groups.items()}
+
+
+def distinct_count(table: Table, keys: Sequence[str], value: str) -> Dict[Tuple[Any, ...], int]:
+    """GROUP BY ``keys`` and COUNT(DISTINCT value)."""
+    groups: Dict[Tuple[Any, ...], set] = {}
+    value_col = table.columns[value]
+    key_cols = [table.columns[name] for name in keys]
+    for i in range(len(table)):
+        key = tuple(col[i] for col in key_cols)
+        groups.setdefault(key, set()).add(value_col[i])
+    return {key: len(values) for key, values in groups.items()}

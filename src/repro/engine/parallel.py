@@ -1,0 +1,164 @@
+"""Partitioned parallel execution of engine operations.
+
+GPS's key computational claim is that its conditional-probability model is
+embarrassingly parallel: the co-occurrence counts for disjoint feature
+partitions never interact, so the work can be sharded across however many
+workers are available (BigQuery slots in the paper, worker threads/processes
+here).  The Table 2 benchmark sweeps the worker count and reports wall-clock
+scaling of the same model computation.
+
+Three backends share one interface:
+
+* :class:`SerialExecutor` -- runs partitions in the calling thread (the
+  single-core reference configuration of Table 2);
+* :class:`ThreadPoolExecutorBackend` -- runs partitions on a thread pool
+  (cheap to spin up; limited by the GIL for pure-Python aggregation but still
+  useful for validating the partitioning logic);
+* :class:`ProcessPoolExecutorBackend` -- runs partitions on a process pool
+  (true parallelism; partition payloads must be picklable).
+
+The helper :func:`partitioned_group_count` is the parallel form of
+:func:`repro.engine.ops.group_count`: rows are sharded by the hash of their
+key, each worker counts its shard, and the shard results are merged (counts
+for a given key live in exactly one shard, so the merge is a plain union).
+"""
+
+from __future__ import annotations
+
+import concurrent.futures
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
+
+from repro.engine.table import Table
+
+
+@dataclass(frozen=True)
+class ExecutorConfig:
+    """How to run partitioned work.
+
+    Attributes:
+        backend: ``"serial"``, ``"thread"`` or ``"process"``.
+        workers: number of partitions/workers (ignored for ``"serial"``).
+    """
+
+    backend: str = "serial"
+    workers: int = 1
+
+    def __post_init__(self) -> None:
+        if self.backend not in ("serial", "thread", "process"):
+            raise ValueError(f"unknown backend: {self.backend}")
+        if self.workers < 1:
+            raise ValueError("workers must be >= 1")
+
+
+class ParallelExecutor:
+    """Interface: run a map function over partitions and merge the results."""
+
+    def map(self, func: Callable[[Any], Any], partitions: Sequence[Any]) -> List[Any]:
+        """Apply ``func`` to every partition, returning results in order."""
+        raise NotImplementedError
+
+
+class SerialExecutor(ParallelExecutor):
+    """Runs every partition in the calling thread."""
+
+    def map(self, func: Callable[[Any], Any], partitions: Sequence[Any]) -> List[Any]:
+        return [func(partition) for partition in partitions]
+
+
+class ThreadPoolExecutorBackend(ParallelExecutor):
+    """Runs partitions on a thread pool."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def map(self, func: Callable[[Any], Any], partitions: Sequence[Any]) -> List[Any]:
+        with concurrent.futures.ThreadPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(func, partitions))
+
+
+class ProcessPoolExecutorBackend(ParallelExecutor):
+    """Runs partitions on a process pool (func and partitions must pickle)."""
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+
+    def map(self, func: Callable[[Any], Any], partitions: Sequence[Any]) -> List[Any]:
+        with concurrent.futures.ProcessPoolExecutor(max_workers=self.workers) as pool:
+            return list(pool.map(func, partitions))
+
+
+def make_executor(config: ExecutorConfig) -> ParallelExecutor:
+    """Instantiate the executor described by ``config``."""
+    if config.backend == "serial":
+        return SerialExecutor()
+    if config.backend == "thread":
+        return ThreadPoolExecutorBackend(config.workers)
+    return ProcessPoolExecutorBackend(config.workers)
+
+
+# -- partitioned group-count -----------------------------------------------------------
+
+
+def _count_rows(rows: List[Tuple[Hashable, ...]]) -> Dict[Tuple[Hashable, ...], int]:
+    """Count occurrences of each key tuple in one partition (worker function)."""
+    counts: Dict[Tuple[Hashable, ...], int] = {}
+    for row in rows:
+        counts[row] = counts.get(row, 0) + 1
+    return counts
+
+
+def partition_rows(rows: Iterable[Tuple[Hashable, ...]],
+                   partitions: int) -> List[List[Tuple[Hashable, ...]]]:
+    """Shard rows by the hash of their key tuple into ``partitions`` buckets."""
+    if partitions < 1:
+        raise ValueError("partitions must be >= 1")
+    shards: List[List[Tuple[Hashable, ...]]] = [[] for _ in range(partitions)]
+    for row in rows:
+        shards[hash(row) % partitions].append(row)
+    return shards
+
+
+def partitioned_group_count(table: Table, keys: Sequence[str],
+                            config: ExecutorConfig) -> Dict[Tuple[Hashable, ...], int]:
+    """GROUP BY + COUNT(*) executed across partitions.
+
+    Equivalent to :func:`repro.engine.ops.group_count`; the test suite checks
+    the equivalence property on random tables.
+    """
+    rows = list(table.iter_rows(keys))
+    partitions = max(1, config.workers)
+    shards = partition_rows(rows, partitions)
+    executor = make_executor(config)
+    shard_counts = executor.map(_count_rows, shards)
+    merged: Dict[Tuple[Hashable, ...], int] = {}
+    for counts in shard_counts:
+        # Keys are hash-partitioned, so shards are disjoint; a plain update
+        # would suffice, but summing keeps the merge correct even if a caller
+        # passes overlapping shards.
+        for key, count in counts.items():
+            merged[key] = merged.get(key, 0) + count
+    return merged
+
+
+def parallel_map_reduce(items: Sequence[Any],
+                        map_func: Callable[[Sequence[Any]], Any],
+                        reduce_func: Callable[[List[Any]], Any],
+                        config: ExecutorConfig) -> Any:
+    """Generic scatter/gather helper used by the GPS engine-backed model.
+
+    ``items`` are split into ``config.workers`` contiguous chunks, ``map_func``
+    runs per chunk on the configured backend, and ``reduce_func`` folds the
+    chunk results into the final value.
+    """
+    if not items:
+        return reduce_func([])
+    chunk_count = min(len(items), max(1, config.workers))
+    chunk_size = (len(items) + chunk_count - 1) // chunk_count
+    chunks = [list(items[i:i + chunk_size]) for i in range(0, len(items), chunk_size)]
+    executor = make_executor(config)
+    return reduce_func(executor.map(map_func, chunks))

@@ -1,0 +1,104 @@
+"""A small in-memory columnar table.
+
+The engine's tables are deliberately simple: named columns backed by Python
+lists, with row access as tuples.  The GPS workload never needs mutation,
+indexing structures or type enforcement beyond "hashable values" -- it needs
+projection, join and group-by over a few hundred thousand rows, which the ops
+module provides on top of this structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Any, Dict, Iterable, Iterator, List, Mapping, Sequence, Tuple
+
+Column = List[Any]
+
+
+@dataclass
+class Table:
+    """A named collection of equal-length columns.
+
+    Attributes:
+        columns: mapping of column name to column values.  All columns must
+            have the same length; the invariant is checked at construction and
+            after every operation that builds a new table.
+    """
+
+    columns: Dict[str, Column]
+
+    def __post_init__(self) -> None:
+        lengths = {len(col) for col in self.columns.values()}
+        if len(lengths) > 1:
+            raise ValueError(f"ragged columns: lengths {sorted(lengths)}")
+
+    # -- constructors ------------------------------------------------------------
+
+    @classmethod
+    def from_rows(cls, names: Sequence[str], rows: Iterable[Sequence[Any]]) -> "Table":
+        """Build a table from row tuples."""
+        columns: Dict[str, Column] = {name: [] for name in names}
+        for row in rows:
+            if len(row) != len(names):
+                raise ValueError(
+                    f"row of width {len(row)} does not match schema of width {len(names)}"
+                )
+            for name, value in zip(names, row):
+                columns[name].append(value)
+        return cls(columns=columns)
+
+    @classmethod
+    def from_records(cls, records: Iterable[Mapping[str, Any]],
+                     names: Sequence[str]) -> "Table":
+        """Build a table from dict records, taking ``names`` in order.
+
+        Missing keys become ``None`` so sparse feature dictionaries (most
+        application-layer features are absent for most services) map cleanly
+        onto a fixed schema.
+        """
+        columns: Dict[str, Column] = {name: [] for name in names}
+        for record in records:
+            for name in names:
+                columns[name].append(record.get(name))
+        return cls(columns=columns)
+
+    @classmethod
+    def empty(cls, names: Sequence[str]) -> "Table":
+        """An empty table with the given schema."""
+        return cls(columns={name: [] for name in names})
+
+    # -- accessors ---------------------------------------------------------------
+
+    @property
+    def names(self) -> List[str]:
+        """Column names in insertion order."""
+        return list(self.columns)
+
+    def __len__(self) -> int:
+        if not self.columns:
+            return 0
+        return len(next(iter(self.columns.values())))
+
+    def column(self, name: str) -> Column:
+        """Return one column (by reference; callers must not mutate it)."""
+        return self.columns[name]
+
+    def row(self, index: int) -> Tuple[Any, ...]:
+        """Return one row as a tuple in schema order."""
+        return tuple(self.columns[name][index] for name in self.columns)
+
+    def iter_rows(self, names: Sequence[str] | None = None) -> Iterator[Tuple[Any, ...]]:
+        """Iterate rows as tuples, optionally restricted to a column subset."""
+        selected = list(names) if names is not None else self.names
+        cols = [self.columns[name] for name in selected]
+        for values in zip(*cols) if cols else iter(()):
+            yield values
+
+    def to_records(self) -> List[Dict[str, Any]]:
+        """Materialise the table as a list of dicts (tests and small outputs)."""
+        names = self.names
+        return [dict(zip(names, row)) for row in self.iter_rows()]
+
+    def head(self, n: int = 5) -> "Table":
+        """First ``n`` rows as a new table."""
+        return Table(columns={name: col[:n] for name, col in self.columns.items()})

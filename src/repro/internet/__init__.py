@@ -1,0 +1,50 @@
+"""Synthetic IPv4 Internet substrate.
+
+The paper evaluates GPS against two ground-truth datasets derived from real
+Internet-wide scans (the Censys Universal dataset and a month-long 1 % LZR
+scan).  Neither is available offline, so the reproduction generates a
+*synthetic Internet*: a ground-truth universe of hosts and services whose
+statistical structure mirrors the predictive patterns the paper identifies in
+Section 4:
+
+* **Transport layer** -- ports co-occur on hosts, because devices ship with
+  manufacturer-determined port bundles;
+* **Application layer** -- banners, TLS certificates, HTTP titles etc. identify
+  the manufacturer/OS/purpose of a host and therefore its other open ports;
+* **Network layer** -- hosts of the same kind cluster in subnets and ASes;
+* **Noise** -- pseudo-services, middleboxes, port-forwarding to random ports,
+  and churn, all of which limit predictability (paper Section 7).
+
+The rest of the code base (scanners, GPS, baselines, metrics) interacts with
+the universe only through the scanner interface, so the code paths exercised
+are the same ones a real deployment would use.
+"""
+
+from repro.internet.profiles import DeviceProfile, PortBundle, default_profiles
+from repro.internet.banners import BannerFactory
+from repro.internet.topology import AutonomousSystem, Topology, TopologyConfig
+from repro.internet.universe import (
+    Host,
+    ServiceRecord,
+    Universe,
+    UniverseConfig,
+    generate_universe,
+)
+from repro.internet.churn import ChurnConfig, apply_churn
+
+__all__ = [
+    "DeviceProfile",
+    "PortBundle",
+    "default_profiles",
+    "BannerFactory",
+    "AutonomousSystem",
+    "Topology",
+    "TopologyConfig",
+    "Host",
+    "ServiceRecord",
+    "Universe",
+    "UniverseConfig",
+    "generate_universe",
+    "ChurnConfig",
+    "apply_churn",
+]

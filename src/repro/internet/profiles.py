@@ -1,0 +1,502 @@
+"""Device profiles: the generative source of predictable port/feature structure.
+
+Section 4 of the paper observes that IoT devices and routers dominate the
+majority of ports and that their ports are "manufactured to be open" -- i.e. a
+device model determines a bundle of ports and the application-layer content
+served on them.  That is exactly how the synthetic universe is generated: each
+host is drawn from a :class:`DeviceProfile`, and the profile determines
+
+* which ports the host opens (each :class:`PortBundle` opens with some
+  probability, optionally on a *randomised* port to model port-forwarding and
+  FRITZ!Box-style "random TCP port for HTTPS" behaviour);
+* what protocol is spoken on each port and which banner template is used;
+* how strongly the profile is concentrated in particular networks (some
+  devices, like the paper's Freebox example, live in a single AS; others, like
+  Android TVs, are spread across many).
+
+The default catalogue below is loosely modelled on the device mix the paper
+describes (home routers with CWMP/7547, IoT cameras, NAS boxes, hosting
+servers, databases on alternate ports, telnet-speaking modems on 2323, ...).
+It is intentionally a *catalogue*, not a hard-coded universe: tests and
+experiments can pass their own profiles to stress specific structure.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Tuple
+
+
+@dataclass(frozen=True)
+class PortBundle:
+    """One (possibly optional) service a device profile may expose.
+
+    Attributes:
+        port: the port the service normally listens on.
+        protocol: protocol spoken on the port (``"http"``, ``"ssh"``, ...);
+            used by the banner factory to synthesise application-layer data.
+        probability: probability that a host of this profile opens the bundle.
+        banner_variant: index selecting among the profile's banner templates,
+            so that two bundles of the same protocol can carry different
+            content (e.g. an admin page vs. a CWMP endpoint).
+        random_port: when ``True`` the service is placed on a uniformly random
+            high port instead of ``port``, modelling port-forwarding and
+            security-through-obscurity configurations (paper Section 7).
+        as_specific: when ``True`` the listening port is derived
+            deterministically from the (profile, bundle, AS) triple instead of
+            being ``port`` itself.  This models ISP-customised firmware: the
+            same device family exposes its management service on a different
+            non-standard port in every network it is deployed in, which is
+            exactly the structure behind the paper's long tail of services on
+            uncommon ports -- predictable from the banner plus the network
+            (Expressions 6-7), invisible to per-port popularity scanning.
+    """
+
+    port: int
+    protocol: str
+    probability: float = 1.0
+    banner_variant: int = 0
+    random_port: bool = False
+    as_specific: bool = False
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.port <= 65535:
+            raise ValueError(f"invalid port in bundle: {self.port}")
+        if not 0.0 <= self.probability <= 1.0:
+            raise ValueError(f"probability out of range: {self.probability}")
+
+
+@dataclass(frozen=True)
+class DeviceProfile:
+    """A device/vendor template from which hosts are generated.
+
+    Attributes:
+        name: unique profile identifier (e.g. ``"home_router_av"``).
+        vendor: manufacturer string surfaced in banners and TLS organisations.
+        device_class: coarse category (``"router"``, ``"iot"``, ``"server"``,
+            ``"database"``, ``"camera"``, ``"nas"``, ``"embedded"``).
+        bundles: the port bundles the profile may expose.
+        weight: relative share of hosts generated from this profile.
+        network_concentration: how strongly the profile clusters in networks.
+            ``1.0`` means hosts of this profile appear only in the small set of
+            ASes assigned to it (maximally predictable from the network
+            feature); ``0.0`` means hosts are spread uniformly across the
+            topology (the network feature carries no information).
+        preferred_as_count: how many ASes the profile is concentrated in when
+            ``network_concentration`` > 0.
+        os_name: operating system string surfaced in SSH/HTTP banners.
+    """
+
+    name: str
+    vendor: str
+    device_class: str
+    bundles: Tuple[PortBundle, ...]
+    weight: float = 1.0
+    network_concentration: float = 0.7
+    preferred_as_count: int = 2
+    os_name: str = "linux"
+
+    def __post_init__(self) -> None:
+        if self.weight <= 0:
+            raise ValueError(f"profile weight must be positive: {self.weight}")
+        if not 0.0 <= self.network_concentration <= 1.0:
+            raise ValueError(
+                f"network_concentration out of range: {self.network_concentration}"
+            )
+        if self.preferred_as_count < 1:
+            raise ValueError("preferred_as_count must be >= 1")
+        if not self.bundles:
+            raise ValueError(f"profile {self.name!r} has no port bundles")
+
+    def ports(self) -> List[int]:
+        """Nominal ports of all bundles (ignoring random-port placement)."""
+        return [bundle.port for bundle in self.bundles]
+
+
+def _bundle(port: int, protocol: str, probability: float = 1.0,
+            variant: int = 0, random_port: bool = False,
+            as_specific: bool = False) -> PortBundle:
+    return PortBundle(port=port, protocol=protocol, probability=probability,
+                      banner_variant=variant, random_port=random_port,
+                      as_specific=as_specific)
+
+
+def default_profiles() -> List[DeviceProfile]:
+    """The built-in device catalogue used by the stock experiments.
+
+    The catalogue mixes highly predictable device families (fixed port bundles,
+    strong network concentration) with noisy ones (random ports, weak
+    concentration) so that the bandwidth/coverage trade-off curves of the paper
+    have the same qualitative shape: the first services are cheap to predict,
+    the long tail is expensive.
+    """
+    profiles: List[DeviceProfile] = [
+        # --- Home routers / CPE -------------------------------------------------
+        DeviceProfile(
+            name="home_router_av",
+            vendor="AVM",
+            device_class="router",
+            os_name="fritzos",
+            weight=14.0,
+            network_concentration=0.85,
+            preferred_as_count=3,
+            bundles=(
+                _bundle(80, "http", 0.3),
+                _bundle(7547, "cwmp", 0.85),
+                _bundle(52869, "http", 0.6, variant=4, as_specific=True),
+                _bundle(49000, "http", 0.85, variant=2, as_specific=True),
+                _bundle(5060, "sip", 0.45),
+                _bundle(443, "https", 0.25, variant=1),
+                # "FRITZ!Box sets up a random TCP port for HTTPS" (paper §7).
+                _bundle(8443, "https", 0.25, variant=1, random_port=True),
+            ),
+        ),
+        DeviceProfile(
+            name="home_router_generic",
+            vendor="NetHome",
+            device_class="router",
+            os_name="linux-embedded",
+            weight=12.0,
+            network_concentration=0.7,
+            preferred_as_count=4,
+            bundles=(
+                _bundle(8291, "http", 0.85, variant=2, as_specific=True),
+                _bundle(7547, "cwmp", 0.8),
+                _bundle(80, "http", 0.3),
+                _bundle(8080, "http", 0.35, variant=1),
+                _bundle(58000, "cwmp", 0.55, variant=1, as_specific=True),
+                _bundle(2000, "cisco-sccp", 0.45),
+                _bundle(23, "telnet", 0.3),
+                _bundle(53, "dns", 0.3),
+            ),
+        ),
+        DeviceProfile(
+            name="isp_freebox",
+            vendor="Free",
+            device_class="router",
+            os_name="freebox-os",
+            weight=6.0,
+            # "Freebox devices only appear in the Free network" (paper §5.2).
+            network_concentration=1.0,
+            preferred_as_count=1,
+            bundles=(
+                _bundle(80, "http", 0.35),
+                _bundle(443, "https", 0.35),
+                _bundle(8082, "http", 0.85, variant=1),
+                _bundle(44880, "rtsp", 0.5, variant=1, as_specific=True),
+                _bundle(14147, "http", 0.7, variant=3, as_specific=True),
+                _bundle(554, "rtsp", 0.45),
+            ),
+        ),
+        DeviceProfile(
+            name="telnet_modem_2323",
+            vendor="Distributel",
+            device_class="embedded",
+            os_name="busybox",
+            weight=5.0,
+            network_concentration=0.95,
+            preferred_as_count=1,
+            bundles=(
+                # Mirrors the paper's §6.6 example: telnet banner on 23
+                # predicts HTTP content on 8082.
+                _bundle(23, "telnet", 0.95),
+                _bundle(2323, "telnet", 0.6, variant=1),
+                _bundle(8082, "http", 0.9),
+                _bundle(30005, "http", 0.5, variant=1, as_specific=True),
+            ),
+        ),
+        # --- IoT -----------------------------------------------------------------
+        DeviceProfile(
+            name="ip_camera",
+            vendor="OptiCam",
+            device_class="camera",
+            os_name="linux-embedded",
+            weight=12.0,
+            network_concentration=0.55,
+            preferred_as_count=6,
+            bundles=(
+                _bundle(37777, "http", 0.9, variant=2, as_specific=True),
+                _bundle(34567, "http", 0.75, variant=3, as_specific=True),
+                _bundle(554, "rtsp", 0.85),
+                _bundle(8899, "http", 0.5, variant=1, as_specific=True),
+                _bundle(80, "http", 0.25),
+                _bundle(3702, "http", 0.5, variant=4, as_specific=True),
+                _bundle(23, "telnet", 0.35),
+            ),
+        ),
+        DeviceProfile(
+            name="dvr_nvr",
+            vendor="SecuRecord",
+            device_class="iot",
+            os_name="linux-embedded",
+            weight=9.0,
+            network_concentration=0.5,
+            preferred_as_count=5,
+            bundles=(
+                _bundle(9530, "http", 0.85, variant=2, as_specific=True),
+                _bundle(8000, "http", 0.8, variant=1),
+                _bundle(554, "rtsp", 0.7),
+                _bundle(9000, "http", 0.5, variant=2, as_specific=True),
+                _bundle(80, "http", 0.25),
+                _bundle(23, "telnet", 0.3),
+            ),
+        ),
+        DeviceProfile(
+            name="smart_tv",
+            vendor="ViewBox",
+            device_class="iot",
+            os_name="android",
+            weight=5.0,
+            # Android TVs appear in many subnetworks (paper §5.2) -- the
+            # network feature is weakly predictive for this profile.
+            network_concentration=0.1,
+            preferred_as_count=12,
+            bundles=(
+                _bundle(8008, "http", 0.85),
+                _bundle(8009, "http", 0.7, variant=1, as_specific=True),
+                _bundle(9080, "http", 0.45, variant=2, as_specific=True),
+                _bundle(8443, "https", 0.35),
+            ),
+        ),
+        DeviceProfile(
+            name="printer",
+            vendor="PrintWorks",
+            device_class="iot",
+            os_name="rtos",
+            weight=4.0,
+            network_concentration=0.4,
+            preferred_as_count=8,
+            bundles=(
+                _bundle(631, "ipp", 0.9),
+                _bundle(9100, "jetdirect", 0.85),
+                _bundle(8611, "http", 0.55, variant=1, as_specific=True),
+                _bundle(80, "http", 0.3),
+                _bundle(10611, "ipp", 0.5, variant=2, as_specific=True),
+                _bundle(443, "https", 0.25),
+            ),
+        ),
+        DeviceProfile(
+            name="iot_gateway",
+            vendor="MeshWorks",
+            device_class="iot",
+            os_name="linux-embedded",
+            weight=7.0,
+            network_concentration=0.6,
+            preferred_as_count=5,
+            bundles=(
+                _bundle(1883, "mqtt", 0.85),
+                _bundle(8883, "mqtt", 0.55, variant=1),
+                _bundle(55443, "http", 0.8, variant=2, as_specific=True),
+                _bundle(47808, "http", 0.55, variant=3, as_specific=True),
+                _bundle(8080, "http", 0.3, variant=1),
+                _bundle(22, "ssh", 0.25),
+            ),
+        ),
+        DeviceProfile(
+            name="voip_adapter",
+            vendor="TalkBridge",
+            device_class="embedded",
+            os_name="rtos",
+            weight=4.0,
+            network_concentration=0.75,
+            preferred_as_count=3,
+            bundles=(
+                _bundle(5060, "sip", 0.9),
+                _bundle(5061, "sip", 0.55, variant=1),
+                _bundle(10000, "http", 0.7, variant=2, as_specific=True),
+                _bundle(5038, "sip", 0.45, variant=2, as_specific=True),
+                _bundle(80, "http", 0.25),
+            ),
+        ),
+        # --- Servers -------------------------------------------------------------
+        DeviceProfile(
+            name="web_hosting",
+            vendor="StackHost",
+            device_class="server",
+            os_name="ubuntu",
+            weight=6.0,
+            network_concentration=0.8,
+            preferred_as_count=3,
+            bundles=(
+                _bundle(80, "http", 0.95),
+                _bundle(443, "https", 0.9),
+                _bundle(22, "ssh", 0.85),
+                _bundle(2082, "http", 0.6, variant=2),
+                _bundle(2083, "https", 0.5, variant=2),
+                _bundle(21, "ftp", 0.4),
+                _bundle(25, "smtp", 0.3),
+                _bundle(8080, "http", 0.25, variant=1),
+            ),
+        ),
+        DeviceProfile(
+            name="mail_server",
+            vendor="MailCore",
+            device_class="server",
+            os_name="debian",
+            weight=4.0,
+            network_concentration=0.75,
+            preferred_as_count=3,
+            bundles=(
+                _bundle(25, "smtp", 0.95),
+                _bundle(465, "smtps", 0.8),
+                _bundle(587, "submission", 0.85),
+                _bundle(993, "imaps", 0.8),
+                _bundle(995, "pop3s", 0.7),
+                _bundle(143, "imap", 0.6),
+                _bundle(110, "pop3", 0.45),
+                _bundle(4190, "http", 0.4, variant=2),
+                _bundle(80, "http", 0.4),
+                _bundle(443, "https", 0.5),
+            ),
+        ),
+        DeviceProfile(
+            name="shared_hosting_imap_ssh",
+            vendor="Bizland",
+            device_class="server",
+            os_name="centos",
+            weight=4.0,
+            network_concentration=0.95,
+            preferred_as_count=1,
+            bundles=(
+                # Mirrors the paper's §6.6 example: IMAP banner on 143 in one
+                # AS predicts SSH on 2222.
+                _bundle(143, "imap", 0.9),
+                _bundle(2222, "ssh", 0.9),
+                _bundle(80, "http", 0.7),
+                _bundle(443, "https", 0.65),
+            ),
+        ),
+        DeviceProfile(
+            name="database_server",
+            vendor="DataPlane",
+            device_class="database",
+            os_name="ubuntu",
+            weight=5.0,
+            network_concentration=0.7,
+            preferred_as_count=4,
+            bundles=(
+                _bundle(3306, "mysql", 0.6),
+                _bundle(5432, "postgres", 0.45),
+                _bundle(33060, "mysql", 0.4, variant=1),
+                _bundle(1433, "mssql", 0.2),
+                _bundle(6379, "redis", 0.25),
+                _bundle(11211, "memcached", 0.2),
+                _bundle(22, "ssh", 0.9),
+                _bundle(80, "http", 0.3),
+            ),
+        ),
+        DeviceProfile(
+            name="nas_box",
+            vendor="StoreSafe",
+            device_class="nas",
+            os_name="linux-embedded",
+            weight=6.0,
+            network_concentration=0.45,
+            preferred_as_count=6,
+            bundles=(
+                _bundle(5000, "http", 0.9, variant=2),
+                _bundle(5001, "https", 0.75, variant=2),
+                _bundle(445, "smb", 0.8),
+                _bundle(6690, "http", 0.5, variant=3, as_specific=True),
+                _bundle(32400, "http", 0.45, variant=4, as_specific=True),
+                _bundle(80, "http", 0.3),
+                _bundle(22, "ssh", 0.4),
+                _bundle(21, "ftp", 0.45),
+                _bundle(873, "rsync", 0.25),
+            ),
+        ),
+        DeviceProfile(
+            name="vps_dev_box",
+            vendor="CloudNine",
+            device_class="server",
+            os_name="debian",
+            weight=6.0,
+            network_concentration=0.6,
+            preferred_as_count=4,
+            bundles=(
+                _bundle(22, "ssh", 0.95),
+                _bundle(80, "http", 0.5),
+                _bundle(443, "https", 0.45),
+                _bundle(8888, "http", 0.4, variant=1),
+                _bundle(3000, "http", 0.35, variant=2),
+                _bundle(5601, "http", 0.2, variant=3),
+                _bundle(3306, "mysql", 0.2),
+                _bundle(9200, "elasticsearch", 0.15),
+                _bundle(27017, "mongodb", 0.1),
+            ),
+        ),
+        DeviceProfile(
+            name="enterprise_vpn",
+            vendor="GateKeep",
+            device_class="server",
+            os_name="freebsd",
+            weight=3.0,
+            network_concentration=0.65,
+            preferred_as_count=4,
+            bundles=(
+                _bundle(443, "https", 0.9),
+                _bundle(1723, "pptp", 0.75),
+                _bundle(500, "ike", 0.4),
+                _bundle(22, "ssh", 0.3),
+            ),
+        ),
+        DeviceProfile(
+            name="ipmi_bmc",
+            vendor="ServerWorks",
+            device_class="embedded",
+            os_name="bmc",
+            weight=2.0,
+            network_concentration=0.8,
+            preferred_as_count=2,
+            bundles=(
+                _bundle(623, "ipmi", 0.9),
+                _bundle(80, "http", 0.7),
+                _bundle(443, "https", 0.6),
+                _bundle(5900, "vnc", 0.4),
+            ),
+        ),
+        # --- Noise sources -------------------------------------------------------
+        DeviceProfile(
+            name="random_forwarder",
+            vendor="Misc",
+            device_class="embedded",
+            os_name="linux-embedded",
+            weight=4.0,
+            network_concentration=0.05,
+            preferred_as_count=10,
+            bundles=(
+                # Everything is port-forwarded to random high ports: hosts of
+                # this profile are nearly unpredictable, contributing the
+                # residual tail that no scanner configuration can find cheaply.
+                _bundle(80, "http", 0.8, random_port=True),
+                _bundle(22, "ssh", 0.5, random_port=True),
+                _bundle(443, "https", 0.4, random_port=True),
+            ),
+        ),
+        DeviceProfile(
+            name="single_service_host",
+            vendor="Misc",
+            device_class="server",
+            os_name="linux",
+            weight=5.0,
+            network_concentration=0.3,
+            preferred_as_count=8,
+            bundles=(
+                _bundle(80, "http", 0.6),
+                _bundle(443, "https", 0.4),
+                _bundle(22, "ssh", 0.35),
+            ),
+        ),
+    ]
+    return profiles
+
+
+def profiles_by_name(profiles: Optional[Sequence[DeviceProfile]] = None) -> Dict[str, DeviceProfile]:
+    """Index a profile catalogue by name (defaults to the built-in catalogue)."""
+    catalogue = list(profiles) if profiles is not None else default_profiles()
+    index: Dict[str, DeviceProfile] = {}
+    for profile in catalogue:
+        if profile.name in index:
+            raise ValueError(f"duplicate profile name: {profile.name}")
+        index[profile.name] = profile
+    return index

@@ -1,0 +1,175 @@
+"""Synthetic Internet topology: autonomous systems and prefix allocation.
+
+The network-layer features GPS uses (Table 1) are an address's /16 subnetwork
+and its ASN.  For those features to be predictive in the synthetic universe,
+device populations must cluster in networks the way they do on the real
+Internet: residential ISPs full of one vendor's CPE, hosting providers full of
+web servers, enterprises with a grab-bag of equipment.
+
+The topology generator allocates each autonomous system one or more /16
+prefixes from a private-style address pool and records the allocation in an
+:class:`~repro.net.asn.AsnDatabase` so that GPS's ASN feature extraction can
+perform the same "join against an ASN database" the paper describes.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Dict, List, Sequence, Tuple
+
+from repro.net.asn import AsnDatabase, AsnRecord
+from repro.net.ipv4 import prefix_size
+
+#: Coarse AS categories; the universe generator prefers to place device
+#: profiles in compatible categories (routers/IoT in access networks, servers
+#: in hosting networks) which is what creates the network-layer correlations.
+AS_CATEGORIES = ("residential", "hosting", "enterprise", "mobile", "academic")
+
+_AS_NAME_POOL = {
+    "residential": ["Distributel Network", "Free SAS", "HomeNet ISP", "FiberLink",
+                    "CoastalCable", "PrairieDSL", "MetroFiber", "SunsetBroadband"],
+    "hosting": ["Bizland Hosting", "StackHost Cloud", "CloudNine VPS", "RackForest",
+                "NordicServers", "AtlasCompute"],
+    "enterprise": ["GlobalCorp WAN", "Meridian Enterprises", "Northwind Group",
+                   "Acme Industrial"],
+    "mobile": ["SkyMobile", "TerraCell"],
+    "academic": ["State University NOC", "Research Backbone"],
+}
+
+
+@dataclass(frozen=True)
+class AutonomousSystem:
+    """One synthetic autonomous system.
+
+    Attributes:
+        asn: the autonomous system number.
+        name: organisation name (drawn from a fixed pool per category).
+        category: coarse AS type, used when matching device profiles to ASes.
+        prefixes: list of ``(base_address, prefix_len)`` announcements.
+    """
+
+    asn: int
+    name: str
+    category: str
+    prefixes: Tuple[Tuple[int, int], ...]
+
+    def address_capacity(self) -> int:
+        """Total number of addresses announced by this AS."""
+        return sum(prefix_size(length) for _, length in self.prefixes)
+
+
+@dataclass(frozen=True)
+class TopologyConfig:
+    """Parameters controlling topology generation.
+
+    Attributes:
+        as_count: number of autonomous systems to create.
+        prefixes_per_as: how many /``prefix_len`` blocks each AS announces.
+        prefix_len: prefix length of each announced block (default /16 so the
+            /16-subnet feature and the ASN feature are aligned but distinct —
+            multi-prefix ASes make the ASN feature strictly coarser).
+        base_octet: first octet of the synthetic address pool.  Allocation is
+            sequential from ``base_octet.0.0.0`` which keeps the universe
+            compact and collision-free.
+        category_weights: relative frequency of each AS category.
+    """
+
+    as_count: int = 24
+    prefixes_per_as: int = 2
+    prefix_len: int = 16
+    base_octet: int = 10
+    category_weights: Tuple[Tuple[str, float], ...] = (
+        ("residential", 0.40),
+        ("hosting", 0.25),
+        ("enterprise", 0.20),
+        ("mobile", 0.10),
+        ("academic", 0.05),
+    )
+
+    def __post_init__(self) -> None:
+        if self.as_count < 1:
+            raise ValueError("as_count must be >= 1")
+        if self.prefixes_per_as < 1:
+            raise ValueError("prefixes_per_as must be >= 1")
+        if not 8 <= self.prefix_len <= 24:
+            raise ValueError("prefix_len must be between /8 and /24")
+        if not 1 <= self.base_octet <= 223:
+            raise ValueError("base_octet must form a valid unicast address")
+        for category, weight in self.category_weights:
+            if category not in AS_CATEGORIES:
+                raise ValueError(f"unknown AS category: {category}")
+            if weight < 0:
+                raise ValueError(f"negative weight for category {category}")
+
+
+class Topology:
+    """The generated set of autonomous systems plus lookup structures."""
+
+    def __init__(self, systems: Sequence[AutonomousSystem]) -> None:
+        self.systems: List[AutonomousSystem] = list(systems)
+        self.asn_db = AsnDatabase()
+        for system in self.systems:
+            for base, length in system.prefixes:
+                self.asn_db.add(AsnRecord(base=base, prefix_len=length,
+                                          asn=system.asn, name=system.name))
+        self._by_asn: Dict[int, AutonomousSystem] = {s.asn: s for s in self.systems}
+        if len(self._by_asn) != len(self.systems):
+            raise ValueError("duplicate ASN in topology")
+
+    def by_category(self, category: str) -> List[AutonomousSystem]:
+        """All ASes of a given category."""
+        return [s for s in self.systems if s.category == category]
+
+    def get(self, asn: int) -> AutonomousSystem:
+        """Look up an AS by number."""
+        return self._by_asn[asn]
+
+    def random_address(self, asn: int, rng: random.Random) -> int:
+        """Draw a uniformly random address announced by ``asn``."""
+        system = self._by_asn[asn]
+        base, length = rng.choice(system.prefixes)
+        return base + rng.randrange(prefix_size(length))
+
+    def total_address_capacity(self) -> int:
+        """Total announced address space across all ASes."""
+        return sum(s.address_capacity() for s in self.systems)
+
+    def __len__(self) -> int:
+        return len(self.systems)
+
+
+def generate_topology(config: TopologyConfig, rng: random.Random) -> Topology:
+    """Generate a topology according to ``config``.
+
+    /``prefix_len`` blocks are carved sequentially out of the pool starting at
+    ``base_octet.0.0.0``; categories are assigned by weighted sampling and
+    names by cycling through a per-category name pool.
+    """
+    categories = [c for c, _ in config.category_weights]
+    weights = [w for _, w in config.category_weights]
+    name_cursor: Dict[str, int] = {c: 0 for c in AS_CATEGORIES}
+
+    systems: List[AutonomousSystem] = []
+    block = 0
+    block_size = prefix_size(config.prefix_len)
+    pool_base = config.base_octet << 24
+    for index in range(config.as_count):
+        category = rng.choices(categories, weights=weights, k=1)[0]
+        pool = _AS_NAME_POOL[category]
+        name = pool[name_cursor[category] % len(pool)]
+        if name_cursor[category] >= len(pool):
+            name = f"{name} #{name_cursor[category] // len(pool) + 1}"
+        name_cursor[category] += 1
+
+        prefixes: List[Tuple[int, int]] = []
+        for _ in range(config.prefixes_per_as):
+            prefixes.append((pool_base + block * block_size, config.prefix_len))
+            block += 1
+        systems.append(AutonomousSystem(
+            asn=64512 + index,
+            name=name,
+            category=category,
+            prefixes=tuple(prefixes),
+        ))
+    return Topology(systems)

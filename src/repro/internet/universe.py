@@ -1,0 +1,464 @@
+"""The synthetic ground-truth universe of hosts and services.
+
+A :class:`Universe` is the reproduction's stand-in for "the IPv4 Internet at a
+point in time": a set of hosts, each with an address, an originating AS, a
+device profile and a set of listening services with application-layer content.
+The scanners in :mod:`repro.scanner` only ever interact with the universe
+through point probes and prefix queries, so GPS and the baselines exercise the
+same code path they would against live targets.
+
+Three populations are generated, mirroring the phenomena the paper describes:
+
+* **Real hosts** drawn from device profiles (the predictable structure GPS
+  learns), clustered into subnets of compatible autonomous systems;
+* **Pseudo-service hosts** (Appendix B): hosts that complete handshakes on
+  more than a thousand contiguous ports but serve no real content;
+* **Middleboxes** (handled by LZR): devices that SYN-ACK on every port but
+  never complete an application handshake.
+
+Scale note: the paper's universe is 3.7 billion addresses; the synthetic one
+defaults to tens of thousands of hosts inside a few dozen /16s.  All metrics
+in the reproduction are relative (fractions of services, bandwidth in units of
+"100 % scans" of the synthetic address space), so the scale change preserves
+the shape of every result while keeping experiments laptop-sized.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import random
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+from bisect import bisect_left, bisect_right
+
+from repro.internet.banners import BannerFactory
+from repro.internet.profiles import DeviceProfile, default_profiles
+from repro.internet.topology import (
+    AutonomousSystem,
+    Topology,
+    TopologyConfig,
+    generate_topology,
+)
+from repro.net.ipv4 import prefix_of, prefix_size
+from repro.net.ports import MAX_PORT, PortRegistry
+
+#: Device classes that gravitate towards access (residential/mobile) networks
+#: versus datacenter-style (hosting/enterprise/academic) networks.
+_ACCESS_CLASSES = {"router", "iot", "camera", "embedded"}
+_DATACENTER_CLASSES = {"server", "database", "nas"}
+
+
+@dataclass(frozen=True)
+class ServiceRecord:
+    """One real (ip, port) service in the ground truth.
+
+    Attributes:
+        ip: host address.
+        port: listening port.
+        protocol: protocol actually spoken (LZR fingerprint result).
+        app_features: application-layer feature values (Table 1 keys).
+        ttl: IP TTL observed from this service; differing TTLs across a host's
+            services indicate port forwarding (paper Section 7).
+    """
+
+    ip: int
+    port: int
+    protocol: str
+    app_features: Dict[str, str]
+    ttl: int = 64
+
+
+@dataclass
+class Host:
+    """A host in the synthetic universe."""
+
+    ip: int
+    asn: int
+    profile_name: str
+    services: Dict[int, ServiceRecord] = field(default_factory=dict)
+    base_ttl: int = 64
+    pseudo_port_range: Optional[Tuple[int, int]] = None
+    pseudo_incident_style: bool = False
+    is_middlebox: bool = False
+
+    def open_ports(self) -> List[int]:
+        """Ports with real services, ascending."""
+        return sorted(self.services)
+
+    def is_pseudo_host(self) -> bool:
+        """Whether the host serves pseudo services (Appendix B)."""
+        return self.pseudo_port_range is not None
+
+
+@dataclass(frozen=True)
+class UniverseConfig:
+    """Parameters controlling universe generation.
+
+    Attributes:
+        host_count: number of real (profile-driven) hosts to generate.
+        seed: RNG seed; generation is fully deterministic given the config.
+        topology: topology generation parameters.
+        pseudo_host_fraction: extra hosts (relative to ``host_count``) that are
+            pseudo-service hosts.
+        pseudo_port_span: width of the contiguous pseudo-service port range
+            (the paper observes spans greater than 1,000 ports).
+        pseudo_incident_fraction: fraction of pseudo hosts whose pages embed a
+            random incident ID (the hard-to-filter long tail of Appendix B).
+        middlebox_fraction: extra hosts that are SYN-ACK-everything middleboxes.
+        subnet_cluster_len: prefix length of the pools hosts of a profile are
+            clustered into inside an AS (models "services appear together in
+            networks", Section 4).
+        cluster_pools_per_profile_as: number of such pools per (profile, AS).
+        cluster_probability: probability a host lands in one of its profile's
+            pools rather than anywhere in the AS.
+        unique_body_fraction: see :class:`~repro.internet.banners.BannerFactory`.
+    """
+
+    host_count: int = 20000
+    seed: int = 1
+    topology: TopologyConfig = field(default_factory=TopologyConfig)
+    profiles: Optional[Tuple[DeviceProfile, ...]] = None
+    pseudo_host_fraction: float = 0.02
+    pseudo_port_span: int = 1200
+    pseudo_incident_fraction: float = 0.2
+    middlebox_fraction: float = 0.01
+    subnet_cluster_len: int = 24
+    cluster_pools_per_profile_as: int = 4
+    cluster_probability: float = 0.8
+    unique_body_fraction: float = 0.15
+
+    def __post_init__(self) -> None:
+        if self.host_count < 1:
+            raise ValueError("host_count must be >= 1")
+        if not 0.0 <= self.pseudo_host_fraction <= 1.0:
+            raise ValueError("pseudo_host_fraction out of range")
+        if not 0.0 <= self.middlebox_fraction <= 1.0:
+            raise ValueError("middlebox_fraction out of range")
+        if not 1 <= self.pseudo_port_span <= MAX_PORT:
+            raise ValueError("pseudo_port_span out of range")
+        if not 16 <= self.subnet_cluster_len <= 30:
+            raise ValueError("subnet_cluster_len must be within /16-/30")
+        if not 0.0 <= self.cluster_probability <= 1.0:
+            raise ValueError("cluster_probability out of range")
+
+
+class Universe:
+    """Ground-truth container with the query interface the scanners need."""
+
+    def __init__(self, hosts: Dict[int, Host], topology: Topology,
+                 config: UniverseConfig) -> None:
+        self.hosts = hosts
+        self.topology = topology
+        self.config = config
+        # port -> sorted list of IPs with a *real* service on that port.
+        self._port_index: Dict[int, List[int]] = {}
+        self._pseudo_ips: List[int] = []
+        self._middlebox_ips: List[int] = []
+        self._rebuild_indices()
+
+    # -- index maintenance ---------------------------------------------------------
+
+    def _rebuild_indices(self) -> None:
+        port_index: Dict[int, List[int]] = {}
+        pseudo: List[int] = []
+        middlebox: List[int] = []
+        for ip, host in self.hosts.items():
+            for port in host.services:
+                port_index.setdefault(port, []).append(ip)
+            if host.is_pseudo_host():
+                pseudo.append(ip)
+            if host.is_middlebox:
+                middlebox.append(ip)
+        for ips in port_index.values():
+            ips.sort()
+        self._port_index = port_index
+        self._pseudo_ips = sorted(pseudo)
+        self._middlebox_ips = sorted(middlebox)
+
+    # -- basic lookups ---------------------------------------------------------------
+
+    def host(self, ip: int) -> Optional[Host]:
+        """Return the host at ``ip`` (or ``None`` when the address is dark)."""
+        return self.hosts.get(ip)
+
+    def lookup(self, ip: int, port: int) -> Optional[ServiceRecord]:
+        """Return the real service at ``(ip, port)`` or ``None``."""
+        host = self.hosts.get(ip)
+        if host is None:
+            return None
+        return host.services.get(port)
+
+    def is_pseudo_responsive(self, ip: int, port: int) -> bool:
+        """Whether ``(ip, port)`` would answer with a pseudo service."""
+        host = self.hosts.get(ip)
+        if host is None or host.pseudo_port_range is None:
+            return False
+        lo, hi = host.pseudo_port_range
+        return lo <= port <= hi
+
+    def is_middlebox(self, ip: int) -> bool:
+        """Whether ``ip`` is a SYN-ACK-everything middlebox."""
+        host = self.hosts.get(ip)
+        return host is not None and host.is_middlebox
+
+    def asn_of(self, ip: int) -> int:
+        """ASN originating ``ip`` (0 when unannounced)."""
+        return self.topology.asn_db.asn_of(ip)
+
+    # -- aggregate views --------------------------------------------------------------
+
+    def all_ips(self) -> List[int]:
+        """All host addresses (real, pseudo and middlebox), ascending."""
+        return sorted(self.hosts)
+
+    def real_service_pairs(self) -> Iterator[Tuple[int, int]]:
+        """Iterate all real ``(ip, port)`` pairs in the ground truth."""
+        for ip, host in self.hosts.items():
+            for port in host.services:
+                yield ip, port
+
+    def real_services(self) -> Iterator[ServiceRecord]:
+        """Iterate all real service records."""
+        for host in self.hosts.values():
+            yield from host.services.values()
+
+    def service_count(self) -> int:
+        """Total number of real services."""
+        return sum(len(host.services) for host in self.hosts.values())
+
+    def ports_in_use(self) -> List[int]:
+        """Ports with at least one real service, ascending."""
+        return sorted(self._port_index)
+
+    def ips_on_port(self, port: int) -> List[int]:
+        """Sorted addresses with a real service on ``port``."""
+        return list(self._port_index.get(port, ()))
+
+    def port_registry(self) -> PortRegistry:
+        """Per-port real-service counts (used by popularity-ordered baselines)."""
+        return PortRegistry.from_counts(
+            {port: len(ips) for port, ips in self._port_index.items()}
+        )
+
+    def address_space_size(self) -> int:
+        """Size of the announced address space (the denominator of a "100 % scan")."""
+        return self.topology.total_address_capacity()
+
+    def announced_overlap(self, base: int, prefix_len: int) -> int:
+        """Number of announced addresses inside ``base/prefix_len``.
+
+        Exhaustively scanning a prefix only costs probes for addresses that
+        exist in the simulated Internet; a ``/0`` step size therefore costs
+        exactly one "100 % scan" rather than 2**32 probes.
+        """
+        lo = prefix_of(base, prefix_len)
+        hi = lo + prefix_size(prefix_len)
+        total = 0
+        for system in self.topology.systems:
+            for p_base, p_len in system.prefixes:
+                p_lo = p_base
+                p_hi = p_base + prefix_size(p_len)
+                overlap = min(hi, p_hi) - max(lo, p_lo)
+                if overlap > 0:
+                    total += overlap
+        return total
+
+    # -- prefix queries (what the simulated ZMap uses) -------------------------------
+
+    def responders_in_prefix(self, port: int, base: int, prefix_len: int) -> List[int]:
+        """Addresses inside ``base/prefix_len`` that would SYN-ACK on ``port``.
+
+        Includes real services, pseudo services whose port range covers
+        ``port``, and middleboxes (which SYN-ACK on everything).  The caller
+        pays the bandwidth cost of the exhaustive sweep; this method only
+        avoids enumerating dark addresses.
+        """
+        lo = prefix_of(base, prefix_len)
+        hi = lo + prefix_size(prefix_len)
+        out: List[int] = []
+        ips = self._port_index.get(port)
+        if ips:
+            out.extend(ips[bisect_left(ips, lo):bisect_right(ips, hi - 1)])
+        for pool in (self._pseudo_ips, self._middlebox_ips):
+            for ip in pool[bisect_left(pool, lo):bisect_right(pool, hi - 1)]:
+                host = self.hosts[ip]
+                if host.is_middlebox or self.is_pseudo_responsive(ip, port):
+                    if port not in host.services:
+                        out.append(ip)
+        return sorted(set(out))
+
+    def syn_ack(self, ip: int, port: int) -> bool:
+        """Whether a single SYN probe to ``(ip, port)`` would be answered."""
+        host = self.hosts.get(ip)
+        if host is None:
+            return False
+        if host.is_middlebox:
+            return True
+        if port in host.services:
+            return True
+        return self.is_pseudo_responsive(ip, port)
+
+    def describe(self) -> Dict[str, int]:
+        """Summary statistics used in docs, logs and tests."""
+        return {
+            "hosts": len(self.hosts),
+            "real_services": self.service_count(),
+            "ports_in_use": len(self._port_index),
+            "pseudo_hosts": len(self._pseudo_ips),
+            "middleboxes": len(self._middlebox_ips),
+            "autonomous_systems": len(self.topology),
+            "address_space": self.address_space_size(),
+        }
+
+
+# -- generation ------------------------------------------------------------------------
+
+
+def _compatible_ases(profile: DeviceProfile, topology: Topology,
+                     rng: random.Random) -> List[AutonomousSystem]:
+    """Pick the ASes a profile is concentrated in, respecting category affinity."""
+    if profile.device_class in _ACCESS_CLASSES:
+        preferred = topology.by_category("residential") + topology.by_category("mobile")
+    elif profile.device_class in _DATACENTER_CLASSES:
+        preferred = (topology.by_category("hosting")
+                     + topology.by_category("enterprise")
+                     + topology.by_category("academic"))
+    else:
+        preferred = list(topology.systems)
+    if not preferred:
+        preferred = list(topology.systems)
+    count = min(profile.preferred_as_count, len(preferred))
+    return rng.sample(preferred, count)
+
+
+def _allocate_address(profile: DeviceProfile, system: AutonomousSystem,
+                      pools: Dict[Tuple[str, int], List[int]],
+                      used: Set[int], config: UniverseConfig,
+                      topology: Topology, rng: random.Random) -> int:
+    """Pick a free address for a host, clustering it into per-profile pools."""
+    key = (profile.name, system.asn)
+    if key not in pools:
+        pool_bases: List[int] = []
+        for _ in range(config.cluster_pools_per_profile_as):
+            anchor = topology.random_address(system.asn, rng)
+            pool_bases.append(prefix_of(anchor, config.subnet_cluster_len))
+        pools[key] = pool_bases
+    for _ in range(64):
+        if rng.random() < config.cluster_probability:
+            base = rng.choice(pools[key])
+            candidate = base + rng.randrange(prefix_size(config.subnet_cluster_len))
+        else:
+            candidate = topology.random_address(system.asn, rng)
+        if candidate not in used:
+            return candidate
+    # Extremely dense pool: fall back to a linear scan from a random anchor.
+    candidate = topology.random_address(system.asn, rng)
+    while candidate in used:
+        candidate += 1
+    return candidate
+
+
+def _as_specific_port(profile: DeviceProfile, bundle_port: int, asn: int) -> int:
+    """Deterministic non-standard port for a bundle deployed in a given AS.
+
+    Models ISP-customised firmware: the same device family listens on a
+    different high port in every network, so the long tail of uncommon ports
+    stays predictable from (banner, network) features while being invisible to
+    popularity-ordered port scanning.
+    """
+    digest = hashlib.sha256(f"{profile.name}|{bundle_port}|{asn}".encode()).digest()
+    return 1024 + int.from_bytes(digest[:4], "big") % (MAX_PORT - 1024)
+
+
+def _host_services(profile: DeviceProfile, ip: int, asn: int, base_ttl: int,
+                   banner_factory: BannerFactory,
+                   rng: random.Random) -> Dict[int, ServiceRecord]:
+    """Instantiate a host's services from its profile's port bundles."""
+    services: Dict[int, ServiceRecord] = {}
+    for bundle in profile.bundles:
+        if rng.random() >= bundle.probability:
+            continue
+        if bundle.random_port:
+            port = rng.randrange(1024, MAX_PORT + 1)
+            # Forwarded services traverse extra hops: their observed TTL
+            # differs from the host's other services (paper Section 7).
+            ttl = max(8, base_ttl - rng.randrange(1, 6))
+        elif bundle.as_specific:
+            port = _as_specific_port(profile, bundle.port, asn)
+            ttl = base_ttl
+        else:
+            port = bundle.port
+            ttl = base_ttl
+        if port in services:
+            continue
+        features = banner_factory.features_for(profile, bundle.protocol,
+                                                bundle.banner_variant, ip)
+        services[port] = ServiceRecord(ip=ip, port=port, protocol=bundle.protocol,
+                                       app_features=features, ttl=ttl)
+    if not services:
+        # Every generated host exposes at least one service; otherwise it would
+        # be indistinguishable from dark space and contribute nothing.
+        bundle = profile.bundles[0]
+        features = banner_factory.features_for(profile, bundle.protocol,
+                                               bundle.banner_variant, ip)
+        services[bundle.port] = ServiceRecord(ip=ip, port=bundle.port,
+                                              protocol=bundle.protocol,
+                                              app_features=features, ttl=base_ttl)
+    return services
+
+
+def generate_universe(config: UniverseConfig) -> Universe:
+    """Generate a ground-truth universe from ``config`` (deterministically)."""
+    rng = random.Random(config.seed)
+    topology = generate_topology(config.topology, rng)
+    profiles = list(config.profiles) if config.profiles else default_profiles()
+    banner_factory = BannerFactory(unique_body_fraction=config.unique_body_fraction)
+
+    profile_ases = {p.name: _compatible_ases(p, topology, rng) for p in profiles}
+    weights = [p.weight for p in profiles]
+
+    hosts: Dict[int, Host] = {}
+    used: Set[int] = set()
+    pools: Dict[Tuple[str, int], List[int]] = {}
+
+    for _ in range(config.host_count):
+        profile = rng.choices(profiles, weights=weights, k=1)[0]
+        if rng.random() < profile.network_concentration:
+            system = rng.choice(profile_ases[profile.name])
+        else:
+            system = rng.choice(topology.systems)
+        ip = _allocate_address(profile, system, pools, used, config, topology, rng)
+        used.add(ip)
+        base_ttl = rng.choice((64, 64, 64, 128, 255))
+        services = _host_services(profile, ip, system.asn, base_ttl, banner_factory, rng)
+        hosts[ip] = Host(ip=ip, asn=system.asn, profile_name=profile.name,
+                         services=services, base_ttl=base_ttl)
+
+    # Pseudo-service hosts (Appendix B).
+    pseudo_count = int(round(config.host_count * config.pseudo_host_fraction))
+    for _ in range(pseudo_count):
+        system = rng.choice(topology.systems)
+        ip = topology.random_address(system.asn, rng)
+        while ip in used:
+            ip = topology.random_address(system.asn, rng)
+        used.add(ip)
+        start = rng.randrange(1, MAX_PORT - config.pseudo_port_span)
+        incident = rng.random() < config.pseudo_incident_fraction
+        hosts[ip] = Host(ip=ip, asn=system.asn, profile_name="pseudo_host",
+                         services={}, base_ttl=64,
+                         pseudo_port_range=(start, start + config.pseudo_port_span - 1),
+                         pseudo_incident_style=incident)
+
+    # Middleboxes: SYN-ACK everything, never complete an application handshake.
+    middlebox_count = int(round(config.host_count * config.middlebox_fraction))
+    for _ in range(middlebox_count):
+        system = rng.choice(topology.systems)
+        ip = topology.random_address(system.asn, rng)
+        while ip in used:
+            ip = topology.random_address(system.asn, rng)
+        used.add(ip)
+        hosts[ip] = Host(ip=ip, asn=system.asn, profile_name="middlebox",
+                         services={}, base_ttl=255, is_middlebox=True)
+
+    return Universe(hosts=hosts, topology=topology, config=config)

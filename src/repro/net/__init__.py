@@ -1,0 +1,57 @@
+"""Networking primitives used throughout the GPS reproduction.
+
+This package contains the low-level building blocks that both the synthetic
+Internet substrate (:mod:`repro.internet`) and the GPS system itself
+(:mod:`repro.core`) rely on:
+
+* :mod:`repro.net.ipv4` -- integer-based IPv4 address and prefix arithmetic.
+  GPS manipulates hundreds of thousands of addresses; representing them as
+  plain ``int`` values keeps everything hashable, vectorizable and cheap.
+* :mod:`repro.net.ports` -- the port registry: IANA-style assignments for the
+  well-known ports the paper discusses, popularity ranks, and helpers for the
+  "top-N ports" orderings used by the optimal port-order baseline.
+* :mod:`repro.net.asn` -- a miniature ASN database mapping prefixes to
+  autonomous systems, mirroring the "join on an ASN database" feature
+  extraction step of the paper (Section 5.5).
+"""
+
+from repro.net.ipv4 import (
+    IPv4Error,
+    format_ip,
+    ip_in_prefix,
+    iter_prefix,
+    parse_ip,
+    prefix_mask,
+    prefix_of,
+    prefix_size,
+    random_ips,
+    subnet_key,
+)
+from repro.net.ports import (
+    MAX_PORT,
+    PORT_SERVICE_NAMES,
+    PortRegistry,
+    WELL_KNOWN_PORTS,
+    is_valid_port,
+)
+from repro.net.asn import AsnDatabase, AsnRecord
+
+__all__ = [
+    "IPv4Error",
+    "parse_ip",
+    "format_ip",
+    "prefix_of",
+    "prefix_mask",
+    "prefix_size",
+    "subnet_key",
+    "ip_in_prefix",
+    "iter_prefix",
+    "random_ips",
+    "MAX_PORT",
+    "WELL_KNOWN_PORTS",
+    "PORT_SERVICE_NAMES",
+    "PortRegistry",
+    "is_valid_port",
+    "AsnDatabase",
+    "AsnRecord",
+]

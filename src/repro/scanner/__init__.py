@@ -1,0 +1,41 @@
+"""Simulated scanning substrate: ZMap + LZR + ZGrab against the synthetic universe.
+
+The paper's implementation chains three tools (Section 5.5): ZMap performs the
+stateless layer-4 SYN scan, LZR takes over the TCP connection to filter
+middleboxes and fingerprint the protocol actually spoken, and ZGrab completes
+the layer-7 handshake to collect application-layer features.  This package
+reproduces that pipeline against the synthetic universe, with per-probe
+bandwidth accounting so every experiment can report cost in the paper's unit
+of "number of 100 % scans".
+
+The public entry point is :class:`~repro.scanner.pipeline.ScanPipeline`, which
+exposes exactly the scan shapes GPS needs:
+
+* ``seed_scan`` -- a random IP sample swept across all (or the top-N) ports;
+* ``scan_prefix`` -- an exhaustive sweep of one port over one subnetwork
+  (the priors scan of Section 5.3);
+* ``scan_pairs`` -- targeted probes of predicted ``(ip, port)`` pairs
+  (the prediction scan of Section 5.4).
+"""
+
+from repro.scanner.records import ScanObservation, observations_by_host
+from repro.scanner.bandwidth import BandwidthLedger, ScanCategory
+from repro.scanner.zmap import ZMapSimulator
+from repro.scanner.lzr import LZRSimulator, FingerprintResult
+from repro.scanner.zgrab import ZGrabSimulator
+from repro.scanner.filtering import PseudoServiceFilter, FilterReport
+from repro.scanner.pipeline import ScanPipeline
+
+__all__ = [
+    "ScanObservation",
+    "observations_by_host",
+    "BandwidthLedger",
+    "ScanCategory",
+    "ZMapSimulator",
+    "LZRSimulator",
+    "FingerprintResult",
+    "ZGrabSimulator",
+    "PseudoServiceFilter",
+    "FilterReport",
+    "ScanPipeline",
+]

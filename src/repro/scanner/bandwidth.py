@@ -1,0 +1,115 @@
+"""Bandwidth accounting for simulated scans.
+
+Every result in the paper is stated as a coverage-versus-bandwidth trade-off,
+with bandwidth expressed in "number of 100 % scans" -- one unit being a full
+sweep of the address space on a single port (3.7 billion probes on the real
+Internet; the announced address space of the synthetic universe here).  The
+:class:`BandwidthLedger` counts raw probes per scan phase and converts them to
+that unit, and additionally models wall-clock scan time at a configurable
+probe rate (the paper uses 1 Gb/s for the reference curves and 50 Mb/s for the
+high-precision prediction scans).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, Mapping
+
+#: Approximate bytes on the wire per probe (SYN + SYN-ACK + RST bookkeeping);
+#: only used to convert probe counts into seconds at a given line rate.
+BYTES_PER_PROBE = 60
+BITS_PER_PROBE = BYTES_PER_PROBE * 8
+
+
+class ScanCategory(str, enum.Enum):
+    """Which phase of the GPS pipeline a probe belongs to."""
+
+    SEED = "seed"
+    PRIORS = "priors"
+    PREDICTION = "prediction"
+    EXHAUSTIVE = "exhaustive"
+    OTHER = "other"
+
+
+@dataclass
+class BandwidthLedger:
+    """Tracks probes sent per category and converts them into paper units.
+
+    Attributes:
+        address_space_size: number of addresses in one "100 % scan" unit.
+        probes: per-category probe counts.
+        responses: per-category count of responsive probes (used for
+            precision: responsive probes / probes sent).
+    """
+
+    address_space_size: int
+    probes: Dict[ScanCategory, int] = field(default_factory=dict)
+    responses: Dict[ScanCategory, int] = field(default_factory=dict)
+
+    def __post_init__(self) -> None:
+        if self.address_space_size <= 0:
+            raise ValueError("address_space_size must be positive")
+
+    def record(self, category: ScanCategory, probes: int, responses: int = 0) -> None:
+        """Record ``probes`` sent (and ``responses`` received) in a category."""
+        if probes < 0 or responses < 0:
+            raise ValueError("probe/response counts must be non-negative")
+        if responses > probes:
+            raise ValueError("cannot receive more responses than probes sent")
+        self.probes[category] = self.probes.get(category, 0) + probes
+        self.responses[category] = self.responses.get(category, 0) + responses
+
+    def total_probes(self, category: ScanCategory | None = None) -> int:
+        """Total probes sent (optionally restricted to one category)."""
+        if category is not None:
+            return self.probes.get(category, 0)
+        return sum(self.probes.values())
+
+    def total_responses(self, category: ScanCategory | None = None) -> int:
+        """Total responsive probes (optionally restricted to one category)."""
+        if category is not None:
+            return self.responses.get(category, 0)
+        return sum(self.responses.values())
+
+    def full_scans(self, category: ScanCategory | None = None) -> float:
+        """Bandwidth in the paper's unit of "number of 100 % scans"."""
+        return self.total_probes(category) / self.address_space_size
+
+    def precision(self, category: ScanCategory | None = None) -> float:
+        """Fraction of sent probes that found a responsive service."""
+        probes = self.total_probes(category)
+        if probes == 0:
+            return 0.0
+        return self.total_responses(category) / probes
+
+    def wall_time_seconds(self, rate_bits_per_second: float = 1e9,
+                          category: ScanCategory | None = None) -> float:
+        """Time to send the recorded probes at a given line rate."""
+        if rate_bits_per_second <= 0:
+            raise ValueError("rate must be positive")
+        return self.total_probes(category) * BITS_PER_PROBE / rate_bits_per_second
+
+    def snapshot(self) -> Mapping[str, float]:
+        """A plain-dict summary used by reports and tests."""
+        return {
+            "total_probes": float(self.total_probes()),
+            "total_responses": float(self.total_responses()),
+            "full_scans": self.full_scans(),
+            "precision": self.precision(),
+            **{
+                f"full_scans_{category.value}": self.full_scans(category)
+                for category in ScanCategory
+                if category in self.probes
+            },
+        }
+
+    def merged_with(self, other: "BandwidthLedger") -> "BandwidthLedger":
+        """Combine two ledgers measured against the same address space."""
+        if other.address_space_size != self.address_space_size:
+            raise ValueError("cannot merge ledgers with different address spaces")
+        merged = BandwidthLedger(address_space_size=self.address_space_size)
+        for source in (self, other):
+            for category, count in source.probes.items():
+                merged.record(category, count, source.responses.get(category, 0))
+        return merged

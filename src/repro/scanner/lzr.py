@@ -1,0 +1,96 @@
+"""Simulated LZR: middlebox filtering and service fingerprinting.
+
+LZR (Izhikevich et al., USENIX Security 2021) takes over the TCP connection a
+SYN scanner opened and decides, with one or two extra packets, whether a real
+service is listening and what protocol it speaks.  This matters enormously
+when scanning unassigned ports: a SYN-ACK alone may come from a middlebox or
+an idle socket, and completing a full layer-7 handshake on every SYN-ACK would
+waste bandwidth.
+
+The simulator reproduces LZR's observable behaviour:
+
+* **middleboxes** never produce data -- the fingerprint is ``None`` and the
+  target is dropped before any layer-7 work is spent on it;
+* **real services** yield their true protocol;
+* **pseudo services** look like real HTTP services at this layer; weeding them
+  out is the job of the dataset-level filter (Appendix B), not LZR.
+
+Each fingerprint attempt costs a small, fixed number of probes which is
+charged to the same ledger category as the scan that discovered the target.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, List, Optional, Tuple
+
+from repro.internet.universe import Universe
+from repro.scanner.bandwidth import BandwidthLedger, ScanCategory
+
+#: Extra packets LZR exchanges per responsive target (ACK + data / RST).
+PROBES_PER_FINGERPRINT = 2
+
+
+@dataclass(frozen=True)
+class FingerprintResult:
+    """Outcome of fingerprinting one SYN-ACKing (ip, port) target.
+
+    Attributes:
+        ip: target address.
+        port: target port.
+        protocol: fingerprinted protocol, or ``None`` when no service is
+            actually listening (middlebox or dead socket).
+        is_real_service: whether a real, ground-truth service is behind the
+            target (pseudo services report their apparent protocol but are not
+            real; downstream filtering removes them by behaviour).
+        ttl: observed IP TTL.
+    """
+
+    ip: int
+    port: int
+    protocol: Optional[str]
+    is_real_service: bool
+    ttl: int
+
+
+class LZRSimulator:
+    """Fingerprints SYN-ACKing targets against the ground-truth universe."""
+
+    def __init__(self, universe: Universe, ledger: BandwidthLedger) -> None:
+        self.universe = universe
+        self.ledger = ledger
+
+    def fingerprint(self, ip: int, port: int,
+                    category: ScanCategory = ScanCategory.OTHER) -> FingerprintResult:
+        """Fingerprint a single target, charging the ledger for the handshake."""
+        record = self.universe.lookup(ip, port)
+        responded = record is not None or self.universe.is_pseudo_responsive(ip, port)
+        self.ledger.record(category, probes=PROBES_PER_FINGERPRINT,
+                           responses=PROBES_PER_FINGERPRINT if responded else 0)
+        if record is not None:
+            return FingerprintResult(ip=ip, port=port, protocol=record.protocol,
+                                     is_real_service=True, ttl=record.ttl)
+        if self.universe.is_pseudo_responsive(ip, port):
+            host = self.universe.host(ip)
+            ttl = host.base_ttl if host is not None else 64
+            return FingerprintResult(ip=ip, port=port, protocol="http",
+                                     is_real_service=False, ttl=ttl)
+        # Middlebox or stale SYN-ACK: no data ever arrives.
+        host = self.universe.host(ip)
+        ttl = host.base_ttl if host is not None else 64
+        return FingerprintResult(ip=ip, port=port, protocol=None,
+                                 is_real_service=False, ttl=ttl)
+
+    def fingerprint_many(self, targets: Iterable[Tuple[int, int]],
+                         category: ScanCategory = ScanCategory.OTHER) -> List[FingerprintResult]:
+        """Fingerprint a batch of targets, keeping only those that spoke a protocol.
+
+        Targets that produced no data (middleboxes) are dropped, mirroring how
+        LZR prevents them from reaching ZGrab in the real pipeline.
+        """
+        results: List[FingerprintResult] = []
+        for ip, port in targets:
+            result = self.fingerprint(ip, port, category=category)
+            if result.protocol is not None:
+                results.append(result)
+        return results

@@ -1,0 +1,203 @@
+"""The end-to-end scan pipeline: ZMap -> LZR -> ZGrab with bandwidth accounting.
+
+:class:`ScanPipeline` is the only interface through which GPS, the baselines
+and the dataset builders touch the synthetic universe.  It exposes the three
+scan shapes the paper's system needs:
+
+* :meth:`ScanPipeline.seed_scan` -- a uniform random address sample swept
+  across all (or a subset of) ports, fingerprinted, banner-grabbed and
+  pseudo-service-filtered: the "seed set" of Section 5.1;
+* :meth:`ScanPipeline.scan_prefix` -- an exhaustive sweep of one port over one
+  subnetwork: the building block of the priors scan (Section 5.3);
+* :meth:`ScanPipeline.scan_pairs` -- targeted probes of predicted (ip, port)
+  pairs: the prediction scan (Section 5.4).
+
+Every probe sent is charged to a :class:`~repro.scanner.bandwidth.BandwidthLedger`
+so that each experiment can report cost in the paper's unit of "100 % scans".
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
+
+from repro.internet.banners import BannerFactory
+from repro.internet.universe import Universe
+from repro.net.ipv4 import prefix_size, subnet_key_parts
+from repro.net.ports import MAX_PORT
+from repro.scanner.bandwidth import BandwidthLedger, ScanCategory
+from repro.scanner.filtering import PseudoServiceFilter
+from repro.scanner.lzr import LZRSimulator
+from repro.scanner.records import ScanObservation
+from repro.scanner.zgrab import ZGrabSimulator
+from repro.scanner.zmap import ZMapSimulator
+
+#: If a host SYN-ACKs on more than this many ports in a single sweep, LZR
+#: samples a handful of them before deciding the host is a middlebox, instead
+#: of fingerprinting every port individually.
+MIDDLEBOX_SUSPECT_PORT_COUNT = 30000
+MIDDLEBOX_SAMPLE_PORTS = 10
+
+
+@dataclass
+class SeedScanResult:
+    """Outcome of a seed scan.
+
+    Attributes:
+        observations: filtered, fully-featured service observations.
+        sampled_ips: the addresses that were probed (responsive or not).
+        removed_pseudo_services: number of observations the Appendix B filter
+            removed.
+        ports_scanned: the ports each sampled address was probed on (``None``
+            means all 65,535 ports).
+    """
+
+    observations: List[ScanObservation]
+    sampled_ips: List[int]
+    removed_pseudo_services: int
+    ports_scanned: Optional[Tuple[int, ...]] = None
+
+
+class ScanPipeline:
+    """Chains the simulated ZMap, LZR and ZGrab against one universe."""
+
+    def __init__(self, universe: Universe,
+                 ledger: Optional[BandwidthLedger] = None,
+                 pseudo_filter: Optional[PseudoServiceFilter] = None) -> None:
+        self.universe = universe
+        self.ledger = ledger or BandwidthLedger(
+            address_space_size=universe.address_space_size()
+        )
+        banner_factory = BannerFactory(
+            unique_body_fraction=universe.config.unique_body_fraction
+        )
+        self.zmap = ZMapSimulator(universe, self.ledger)
+        self.lzr = LZRSimulator(universe, self.ledger)
+        self.zgrab = ZGrabSimulator(universe, self.ledger, banner_factory)
+        self.pseudo_filter = pseudo_filter or PseudoServiceFilter()
+
+    # -- address sampling -------------------------------------------------------------
+
+    def sample_addresses(self, fraction: float, rng: random.Random) -> List[int]:
+        """Uniformly sample a fraction of the announced address space."""
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError(f"sample fraction out of range: {fraction}")
+        ranges: List[Tuple[int, int]] = []
+        for system in self.universe.topology.systems:
+            for base, length in system.prefixes:
+                ranges.append((base, prefix_size(length)))
+        total = sum(size for _, size in ranges)
+        count = max(1, int(round(total * fraction)))
+        count = min(count, total)
+        picks: set[int] = set()
+        while len(picks) < count:
+            offset = rng.randrange(total)
+            for base, size in ranges:
+                if offset < size:
+                    picks.add(base + offset)
+                    break
+                offset -= size
+        return sorted(picks)
+
+    # -- scan shapes -------------------------------------------------------------------
+
+    def seed_scan(self, sample_fraction: float, seed: int = 0,
+                  ports: Optional[Sequence[int]] = None,
+                  apply_filter: bool = True) -> SeedScanResult:
+        """Collect a seed set: random address sample swept across ports.
+
+        Args:
+            sample_fraction: fraction of the announced address space to probe.
+            seed: RNG seed for the address sample.
+            ports: restrict the sweep to these ports (``None`` = all 65,535,
+                the paper's all-port seed scan; the Censys-style experiments
+                pass the top-2K port list).
+            apply_filter: run the Appendix B pseudo-service filter on the
+                resulting observations (the paper always does).
+        """
+        rng = random.Random(seed)
+        sampled = self.sample_addresses(sample_fraction, rng)
+        port_tuple = tuple(ports) if ports is not None else None
+        observations = self._sweep_hosts(sampled, port_tuple, ScanCategory.SEED)
+        removed = 0
+        if apply_filter:
+            report = self.pseudo_filter.apply(observations)
+            removed = report.removed_count()
+            observations = report.kept
+        return SeedScanResult(observations=observations, sampled_ips=sampled,
+                              removed_pseudo_services=removed,
+                              ports_scanned=port_tuple)
+
+    def scan_prefix(self, port: int, subnet: int | Tuple[int, int],
+                    category: ScanCategory = ScanCategory.PRIORS,
+                    apply_filter: bool = True) -> List[ScanObservation]:
+        """Exhaustively scan one port across one subnetwork.
+
+        ``subnet`` is either a packed subnet key (see
+        :func:`repro.net.ipv4.subnet_key`) or a ``(base, prefix_len)`` tuple.
+        """
+        if isinstance(subnet, tuple):
+            base, length = subnet
+        else:
+            base, length = subnet_key_parts(subnet)
+        responders = self.zmap.scan_prefix(port, base, length, category=category)
+        fingerprints = self.lzr.fingerprint_many(
+            ((ip, port) for ip in responders), category=category
+        )
+        observations = self.zgrab.grab_many(fingerprints, category=category)
+        if apply_filter:
+            observations = self.pseudo_filter.filter(observations)
+        return observations
+
+    def scan_pairs(self, pairs: Iterable[Tuple[int, int]],
+                   category: ScanCategory = ScanCategory.PREDICTION,
+                   apply_filter: bool = True) -> List[ScanObservation]:
+        """Probe specific (ip, port) targets and banner-grab the responders."""
+        hits = self.zmap.scan_pairs(pairs, category=category)
+        fingerprints = self.lzr.fingerprint_many(hits, category=category)
+        observations = self.zgrab.grab_many(fingerprints, category=category)
+        if apply_filter:
+            observations = self.pseudo_filter.filter(observations)
+        return observations
+
+    def exhaustive_port_scan(self, port: int,
+                             category: ScanCategory = ScanCategory.EXHAUSTIVE,
+                             apply_filter: bool = True) -> List[ScanObservation]:
+        """A 100 % scan of one port (the exhaustive baseline's unit of work)."""
+        observations: List[ScanObservation] = []
+        for system in self.universe.topology.systems:
+            for base, length in system.prefixes:
+                observations.extend(
+                    self.scan_prefix(port, (base, length), category=category,
+                                     apply_filter=False)
+                )
+        if apply_filter:
+            observations = self.pseudo_filter.filter(observations)
+        return observations
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _sweep_hosts(self, ips: Sequence[int], ports: Optional[Tuple[int, ...]],
+                     category: ScanCategory) -> List[ScanObservation]:
+        """Probe each address across the port set, fingerprint and banner-grab."""
+        observations: List[ScanObservation] = []
+        for ip in ips:
+            responsive_ports = self.zmap.scan_host_ports(ip, ports=ports,
+                                                         category=category)
+            if not responsive_ports:
+                continue
+            if len(responsive_ports) > MIDDLEBOX_SUSPECT_PORT_COUNT:
+                # LZR middlebox shortcut: sample a few ports; if none ever
+                # produce data the host is acking everything and is dropped.
+                sample = responsive_ports[:MIDDLEBOX_SAMPLE_PORTS]
+                sampled_results = self.lzr.fingerprint_many(
+                    ((ip, port) for port in sample), category=category
+                )
+                if not sampled_results:
+                    continue
+            fingerprints = self.lzr.fingerprint_many(
+                ((ip, port) for port in responsive_ports), category=category
+            )
+            observations.extend(self.zgrab.grab_many(fingerprints, category=category))
+        return observations

@@ -1,0 +1,61 @@
+"""Scan observation records: what a completed probe yields.
+
+A :class:`ScanObservation` is the unit of data every downstream consumer (the
+pseudo-service filter, the dataset builders, GPS's feature extraction, the
+baselines) operates on.  It deliberately contains only what a real scan could
+observe -- the address, port, fingerprinted protocol, application-layer banner
+fields and the IP TTL -- and never any ground-truth-only information such as
+the device profile that generated the host.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, List, Mapping, Tuple
+
+
+@dataclass(frozen=True)
+class ScanObservation:
+    """One fully-handshaked service observation.
+
+    Attributes:
+        ip: probed address.
+        port: probed port.
+        protocol: protocol fingerprinted by LZR (``"http"``, ``"ssh"``, ...).
+        app_features: application-layer feature values collected by ZGrab
+            (Table 1 keys; absent keys mean the feature was not observable).
+        ttl: IP TTL seen in the response (used for port-forwarding analysis).
+    """
+
+    ip: int
+    port: int
+    protocol: str
+    app_features: Mapping[str, str] = field(default_factory=dict)
+    ttl: int = 64
+
+    def pair(self) -> Tuple[int, int]:
+        """The (ip, port) identity of this observation."""
+        return (self.ip, self.port)
+
+    def feature(self, key: str, default: str = "") -> str:
+        """Convenience accessor for an application-layer feature value."""
+        return self.app_features.get(key, default)
+
+
+def observations_by_host(observations: Iterable[ScanObservation]) -> Dict[int, List[ScanObservation]]:
+    """Group observations by address.
+
+    Both the pseudo-service filter (per-host service counts) and GPS's model
+    building (per-host port co-occurrence) start from this grouping.
+    """
+    grouped: Dict[int, List[ScanObservation]] = {}
+    for obs in observations:
+        grouped.setdefault(obs.ip, []).append(obs)
+    for obs_list in grouped.values():
+        obs_list.sort(key=lambda o: o.port)
+    return grouped
+
+
+def unique_pairs(observations: Iterable[ScanObservation]) -> List[Tuple[int, int]]:
+    """Deduplicated, sorted (ip, port) pairs of a set of observations."""
+    return sorted({obs.pair() for obs in observations})

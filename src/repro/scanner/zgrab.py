@@ -1,0 +1,75 @@
+"""Simulated ZGrab: the layer-7 application handshake.
+
+After LZR has confirmed a real protocol is being spoken, the GPS pipeline may
+hand the connection to ZGrab to complete the full application-layer handshake
+and collect the banner data GPS uses as features (TLS certificates, HTTP
+headers, SSH banners, ...).  The simulator returns the ground-truth feature
+dictionary of the service (or the synthetic pseudo-service page content when
+the target is a pseudo service) and charges the ledger for the handshake
+packets.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Optional, Tuple
+
+from repro.internet.banners import BannerFactory
+from repro.internet.universe import Universe
+from repro.scanner.bandwidth import BandwidthLedger, ScanCategory
+from repro.scanner.lzr import FingerprintResult
+from repro.scanner.records import ScanObservation
+
+#: Packets exchanged to complete a typical application handshake and banner grab.
+PROBES_PER_HANDSHAKE = 4
+
+
+class ZGrabSimulator:
+    """Collects application-layer features for fingerprinted services."""
+
+    def __init__(self, universe: Universe, ledger: BandwidthLedger,
+                 banner_factory: Optional[BannerFactory] = None) -> None:
+        self.universe = universe
+        self.ledger = ledger
+        self.banner_factory = banner_factory or BannerFactory(
+            unique_body_fraction=universe.config.unique_body_fraction
+        )
+
+    def grab(self, fingerprint: FingerprintResult,
+             category: ScanCategory = ScanCategory.OTHER) -> Optional[ScanObservation]:
+        """Complete the layer-7 handshake for one fingerprinted target.
+
+        Returns a :class:`~repro.scanner.records.ScanObservation`, or ``None``
+        when the target stopped responding between fingerprinting and the
+        application handshake (only possible for targets that were never real
+        services to begin with).
+        """
+        if fingerprint.protocol is None:
+            return None
+        self.ledger.record(category, probes=PROBES_PER_HANDSHAKE,
+                           responses=PROBES_PER_HANDSHAKE)
+        record = self.universe.lookup(fingerprint.ip, fingerprint.port)
+        if record is not None:
+            return ScanObservation(ip=record.ip, port=record.port,
+                                   protocol=record.protocol,
+                                   app_features=dict(record.app_features),
+                                   ttl=record.ttl)
+        host = self.universe.host(fingerprint.ip)
+        if host is not None and self.universe.is_pseudo_responsive(fingerprint.ip,
+                                                                   fingerprint.port):
+            features = self.banner_factory.pseudo_service_features(
+                fingerprint.ip, host.pseudo_incident_style, port=fingerprint.port
+            )
+            return ScanObservation(ip=fingerprint.ip, port=fingerprint.port,
+                                   protocol="http", app_features=features,
+                                   ttl=host.base_ttl)
+        return None
+
+    def grab_many(self, fingerprints: Iterable[FingerprintResult],
+                  category: ScanCategory = ScanCategory.OTHER) -> List[ScanObservation]:
+        """Complete handshakes for a batch of fingerprinted targets."""
+        observations: List[ScanObservation] = []
+        for fingerprint in fingerprints:
+            observation = self.grab(fingerprint, category=category)
+            if observation is not None:
+                observations.append(observation)
+        return observations

@@ -1,0 +1,103 @@
+"""Simulated ZMap: the stateless layer-4 SYN scanner.
+
+ZMap's role in the GPS pipeline (Section 5.5) is to discover which probes are
+answered at all; it knows nothing about the service behind a SYN-ACK.  The
+simulator mirrors that: every method returns only (address, port) pairs that
+would SYN-ACK, and charges the bandwidth ledger for every probe *sent*, not
+every response received -- the distinction is what drives the paper's
+precision results (exhaustive scanning wastes almost all of its probes on
+dark space).
+
+The real ZMap also carries a fixed IP-ID fingerprint (54321) so that network
+operators can block it; the simulator exposes the same constant for parity
+with the paper's ethics discussion (Section 3) and so the value shows up in
+documentation and tests.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, List, Sequence, Tuple
+
+from repro.internet.universe import Universe
+from repro.net.ports import MAX_PORT, is_valid_port
+from repro.scanner.bandwidth import BandwidthLedger, ScanCategory
+
+#: The IP-ID value ZMap stamps on every probe, allowing operators to filter it.
+ZMAP_IP_ID_FINGERPRINT = 54321
+
+
+class ZMapSimulator:
+    """Layer-4 SYN scanning against a :class:`~repro.internet.universe.Universe`."""
+
+    def __init__(self, universe: Universe, ledger: BandwidthLedger) -> None:
+        self.universe = universe
+        self.ledger = ledger
+        self.ip_id = ZMAP_IP_ID_FINGERPRINT
+
+    # -- scan shapes -----------------------------------------------------------------
+
+    def scan_prefix(self, port: int, base: int, prefix_len: int,
+                    category: ScanCategory = ScanCategory.PRIORS) -> List[int]:
+        """Exhaustively sweep one port across ``base/prefix_len``.
+
+        Returns the addresses that SYN-ACKed.  The ledger is charged one probe
+        per *announced* address in the prefix regardless of how many respond
+        (probing unannounced space would not be part of a real deployment's
+        target list, and charging for it would distort the "100 % scan" unit).
+        """
+        if not is_valid_port(port):
+            raise ValueError(f"invalid port: {port}")
+        responders = self.universe.responders_in_prefix(port, base, prefix_len)
+        probes = self.universe.announced_overlap(base, prefix_len)
+        self.ledger.record(category, probes=probes, responses=len(responders))
+        return responders
+
+    def scan_host_ports(self, ip: int, ports: Sequence[int] | None = None,
+                        category: ScanCategory = ScanCategory.SEED) -> List[int]:
+        """Probe one host across a set of ports (default: all 65,535).
+
+        This is the per-host sweep used when collecting a seed scan: the cost
+        is one probe per port probed, and the return value is the list of
+        ports that SYN-ACKed.
+        """
+        host = self.universe.host(ip)
+        if ports is None:
+            probes_sent = MAX_PORT
+            if host is None:
+                responsive: List[int] = []
+            elif host.is_middlebox:
+                responsive = list(range(1, MAX_PORT + 1))
+            else:
+                responsive = sorted(set(host.services)
+                                    | set(self._pseudo_ports(ip)))
+        else:
+            for port in ports:
+                if not is_valid_port(port):
+                    raise ValueError(f"invalid port: {port}")
+            probes_sent = len(ports)
+            responsive = [port for port in ports if self.universe.syn_ack(ip, port)]
+        self.ledger.record(category, probes=probes_sent, responses=len(responsive))
+        return responsive
+
+    def scan_pairs(self, pairs: Iterable[Tuple[int, int]],
+                   category: ScanCategory = ScanCategory.PREDICTION) -> List[Tuple[int, int]]:
+        """Probe specific (ip, port) pairs (the prediction scan shape)."""
+        sent = 0
+        hits: List[Tuple[int, int]] = []
+        for ip, port in pairs:
+            if not is_valid_port(port):
+                raise ValueError(f"invalid port: {port}")
+            sent += 1
+            if self.universe.syn_ack(ip, port):
+                hits.append((ip, port))
+        self.ledger.record(category, probes=sent, responses=len(hits))
+        return hits
+
+    # -- helpers ----------------------------------------------------------------------
+
+    def _pseudo_ports(self, ip: int) -> List[int]:
+        host = self.universe.host(ip)
+        if host is None or host.pseudo_port_range is None:
+            return []
+        lo, hi = host.pseudo_port_range
+        return list(range(lo, hi + 1))

@@ -1,0 +1,70 @@
+"""Shared fixtures for the test suite.
+
+The expensive objects (a synthetic universe, ground-truth datasets, a full GPS
+run) are session-scoped: they are deterministic pure data, so sharing them
+across tests changes nothing about isolation while keeping the suite fast.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis.scenarios import ExperimentScale, make_censys_dataset, make_lzr_dataset
+from repro.core.config import GPSConfig
+from repro.core.gps import GPS
+from repro.datasets.split import seed_scan_cost_probes, split_seed_test
+from repro.internet.universe import generate_universe
+from repro.scanner.pipeline import ScanPipeline
+
+#: A deliberately tiny scale for unit/integration tests.
+TEST_SCALE = ExperimentScale(
+    name="test",
+    host_count=1200,
+    as_count=6,
+    prefixes_per_as=1,
+    censys_top_ports=60,
+    lzr_sample_fraction=0.2,
+    default_seed_fraction=0.05,
+)
+
+
+@pytest.fixture(scope="session")
+def universe():
+    """A small deterministic synthetic universe shared by the whole suite."""
+    return generate_universe(TEST_SCALE.universe_config(seed=42))
+
+
+@pytest.fixture(scope="session")
+def censys_dataset(universe):
+    """Censys-like ground truth over the test universe."""
+    return make_censys_dataset(universe, TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def lzr_dataset(universe):
+    """LZR-like ground truth over the test universe."""
+    return make_lzr_dataset(universe, TEST_SCALE)
+
+
+@pytest.fixture(scope="session")
+def censys_split(censys_dataset):
+    """A 5 % seed / rest test split of the Censys-like dataset."""
+    return split_seed_test(censys_dataset, seed_fraction=0.05, seed=1)
+
+
+@pytest.fixture()
+def pipeline(universe):
+    """A fresh scan pipeline (per-test: it accumulates bandwidth state)."""
+    return ScanPipeline(universe)
+
+
+@pytest.fixture(scope="session")
+def gps_run(universe, censys_dataset, censys_split):
+    """One full GPS run in dataset-split mode, shared by the integration tests."""
+    run_pipeline = ScanPipeline(universe)
+    config = GPSConfig(seed_fraction=0.05, step_size=16,
+                       port_domain=censys_dataset.port_domain)
+    gps = GPS(run_pipeline, config)
+    seed_cost = seed_scan_cost_probes(censys_dataset, 0.05)
+    result = gps.run(seed=censys_split.seed_scan_result(), seed_cost_probes=seed_cost)
+    return result, run_pipeline

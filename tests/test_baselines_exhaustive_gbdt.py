@@ -1,0 +1,144 @@
+"""Unit tests for the exhaustive/oracle baselines and the GBDT substrate."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.baselines.exhaustive import (
+    exhaustive_all_ports_curve,
+    optimal_port_order_curve,
+    oracle_curve,
+    random_probe_precision,
+)
+from repro.baselines.gbdt import GBDTConfig, GradientBoostedTrees
+
+
+class TestOptimalPortOrder:
+    def test_curve_reaches_full_coverage(self, censys_dataset):
+        points = optimal_port_order_curve(censys_dataset)
+        assert points[-1].fraction == pytest.approx(1.0)
+        assert points[-1].normalized_fraction == pytest.approx(1.0)
+
+    def test_one_full_scan_per_port(self, censys_dataset):
+        points = optimal_port_order_curve(censys_dataset)
+        assert points[0].full_scans == pytest.approx(1.0)
+        assert points[-1].full_scans == pytest.approx(len(points))
+
+    def test_first_port_is_most_popular(self, censys_dataset):
+        points = optimal_port_order_curve(censys_dataset)
+        registry = censys_dataset.port_registry()
+        top_count = registry.count(registry.top_ports(1)[0])
+        assert points[0].found == top_count
+
+    def test_fractions_monotonic(self, censys_dataset):
+        points = optimal_port_order_curve(censys_dataset)
+        fractions = [point.fraction for point in points]
+        assert fractions == sorted(fractions)
+
+    def test_exhaustive_all_ports_extends_to_domain_size(self, censys_dataset):
+        points = exhaustive_all_ports_curve(censys_dataset)
+        assert len(points) == len(censys_dataset.port_domain)
+        assert points[-1].fraction == pytest.approx(1.0)
+
+    def test_exhaustive_all_ports_without_domain(self, lzr_dataset):
+        points = exhaustive_all_ports_curve(lzr_dataset, total_ports=2000)
+        assert len(points) == 2000
+        assert points[-1].fraction == pytest.approx(1.0)
+
+
+class TestOracle:
+    def test_oracle_precision_is_perfect(self, censys_dataset):
+        points = oracle_curve(censys_dataset)
+        assert all(point.precision == pytest.approx(1.0) for point in points)
+        assert points[-1].fraction == pytest.approx(1.0)
+
+    def test_oracle_bandwidth_equals_service_count(self, censys_dataset):
+        points = oracle_curve(censys_dataset)
+        expected = censys_dataset.service_count() / censys_dataset.address_space_size
+        assert points[-1].full_scans == pytest.approx(expected)
+
+    def test_oracle_empty_dataset(self, censys_dataset):
+        empty = censys_dataset.restricted_to_ports([1])
+        assert oracle_curve(empty) == []
+
+    def test_random_probe_precision_small(self, censys_dataset):
+        precision = random_probe_precision(censys_dataset)
+        assert 0.0 < precision < 0.01
+
+
+class TestGBDTConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"n_estimators": 0},
+        {"max_depth": 0},
+        {"learning_rate": 0.0},
+        {"learning_rate": 2.0},
+        {"min_samples_leaf": 0},
+        {"subsample": 0.0},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            GBDTConfig(**kwargs)
+
+
+class TestGradientBoostedTrees:
+    def test_learns_single_feature_rule(self):
+        rng = np.random.default_rng(0)
+        X = rng.integers(0, 2, size=(400, 3)).astype(float)
+        y = X[:, 1]
+        model = GradientBoostedTrees(GBDTConfig(n_estimators=15)).fit(X, y)
+        assert (model.predict(X) == y).mean() >= 0.99
+
+    def test_learns_conjunction(self):
+        rng = np.random.default_rng(1)
+        X = rng.integers(0, 2, size=(600, 4)).astype(float)
+        y = ((X[:, 0] == 1) & (X[:, 2] == 1)).astype(float)
+        model = GradientBoostedTrees(GBDTConfig(n_estimators=30, max_depth=3)).fit(X, y)
+        assert (model.predict(X) == y).mean() >= 0.95
+
+    def test_probabilities_in_unit_interval(self):
+        rng = np.random.default_rng(2)
+        X = rng.normal(size=(200, 5))
+        y = (X[:, 0] > 0).astype(float)
+        model = GradientBoostedTrees(GBDTConfig(n_estimators=10)).fit(X, y)
+        probabilities = model.predict_proba(X)
+        assert np.all(probabilities >= 0.0) and np.all(probabilities <= 1.0)
+
+    def test_degenerate_labels_fall_back_to_base_rate(self):
+        X = np.zeros((50, 3))
+        y = np.ones(50)
+        model = GradientBoostedTrees().fit(X, y)
+        assert model.n_trees == 0
+        assert np.all(model.predict_proba(X) > 0.9)
+
+    def test_input_validation(self):
+        model = GradientBoostedTrees()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros(10), np.zeros(10))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((10, 2)), np.zeros(9))
+
+    def test_subsampling_still_learns(self):
+        rng = np.random.default_rng(3)
+        X = rng.integers(0, 2, size=(500, 4)).astype(float)
+        y = X[:, 3]
+        model = GradientBoostedTrees(GBDTConfig(n_estimators=25, subsample=0.5)).fit(X, y)
+        assert (model.predict(X) == y).mean() >= 0.95
+
+    def test_real_valued_features_supported(self):
+        rng = np.random.default_rng(4)
+        X = rng.normal(size=(400, 2))
+        y = (X[:, 0] + 0.5 * X[:, 1] > 0).astype(float)
+        model = GradientBoostedTrees(GBDTConfig(n_estimators=40)).fit(X, y)
+        assert (model.predict(X) == y).mean() >= 0.9
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(min_value=20, max_value=80), st.integers(min_value=0, max_value=1000))
+    def test_probability_bounds_property(self, rows, seed):
+        rng = np.random.default_rng(seed)
+        X = rng.integers(0, 2, size=(rows, 3)).astype(float)
+        y = rng.integers(0, 2, size=rows).astype(float)
+        model = GradientBoostedTrees(GBDTConfig(n_estimators=5)).fit(X, y)
+        probabilities = model.predict_proba(X)
+        assert np.all((probabilities >= 0.0) & (probabilities <= 1.0))

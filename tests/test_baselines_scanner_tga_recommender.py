@@ -1,0 +1,178 @@
+"""Unit tests for the XGBoost-style scanner, the TGAs and the recommender."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.baselines.recommender import (
+    HybridRecommender,
+    RecommenderConfig,
+    evaluate_recommender,
+)
+from repro.baselines.tga import (
+    TGAConfig,
+    TargetGenerationAlgorithm,
+    candidates_budget_from_dataset,
+    estimate_training_acquisition_probes,
+    evaluate_tga,
+)
+from repro.baselines.xgboost_scanner import XGBoostScanner, XGBoostScannerConfig
+from repro.datasets.split import split_seed_test
+
+
+class TestXGBoostScanner:
+    @pytest.fixture(scope="class")
+    def run(self, censys_dataset, censys_split):
+        scanner = XGBoostScanner(censys_dataset, XGBoostScannerConfig(max_ports=8))
+        return scanner.run(censys_split)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            XGBoostScannerConfig(target_coverage=0.0)
+        with pytest.raises(ValueError):
+            XGBoostScannerConfig(max_ports=0)
+        with pytest.raises(ValueError):
+            XGBoostScannerConfig(neighborhood_prefix=4)
+
+    def test_port_sequence_follows_popularity(self, censys_dataset):
+        scanner = XGBoostScanner(censys_dataset, XGBoostScannerConfig(max_ports=5))
+        assert scanner.port_sequence() == censys_dataset.port_registry().top_ports(5)
+
+    def test_port_sequence_override(self, censys_dataset):
+        scanner = XGBoostScanner(censys_dataset,
+                                 XGBoostScannerConfig(ports=(443, 80), max_ports=None))
+        assert scanner.port_sequence() == [443, 80]
+
+    def test_first_port_scanned_exhaustively(self, run, censys_dataset):
+        first = run.outcomes[0]
+        assert first.exhaustive
+        assert first.probes == censys_dataset.address_space_size
+        assert first.coverage == pytest.approx(1.0)
+        assert first.prior_probes == 0
+
+    def test_later_ports_cheaper_than_exhaustive(self, run, censys_dataset):
+        for outcome in run.outcomes[1:]:
+            assert not outcome.exhaustive
+            assert outcome.probes < censys_dataset.address_space_size
+
+    def test_prior_probes_are_cumulative(self, run):
+        priors = [outcome.prior_probes for outcome in run.outcomes]
+        assert priors == sorted(priors)
+
+    def test_discoveries_are_real_services(self, run, censys_dataset):
+        assert run.discovered_pairs() <= censys_dataset.pairs()
+
+    def test_training_is_sequential_and_timed(self, run):
+        assert run.total_train_seconds > 0.0
+        assert run.outcomes[0].train_seconds == 0.0
+
+    def test_total_probes_match_outcome_sum(self, run):
+        assert run.total_probes == sum(outcome.probes for outcome in run.outcomes)
+
+
+class TestTGA:
+    def test_model_requires_training(self):
+        with pytest.raises(RuntimeError):
+            TargetGenerationAlgorithm().generate(10)
+        with pytest.raises(ValueError):
+            TargetGenerationAlgorithm().fit([])
+
+    def test_generated_candidates_share_learned_structure(self):
+        training = [(10 << 24) + (1 << 16) + (i << 8) + 1 for i in range(50)]
+        model = TargetGenerationAlgorithm(rng=random.Random(0)).fit(training)
+        candidates = model.generate(100)
+        assert candidates
+        assert all((ip >> 24) == 10 for ip in candidates)
+        assert all(((ip >> 16) & 0xFF) == 1 for ip in candidates)
+
+    def test_generate_is_deduplicated_and_bounded(self):
+        model = TargetGenerationAlgorithm(rng=random.Random(1)).fit([1, 2, 3])
+        candidates = model.generate(50)
+        assert len(candidates) == len(set(candidates))
+        with pytest.raises(ValueError):
+            model.generate(-1)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TGAConfig(train_addresses_per_port=0)
+        with pytest.raises(ValueError):
+            TGAConfig(candidates_per_port=0)
+
+    def test_candidates_budget_rule(self, censys_dataset):
+        budget = candidates_budget_from_dataset(censys_dataset, multiple=10)
+        assert budget >= 10
+        with pytest.raises(ValueError):
+            candidates_budget_from_dataset(censys_dataset, multiple=0)
+
+    def test_acquisition_cost_estimates(self, censys_dataset):
+        estimates = estimate_training_acquisition_probes(censys_dataset, 1000)
+        assert estimates
+        # Sparse ports require probing a large share of the space.
+        space = censys_dataset.address_space_size
+        assert max(estimates.values()) > space * 0.2
+        assert all(0 < value <= space for value in estimates.values())
+
+    def test_evaluate_tga_finds_some_but_not_all(self, censys_dataset):
+        ports = censys_dataset.port_registry().top_ports(5)
+        result = evaluate_tga(censys_dataset, TGAConfig(candidates_per_port=200),
+                              ports=ports)
+        assert 0.0 < result.fraction_found < 1.0
+        assert result.probes > 0
+        assert set(result.per_port) <= set(ports)
+
+    def test_evaluate_tga_ignores_unknown_ports(self, censys_dataset):
+        result = evaluate_tga(censys_dataset, TGAConfig(candidates_per_port=10),
+                              ports=[1])
+        assert result.services_total == 0
+        assert result.fraction_found == 0.0
+
+
+class TestRecommender:
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RecommenderConfig(embedding_dim=0)
+        with pytest.raises(ValueError):
+            RecommenderConfig(epochs=0)
+        with pytest.raises(ValueError):
+            RecommenderConfig(learning_rate=0.0)
+        with pytest.raises(ValueError):
+            RecommenderConfig(recommendations_per_ip=0)
+
+    def test_fit_requires_candidate_ports(self, censys_split):
+        with pytest.raises(ValueError):
+            HybridRecommender().fit(censys_split.seed_observations[:5], [])
+
+    def test_recommend_before_fit_rejected(self):
+        with pytest.raises(RuntimeError):
+            HybridRecommender().score_ports(1)
+
+    def test_recommendations_are_ports_from_candidates(self, censys_split, censys_dataset):
+        config = RecommenderConfig(epochs=2, embedding_dim=8)
+        model = HybridRecommender(config).fit(
+            censys_split.seed_observations[:300], censys_dataset.port_domain)
+        test_ip = censys_split.test_observations[0].ip
+        recommendations = model.recommend(test_ip, count=10)
+        assert len(recommendations) == 10
+        assert set(recommendations) <= set(censys_dataset.port_domain)
+
+    def test_recommender_prefers_popular_ports_for_cold_hosts(self, censys_split,
+                                                              censys_dataset):
+        config = RecommenderConfig(epochs=3, embedding_dim=8, seed=2)
+        model = HybridRecommender(config).fit(
+            censys_split.seed_observations, censys_dataset.port_domain)
+        top_ports = set(censys_dataset.port_registry().top_ports(15))
+        cold_ip = 1  # an address with no features seen in training
+        recommended = set(model.recommend(cold_ip, count=5))
+        assert recommended & top_ports
+
+    def test_evaluation_reports_bounded_metrics(self, censys_dataset, censys_split):
+        config = RecommenderConfig(epochs=2, embedding_dim=8,
+                                   recommendations_per_ip=5)
+        result = evaluate_recommender(censys_dataset,
+                                      censys_split.seed_observations,
+                                      censys_split.test_pairs(), config)
+        assert 0.0 <= result.fraction_found <= 1.0
+        assert 0.0 <= result.normalized_fraction <= 1.0
+        assert result.probes <= 5 * len({ip for ip, _ in censys_split.test_pairs()})

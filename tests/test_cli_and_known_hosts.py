@@ -1,0 +1,112 @@
+"""Tests for the CLI and the known-host prediction mode (paper Section 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.cli import build_parser, main
+from repro.core.config import GPSConfig
+from repro.core.gps import GPS
+from repro.scanner.pipeline import ScanPipeline
+from repro.scanner.records import ScanObservation
+
+
+class TestKnownHostPrediction:
+    @pytest.fixture()
+    def gps(self, universe, censys_dataset):
+        pipeline = ScanPipeline(universe)
+        return GPS(pipeline, GPSConfig(seed_fraction=0.05, step_size=16,
+                                       port_domain=censys_dataset.port_domain))
+
+    def test_predicts_remaining_services_of_known_hosts(self, gps, universe,
+                                                        censys_split):
+        # Known hosts: test-half hosts, each revealed through one service.
+        by_host = {}
+        for obs in censys_split.test_observations:
+            by_host.setdefault(obs.ip, obs)
+        known = list(by_host.values())[:150]
+
+        result = gps.predict_for_known_hosts(censys_split.seed_scan_result(), known)
+        assert result.predictions
+        # Predictions target only the supplied hosts.
+        known_ips = {obs.ip for obs in known}
+        assert all(prediction.ip in known_ips for prediction in result.predictions)
+        # The scan confirms a substantial share of them.
+        confirmed = {obs.pair() for obs in result.prediction_observations}
+        truth = set(universe.real_service_pairs())
+        assert confirmed
+        assert len(confirmed & truth) >= 0.5 * len(confirmed)
+
+    def test_no_priors_bandwidth_spent(self, universe, censys_dataset, censys_split):
+        from repro.scanner.bandwidth import ScanCategory
+        pipeline = ScanPipeline(universe)
+        gps = GPS(pipeline, GPSConfig(seed_fraction=0.05, step_size=16,
+                                      port_domain=censys_dataset.port_domain))
+        known = censys_split.test_observations[:50]
+        gps.predict_for_known_hosts(censys_split.seed_scan_result(), known)
+        assert pipeline.ledger.total_probes(ScanCategory.PRIORS) == 0
+        assert pipeline.ledger.total_probes(ScanCategory.PREDICTION) > 0
+
+    def test_plan_only_mode_sends_no_probes(self, universe, censys_dataset,
+                                            censys_split):
+        pipeline = ScanPipeline(universe)
+        gps = GPS(pipeline, GPSConfig(seed_fraction=0.05, step_size=16,
+                                      port_domain=censys_dataset.port_domain))
+        known = censys_split.test_observations[:50]
+        result = gps.predict_for_known_hosts(censys_split.seed_scan_result(), known,
+                                             scan=False)
+        assert result.predictions
+        assert not result.prediction_observations
+        assert pipeline.ledger.total_probes() == 0
+
+    def test_known_pairs_not_repredicted(self, gps, censys_split):
+        known = censys_split.test_observations[:50]
+        result = gps.predict_for_known_hosts(censys_split.seed_scan_result(), known)
+        known_pairs = {obs.pair() for obs in known}
+        assert not (known_pairs & {p.pair() for p in result.predictions})
+
+
+class TestCLI:
+    def test_parser_requires_command(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_parser_rejects_unknown_scale(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["quickstart", "--scale", "galactic"])
+
+    def test_quickstart_command(self, capsys):
+        exit_code = main(["quickstart", "--scale", "small", "--seed", "3",
+                          "--seed-fraction", "0.05"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "fraction of services found" in output
+        assert "bandwidth (100% scans)" in output
+
+    def test_coverage_command_censys(self, capsys):
+        exit_code = main(["coverage", "--scale", "small", "--seed", "3",
+                          "--dataset", "censys"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "savings vs optimal order" in output
+        assert "final fraction of services" in output
+
+    def test_coverage_command_lzr(self, capsys):
+        exit_code = main(["coverage", "--scale", "small", "--seed", "3",
+                          "--dataset", "lzr"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "lzr" in output
+
+    def test_compare_xgboost_command(self, capsys):
+        exit_code = main(["compare-xgboost", "--scale", "small", "--seed", "3",
+                          "--ports", "4"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "average prior-bandwidth ratio" in output
+
+    def test_churn_command(self, capsys):
+        exit_code = main(["churn", "--scale", "small", "--seed", "3", "--days", "10"])
+        output = capsys.readouterr().out
+        assert exit_code == 0
+        assert "services that disappeared" in output

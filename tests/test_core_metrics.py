@@ -1,0 +1,129 @@
+"""Unit and property tests for the evaluation metrics."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.core.metrics import (
+    bandwidth_savings,
+    bandwidth_to_reach,
+    coverage_curve,
+    fraction_of_services,
+    normalized_fraction_of_services,
+    per_port_counts,
+    precision_curve,
+)
+
+pair_strategy = st.tuples(st.integers(1, 50), st.sampled_from([22, 80, 443, 8080]))
+
+
+class TestFractions:
+    def test_fraction_of_services_basic(self):
+        truth = {(1, 80), (2, 80), (3, 443)}
+        assert fraction_of_services([(1, 80), (9, 9)], truth) == pytest.approx(1 / 3)
+
+    def test_fraction_empty_truth(self):
+        assert fraction_of_services([(1, 80)], set()) == 0.0
+
+    def test_normalized_weights_ports_equally(self):
+        truth = {(i, 80) for i in range(10)} | {(100, 2323)}
+        found = {(i, 80) for i in range(10)}
+        # All of port 80 found, none of 2323: normalized = mean(1.0, 0.0).
+        assert normalized_fraction_of_services(found, truth) == pytest.approx(0.5)
+        assert fraction_of_services(found, truth) == pytest.approx(10 / 11)
+
+    def test_per_port_counts(self):
+        counts = per_port_counts([(1, 80), (2, 80), (3, 443)])
+        assert counts == {80: 2, 443: 1}
+
+    @given(st.sets(pair_strategy, max_size=80), st.sets(pair_strategy, max_size=80))
+    def test_fraction_bounds(self, found, truth):
+        assert 0.0 <= fraction_of_services(found, truth) <= 1.0
+        assert 0.0 <= normalized_fraction_of_services(found, truth) <= 1.0
+
+    @given(st.sets(pair_strategy, min_size=1, max_size=80))
+    def test_perfect_recall_is_one(self, truth):
+        assert fraction_of_services(truth, truth) == pytest.approx(1.0)
+        assert normalized_fraction_of_services(truth, truth) == pytest.approx(1.0)
+
+
+class TestCoverageCurve:
+    def test_rejects_bad_address_space(self):
+        with pytest.raises(ValueError):
+            coverage_curve([], set(), 0)
+
+    def test_curve_accumulates(self):
+        truth = {(1, 80), (2, 80), (3, 443), (4, 2323)}
+        log = [
+            (100, [(1, 80)]),
+            (200, [(2, 80), (3, 443)]),
+            (300, [(9, 9)]),          # not in ground truth
+            (400, [(1, 80)]),          # duplicate discovery
+        ]
+        points = coverage_curve(log, truth, address_space_size=100)
+        assert [p.found for p in points] == [1, 3, 3, 3]
+        assert points[-1].full_scans == pytest.approx(4.0)
+        assert points[1].fraction == pytest.approx(0.75)
+        assert points[1].normalized_fraction == pytest.approx((1.0 + 1.0 + 0.0) / 3)
+
+    def test_precision_is_found_per_probe(self):
+        truth = {(1, 80)}
+        points = coverage_curve([(10, [(1, 80)])], truth, address_space_size=10)
+        assert points[0].precision == pytest.approx(0.1)
+
+    @given(st.lists(st.tuples(st.integers(1, 1000),
+                              st.lists(pair_strategy, max_size=5)), max_size=20))
+    def test_curve_monotonic_in_found(self, raw_log):
+        # Make probe counts cumulative and strictly positive.
+        log = []
+        cumulative = 0
+        for probes, pairs in raw_log:
+            cumulative += probes
+            log.append((cumulative, pairs))
+        truth = {pair for _, pairs in log for pair in pairs}
+        points = coverage_curve(log, truth, address_space_size=1000)
+        found = [p.found for p in points]
+        assert found == sorted(found)
+        if points and truth:
+            assert points[-1].fraction == pytest.approx(1.0)
+
+
+class TestCurveQueries:
+    def _points(self):
+        truth = {(i, 80) for i in range(10)}
+        log = [(100 * (i + 1), [(i, 80)]) for i in range(10)]
+        return coverage_curve(log, truth, address_space_size=100)
+
+    def test_precision_curve_axes(self):
+        points = self._points()
+        series = precision_curve(points)
+        assert series[0][0] == pytest.approx(0.1)
+        normalized_series = precision_curve(points, normalized=True)
+        assert normalized_series[-1][0] == pytest.approx(1.0)
+
+    def test_bandwidth_to_reach(self):
+        points = self._points()
+        assert bandwidth_to_reach(points, 0.5) == pytest.approx(5.0)
+        assert bandwidth_to_reach(points, 1.0) == pytest.approx(10.0)
+        assert bandwidth_to_reach(points, 0.0) == pytest.approx(1.0)
+
+    def test_bandwidth_to_reach_unreachable(self):
+        points = self._points()[:3]
+        assert bandwidth_to_reach(points, 0.9) is None
+
+    def test_bandwidth_to_reach_validates_target(self):
+        with pytest.raises(ValueError):
+            bandwidth_to_reach(self._points(), 1.5)
+
+    def test_bandwidth_savings_ratio(self):
+        gps = self._points()
+        baseline = coverage_curve(
+            [(1000 * (i + 1), [(i, 80)]) for i in range(10)],
+            {(i, 80) for i in range(10)}, address_space_size=100)
+        assert bandwidth_savings(gps, baseline, 0.5) == pytest.approx(10.0)
+
+    def test_bandwidth_savings_undefined_when_unreachable(self):
+        gps = self._points()[:2]
+        baseline = self._points()
+        assert bandwidth_savings(gps, baseline, 0.9) is None

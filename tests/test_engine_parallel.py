@@ -1,0 +1,113 @@
+"""Unit and property tests for the partitioned parallel executor."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.engine.ops import group_count
+from repro.engine.parallel import (
+    ExecutorConfig,
+    ProcessPoolExecutorBackend,
+    SerialExecutor,
+    ThreadPoolExecutorBackend,
+    make_executor,
+    parallel_map_reduce,
+    partition_rows,
+    partitioned_group_count,
+)
+from repro.engine.table import Table
+
+
+class TestExecutorConfig:
+    def test_unknown_backend_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(backend="gpu")
+
+    def test_non_positive_workers_rejected(self):
+        with pytest.raises(ValueError):
+            ExecutorConfig(workers=0)
+
+    def test_make_executor_dispatch(self):
+        assert isinstance(make_executor(ExecutorConfig()), SerialExecutor)
+        assert isinstance(make_executor(ExecutorConfig(backend="thread", workers=2)),
+                          ThreadPoolExecutorBackend)
+        assert isinstance(make_executor(ExecutorConfig(backend="process", workers=2)),
+                          ProcessPoolExecutorBackend)
+
+    def test_backends_reject_bad_worker_counts(self):
+        with pytest.raises(ValueError):
+            ThreadPoolExecutorBackend(0)
+        with pytest.raises(ValueError):
+            ProcessPoolExecutorBackend(0)
+
+
+class TestPartitioning:
+    def test_partition_rows_covers_everything(self):
+        rows = [(i % 7, i % 3) for i in range(100)]
+        shards = partition_rows(rows, 4)
+        assert sum(len(shard) for shard in shards) == 100
+        assert len(shards) == 4
+
+    def test_partition_rows_rejects_zero_partitions(self):
+        with pytest.raises(ValueError):
+            partition_rows([], 0)
+
+    def test_same_key_lands_in_same_shard(self):
+        rows = [(1, "x")] * 10 + [(2, "y")] * 10
+        shards = partition_rows(rows, 3)
+        for shard in shards:
+            assert len({row for row in shard}) <= 2
+
+
+class TestPartitionedGroupCount:
+    @pytest.fixture()
+    def table(self):
+        rows = [(i % 5, i % 2) for i in range(200)]
+        return Table.from_rows(("a", "b"), rows)
+
+    @pytest.mark.parametrize("config", [
+        ExecutorConfig(backend="serial", workers=1),
+        ExecutorConfig(backend="serial", workers=4),
+        ExecutorConfig(backend="thread", workers=4),
+    ])
+    def test_matches_serial_group_count(self, table, config):
+        expected = group_count(table, ("a", "b"))
+        assert partitioned_group_count(table, ("a", "b"), config) == expected
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.lists(st.tuples(st.integers(0, 10), st.integers(0, 3)), max_size=150),
+           st.integers(min_value=1, max_value=8))
+    def test_equivalence_property(self, rows, workers):
+        table = Table.from_rows(("a", "b"), rows)
+        expected = group_count(table, ("a", "b"))
+        config = ExecutorConfig(backend="thread", workers=workers)
+        assert partitioned_group_count(table, ("a", "b"), config) == expected
+
+
+class TestParallelMapReduce:
+    def test_empty_items(self):
+        result = parallel_map_reduce([], map_func=sum, reduce_func=sum,
+                                     config=ExecutorConfig())
+        assert result == 0
+
+    def test_chunked_sum_matches_direct_sum(self):
+        items = list(range(1000))
+        result = parallel_map_reduce(
+            items,
+            map_func=sum,
+            reduce_func=sum,
+            config=ExecutorConfig(backend="thread", workers=4),
+        )
+        assert result == sum(items)
+
+    def test_single_worker_is_one_chunk(self):
+        chunks_seen = []
+
+        def map_func(chunk):
+            chunks_seen.append(list(chunk))
+            return len(chunk)
+
+        parallel_map_reduce([1, 2, 3], map_func=map_func, reduce_func=sum,
+                            config=ExecutorConfig(backend="serial", workers=1))
+        assert chunks_seen == [[1, 2, 3]]

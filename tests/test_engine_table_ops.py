@@ -1,0 +1,150 @@
+"""Unit and property tests for the engine's tables and relational operations."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.engine.ops import (
+    aggregate,
+    distinct_count,
+    filter_rows,
+    group_count,
+    hash_join,
+    project,
+)
+from repro.engine.table import Table
+
+
+@pytest.fixture()
+def services_table():
+    return Table.from_rows(
+        ("ip", "port", "protocol"),
+        [
+            (1, 80, "http"),
+            (1, 443, "https"),
+            (1, 22, "ssh"),
+            (2, 80, "http"),
+            (2, 8080, "http"),
+            (3, 22, "ssh"),
+        ],
+    )
+
+
+class TestTable:
+    def test_from_rows_and_len(self, services_table):
+        assert len(services_table) == 6
+        assert services_table.names == ["ip", "port", "protocol"]
+
+    def test_from_rows_rejects_ragged_rows(self):
+        with pytest.raises(ValueError):
+            Table.from_rows(("a", "b"), [(1, 2), (3,)])
+
+    def test_ragged_columns_rejected(self):
+        with pytest.raises(ValueError):
+            Table(columns={"a": [1, 2], "b": [1]})
+
+    def test_from_records_fills_missing_with_none(self):
+        table = Table.from_records([{"a": 1}, {"a": 2, "b": 3}], names=("a", "b"))
+        assert table.column("b") == [None, 3]
+
+    def test_empty_table(self):
+        table = Table.empty(("a", "b"))
+        assert len(table) == 0
+        assert list(table.iter_rows()) == []
+
+    def test_row_and_iter_rows(self, services_table):
+        assert services_table.row(0) == (1, 80, "http")
+        ports = [row[0] for row in services_table.iter_rows(("port",))]
+        assert ports == [80, 443, 22, 80, 8080, 22]
+
+    def test_to_records_roundtrip(self, services_table):
+        records = services_table.to_records()
+        rebuilt = Table.from_records(records, names=services_table.names)
+        assert rebuilt.columns == services_table.columns
+
+    def test_head(self, services_table):
+        assert len(services_table.head(2)) == 2
+
+
+class TestProjectFilter:
+    def test_project(self, services_table):
+        projected = project(services_table, ("ip", "port"))
+        assert projected.names == ["ip", "port"]
+        assert len(projected) == len(services_table)
+
+    def test_project_unknown_column(self, services_table):
+        with pytest.raises(KeyError):
+            project(services_table, ("nope",))
+
+    def test_filter_rows(self, services_table):
+        filtered = filter_rows(services_table, lambda r: r["protocol"] == "http")
+        assert len(filtered) == 3
+        assert set(filtered.column("port")) == {80, 8080}
+
+
+class TestHashJoin:
+    def test_self_join_produces_ordered_pairs(self, services_table):
+        left = project(services_table, ("ip", "port"))
+        joined = hash_join(left, left, on=("ip",),
+                           left_prefix="b_", right_prefix="a_",
+                           exclude_self_pairs_on=("b_port", "a_port"))
+        # Host 1 has 3 services -> 6 ordered pairs; host 2 has 2 -> 2; host 3 has 1 -> 0.
+        assert len(joined) == 8
+        assert set(joined.names) == {"ip", "b_port", "a_port"}
+
+    def test_join_missing_key_rejected(self, services_table):
+        other = Table.from_rows(("host",), [(1,)])
+        with pytest.raises(KeyError):
+            hash_join(services_table, other, on=("host",))
+
+    def test_join_with_no_matches(self):
+        left = Table.from_rows(("ip", "x"), [(1, "a")])
+        right = Table.from_rows(("ip", "y"), [(2, "b")])
+        assert len(hash_join(left, right, on=("ip",))) == 0
+
+    def test_exclude_columns_must_exist(self, services_table):
+        left = project(services_table, ("ip", "port"))
+        with pytest.raises(KeyError):
+            hash_join(left, left, on=("ip",), exclude_self_pairs_on=("zz", "a_port"))
+
+
+class TestAggregations:
+    def test_group_count(self, services_table):
+        counts = group_count(services_table, ("protocol",))
+        assert counts[("http",)] == 3
+        assert counts[("ssh",)] == 2
+
+    def test_aggregate_custom_function(self, services_table):
+        result = aggregate(services_table, ("protocol",), "port", max)
+        assert result[("http",)] == 8080
+
+    def test_distinct_count(self, services_table):
+        result = distinct_count(services_table, ("protocol",), "ip")
+        assert result[("http",)] == 2
+        assert result[("ssh",)] == 2
+
+
+rows_strategy = st.lists(
+    st.tuples(st.integers(min_value=0, max_value=20),
+              st.integers(min_value=0, max_value=5)),
+    max_size=200,
+)
+
+
+class TestProperties:
+    @given(rows_strategy)
+    def test_group_count_totals_row_count(self, rows):
+        table = Table.from_rows(("a", "b"), rows)
+        counts = group_count(table, ("a", "b"))
+        assert sum(counts.values()) == len(rows)
+
+    @given(rows_strategy)
+    def test_join_count_matches_bruteforce(self, rows):
+        table = Table.from_rows(("ip", "port"), rows)
+        joined = hash_join(table, table, on=("ip",),
+                           left_prefix="l_", right_prefix="r_")
+        expected = sum(
+            1 for left in rows for right in rows if left[0] == right[0]
+        )
+        assert len(joined) == expected

@@ -1,0 +1,119 @@
+"""End-to-end integration tests: the paper's qualitative claims on the test universe.
+
+These tests assert the *shape* of the paper's results rather than absolute
+numbers: GPS discovers the majority of services, does so with far less
+bandwidth than exhaustive scanning, is far more precise than exhaustive
+probing, and its prediction order front-loads the most predictable services.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.analysis import run_coverage_experiment, run_precision_experiment
+from repro.baselines.exhaustive import optimal_port_order_curve
+from repro.core.metrics import (
+    bandwidth_to_reach,
+    coverage_curve,
+    fraction_of_services,
+    normalized_fraction_of_services,
+)
+
+
+class TestHeadlineClaims:
+    @pytest.fixture(scope="class")
+    def lzr_experiment(self, universe, lzr_dataset):
+        """All-port experiment, paper style: half the sampled dataset is the seed.
+
+        The seed is treated as an available dataset (paper Section 5.1) so the
+        curves characterise GPS's own scanning, as in Figure 2b.
+        """
+        return run_coverage_experiment(universe, lzr_dataset,
+                                       seed_fraction=lzr_dataset.sample_fraction / 2,
+                                       step_size=16, seed_cost_mode="available")
+
+    def test_gps_finds_majority_of_all_port_services(self, lzr_experiment):
+        """Paper §6.2: GPS finds ~92 % of services across all ports (>2 IPs/port)."""
+        assert lzr_experiment.final_fraction() > 0.75
+
+    def test_gps_beats_exhaustive_all_port_scanning_by_orders_of_magnitude(
+            self, lzr_experiment):
+        """Paper abstract: orders of magnitude less bandwidth than 65K full scans."""
+        gps_bandwidth = lzr_experiment.gps_points[-1].full_scans
+        assert gps_bandwidth * 50 < 65535
+
+    def test_gps_beats_optimal_port_order_at_high_coverage(self, lzr_experiment):
+        """Paper Fig. 2b: GPS needs less bandwidth than optimal port-order probing."""
+        target = min(0.85, lzr_experiment.final_fraction() * 0.98)
+        savings = lzr_experiment.savings_at(target)
+        assert savings is not None and savings > 1.0
+
+    def test_gps_more_precise_than_exhaustive(self, universe, censys_dataset):
+        """Paper Fig. 3: GPS is more precise than exhaustive probing.
+
+        The paper reports a two-orders-of-magnitude gap on the real Internet;
+        the synthetic universe is several orders of magnitude denser than the
+        real IPv4 space (so exhaustive probing's hit rate is inflated), which
+        compresses the ratio.  The claim preserved here is the direction and a
+        clear margin, not the absolute factor (see EXPERIMENTS.md).
+        """
+        experiment = run_precision_experiment(universe, censys_dataset,
+                                              seed_fraction=0.05, step_size=20)
+        advantage = experiment.precision_advantage_at(0.2)
+        assert advantage is not None and advantage > 1.2
+
+    def test_predictions_front_load_the_most_predictable_services(self, gps_run,
+                                                                  censys_dataset):
+        """Paper §6.3: precision decreases as GPS exhausts its predictions."""
+        result, _ = gps_run
+        prediction_batches = [batch for batch in result.discovery_log
+                              if batch.phase == "prediction"]
+        if len(prediction_batches) < 2:
+            pytest.skip("run produced a single prediction batch")
+        ground_truth = censys_dataset.pairs()
+        first_half = prediction_batches[: len(prediction_batches) // 2]
+        second_half = prediction_batches[len(prediction_batches) // 2:]
+
+        def hits(batches):
+            return sum(len(set(batch.pairs) & ground_truth) for batch in batches)
+
+        assert hits(first_half) >= hits(second_half)
+
+    def test_normalized_metric_weighs_uncommon_ports(self, gps_run, censys_dataset):
+        """Equation 2 penalises missing uncommon ports more than Equation 1."""
+        result, _ = gps_run
+        found = result.discovered_pairs()
+        truth = censys_dataset.pairs()
+        assert normalized_fraction_of_services(found, truth) \
+            <= fraction_of_services(found, truth)
+
+    def test_seed_alone_explains_little_of_the_coverage(self, gps_run, censys_dataset):
+        """The priors + prediction phases, not the seed, provide the coverage."""
+        result, _ = gps_run
+        truth = censys_dataset.pairs()
+        seed_found = {obs.pair() for obs in result.seed_observations} & truth
+        total_found = result.discovered_pairs() & truth
+        assert len(seed_found) < 0.25 * len(total_found)
+
+    def test_discovery_log_replays_to_the_same_totals(self, gps_run, censys_dataset,
+                                                      universe):
+        """The coverage curve's final point equals the direct set computation."""
+        result, _ = gps_run
+        truth = censys_dataset.pairs()
+        points = coverage_curve(result.log_as_tuples(), truth,
+                                universe.address_space_size())
+        assert points[-1].fraction == pytest.approx(
+            fraction_of_services(result.discovered_pairs(), truth))
+
+    def test_optimal_port_order_is_a_lower_bound_for_exhaustive(self, censys_dataset):
+        """Optimal ordering reaches any coverage no later than any other ordering."""
+        optimal = optimal_port_order_curve(censys_dataset)
+        arbitrary_order = sorted(censys_dataset.port_domain)
+        from repro.baselines.exhaustive import _curve_from_port_order
+        arbitrary = _curve_from_port_order(censys_dataset, arbitrary_order,
+                                           censys_dataset.address_space_size)
+        for target in (0.3, 0.6, 0.9):
+            optimal_bandwidth = bandwidth_to_reach(optimal, target)
+            arbitrary_bandwidth = bandwidth_to_reach(arbitrary, target)
+            if optimal_bandwidth is not None and arbitrary_bandwidth is not None:
+                assert optimal_bandwidth <= arbitrary_bandwidth

@@ -1,0 +1,89 @@
+"""Unit tests for the churn model (Section 3 motivation)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.internet.churn import ChurnConfig, apply_churn, churn_summary
+from repro.internet.topology import TopologyConfig
+from repro.internet.universe import UniverseConfig, generate_universe
+
+
+@pytest.fixture(scope="module")
+def small_universe():
+    return generate_universe(UniverseConfig(
+        host_count=800, seed=13, topology=TopologyConfig(as_count=5)))
+
+
+class TestChurnConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"service_loss_rate": -0.1},
+        {"service_loss_rate": 1.5},
+        {"host_readdress_rate": 2.0},
+        {"new_host_rate": -1.0},
+        {"days": 0},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            ChurnConfig(**kwargs)
+
+
+class TestApplyChurn:
+    def test_original_universe_unchanged(self, small_universe):
+        before = set(small_universe.real_service_pairs())
+        apply_churn(small_universe, ChurnConfig(seed=1))
+        assert set(small_universe.real_service_pairs()) == before
+
+    def test_zero_churn_preserves_services(self, small_universe):
+        config = ChurnConfig(service_loss_rate=0.0, host_readdress_rate=0.0,
+                             new_host_rate=0.0, seed=2)
+        after = apply_churn(small_universe, config)
+        assert set(after.real_service_pairs()) == set(small_universe.real_service_pairs())
+
+    def test_loss_rate_removes_services(self, small_universe):
+        config = ChurnConfig(service_loss_rate=0.3, host_readdress_rate=0.0,
+                             new_host_rate=0.0, seed=3)
+        after = apply_churn(small_universe, config)
+        before_count = small_universe.service_count()
+        after_count = after.service_count()
+        assert after_count < before_count
+        # Loss should be in the ballpark of the configured rate.
+        assert 0.15 <= 1 - after_count / before_count <= 0.45
+
+    def test_readdressed_hosts_stay_in_their_as(self, small_universe):
+        config = ChurnConfig(service_loss_rate=0.0, host_readdress_rate=0.5,
+                             new_host_rate=0.0, seed=4)
+        after = apply_churn(small_universe, config)
+        for ip, host in after.hosts.items():
+            assert after.topology.asn_db.asn_of(ip) == host.asn
+
+    def test_new_hosts_added(self, small_universe):
+        config = ChurnConfig(service_loss_rate=0.0, host_readdress_rate=0.0,
+                             new_host_rate=0.10, seed=5)
+        after = apply_churn(small_universe, config)
+        assert len(after.hosts) > len(small_universe.hosts)
+
+    def test_churn_is_deterministic(self, small_universe):
+        config = ChurnConfig(seed=6)
+        first = apply_churn(small_universe, config)
+        second = apply_churn(small_universe, config)
+        assert set(first.real_service_pairs()) == set(second.real_service_pairs())
+
+
+class TestChurnSummary:
+    def test_no_churn_no_loss(self, small_universe):
+        summary = churn_summary(small_universe, small_universe)
+        assert summary["service_loss"] == 0.0
+        assert summary["normalized_service_loss"] == 0.0
+
+    def test_loss_fractions_in_unit_interval(self, small_universe):
+        after = apply_churn(small_universe, ChurnConfig(seed=7))
+        summary = churn_summary(small_universe, after)
+        assert 0.0 < summary["service_loss"] < 1.0
+        assert 0.0 < summary["normalized_service_loss"] < 1.0
+
+    def test_empty_before_universe(self, small_universe):
+        empty = apply_churn(small_universe, ChurnConfig(
+            service_loss_rate=1.0, new_host_rate=0.0, seed=8))
+        summary = churn_summary(empty, small_universe)
+        assert summary["service_loss"] == 0.0

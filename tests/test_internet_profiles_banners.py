@@ -1,0 +1,143 @@
+"""Unit tests for the device catalogue and banner synthesis."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.internet.banners import APP_FEATURE_KEYS, BannerFactory
+from repro.internet.profiles import (
+    DeviceProfile,
+    PortBundle,
+    default_profiles,
+    profiles_by_name,
+)
+
+
+class TestPortBundle:
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ValueError):
+            PortBundle(port=0, protocol="http")
+
+    def test_invalid_probability_rejected(self):
+        with pytest.raises(ValueError):
+            PortBundle(port=80, protocol="http", probability=1.5)
+
+
+class TestDeviceProfile:
+    def test_profile_requires_bundles(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(name="x", vendor="v", device_class="iot", bundles=())
+
+    def test_profile_rejects_bad_concentration(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(name="x", vendor="v", device_class="iot",
+                          bundles=(PortBundle(80, "http"),),
+                          network_concentration=2.0)
+
+    def test_profile_rejects_non_positive_weight(self):
+        with pytest.raises(ValueError):
+            DeviceProfile(name="x", vendor="v", device_class="iot",
+                          bundles=(PortBundle(80, "http"),), weight=0.0)
+
+    def test_ports_helper(self):
+        profile = DeviceProfile(name="x", vendor="v", device_class="iot",
+                                bundles=(PortBundle(80, "http"), PortBundle(22, "ssh")))
+        assert profile.ports() == [80, 22]
+
+
+class TestDefaultCatalogue:
+    def test_names_are_unique(self):
+        profiles = default_profiles()
+        assert len({p.name for p in profiles}) == len(profiles)
+
+    def test_profiles_by_name_indexes_catalogue(self):
+        index = profiles_by_name()
+        assert "home_router_av" in index
+        assert index["isp_freebox"].network_concentration == 1.0
+
+    def test_profiles_by_name_rejects_duplicates(self):
+        profile = default_profiles()[0]
+        with pytest.raises(ValueError):
+            profiles_by_name([profile, profile])
+
+    def test_catalogue_includes_paper_motivated_devices(self):
+        index = profiles_by_name()
+        # Freebox-style single-network device and the 23->8082 telnet example.
+        assert index["isp_freebox"].preferred_as_count == 1
+        telnet_ports = index["telnet_modem_2323"].ports()
+        assert 23 in telnet_ports and 8082 in telnet_ports
+
+    def test_catalogue_has_long_tail_sources(self):
+        profiles = default_profiles()
+        assert any(b.as_specific for p in profiles for b in p.bundles)
+        assert any(b.random_port for p in profiles for b in p.bundles)
+
+
+class TestBannerFactory:
+    @pytest.fixture()
+    def factory(self):
+        return BannerFactory()
+
+    @pytest.fixture()
+    def profile(self):
+        return profiles_by_name()["web_hosting"]
+
+    def test_rejects_invalid_unique_fraction(self):
+        with pytest.raises(ValueError):
+            BannerFactory(unique_body_fraction=1.5)
+
+    def test_features_include_protocol(self, factory, profile):
+        features = factory.features_for(profile, "http", 0, ip=1234)
+        assert features["protocol"] == "http"
+
+    def test_http_features_present(self, factory, profile):
+        features = factory.features_for(profile, "http", 0, ip=1234)
+        assert {"http_html_title", "http_server", "http_header"} <= set(features)
+
+    def test_https_includes_tls_and_http(self, factory, profile):
+        features = factory.features_for(profile, "https", 0, ip=1234)
+        assert "tls_cert_org" in features and "http_server" in features
+
+    def test_fleet_level_values_shared_across_hosts(self, factory, profile):
+        a = factory.features_for(profile, "http", 0, ip=1)
+        b = factory.features_for(profile, "http", 0, ip=2)
+        assert a["http_server"] == b["http_server"]
+        assert a["http_html_title"] == b["http_html_title"]
+
+    def test_host_level_values_differ_across_hosts(self, factory, profile):
+        a = factory.features_for(profile, "ssh", 0, ip=1)
+        b = factory.features_for(profile, "ssh", 0, ip=2)
+        assert a["ssh_host_key"] != b["ssh_host_key"]
+        assert a["ssh_banner"] == b["ssh_banner"]
+
+    def test_tls_cert_hash_unique_per_host(self, factory, profile):
+        a = factory.features_for(profile, "https", 0, ip=1)
+        b = factory.features_for(profile, "https", 0, ip=2)
+        assert a["tls_cert_hash"] != b["tls_cert_hash"]
+        assert a["tls_cert_org"] == b["tls_cert_org"]
+
+    def test_variants_produce_different_content(self, factory, profile):
+        a = factory.features_for(profile, "http", 0, ip=1)
+        b = factory.features_for(profile, "http", 1, ip=1)
+        assert a["http_html_title"] != b["http_html_title"]
+
+    def test_only_known_feature_keys_emitted(self, factory, profile):
+        for protocol in ("http", "https", "ssh", "telnet", "cwmp", "vnc", "ftp",
+                         "smtp", "imap", "pop3", "pptp", "mysql", "memcached",
+                         "mssql", "ipmi", "rtsp", "dns", "unknown-proto"):
+            features = factory.features_for(profile, protocol, 0, ip=9)
+            assert set(features) <= set(APP_FEATURE_KEYS)
+
+    def test_determinism(self, factory, profile):
+        assert (factory.features_for(profile, "https", 1, ip=77)
+                == factory.features_for(profile, "https", 1, ip=77))
+
+    def test_pseudo_static_shares_body_across_hosts(self, factory):
+        a = factory.pseudo_service_features(1, incident_style=False, port=80)
+        b = factory.pseudo_service_features(2, incident_style=False, port=8080)
+        assert a["http_body_hash"] == b["http_body_hash"]
+
+    def test_pseudo_incident_varies_per_port(self, factory):
+        a = factory.pseudo_service_features(1, incident_style=True, port=80)
+        b = factory.pseudo_service_features(1, incident_style=True, port=81)
+        assert a["http_body_hash"] != b["http_body_hash"]

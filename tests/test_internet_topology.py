@@ -1,0 +1,100 @@
+"""Unit tests for the synthetic topology generator."""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.internet.topology import (
+    AS_CATEGORIES,
+    AutonomousSystem,
+    Topology,
+    TopologyConfig,
+    generate_topology,
+)
+from repro.net.ipv4 import prefix_of, prefix_size
+
+
+class TestTopologyConfig:
+    def test_defaults_valid(self):
+        TopologyConfig()
+
+    @pytest.mark.parametrize("kwargs", [
+        {"as_count": 0},
+        {"prefixes_per_as": 0},
+        {"prefix_len": 4},
+        {"prefix_len": 28},
+        {"base_octet": 0},
+        {"category_weights": (("bogus", 1.0),)},
+        {"category_weights": (("hosting", -1.0),)},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            TopologyConfig(**kwargs)
+
+
+class TestGenerateTopology:
+    @pytest.fixture()
+    def topology(self):
+        return generate_topology(TopologyConfig(as_count=12, prefixes_per_as=2),
+                                 random.Random(1))
+
+    def test_as_count(self, topology):
+        assert len(topology) == 12
+
+    def test_asns_unique_and_in_private_range(self, topology):
+        asns = [system.asn for system in topology.systems]
+        assert len(set(asns)) == len(asns)
+        assert all(asn >= 64512 for asn in asns)
+
+    def test_prefixes_do_not_overlap(self, topology):
+        seen = set()
+        for system in topology.systems:
+            for base, length in system.prefixes:
+                assert base == prefix_of(base, length)
+                assert base not in seen
+                seen.add(base)
+
+    def test_categories_are_known(self, topology):
+        assert all(system.category in AS_CATEGORIES for system in topology.systems)
+
+    def test_asn_database_covers_all_prefixes(self, topology):
+        for system in topology.systems:
+            for base, length in system.prefixes:
+                assert topology.asn_db.asn_of(base + 5) == system.asn
+
+    def test_random_address_within_as(self, topology):
+        rng = random.Random(3)
+        for system in topology.systems[:5]:
+            for _ in range(20):
+                ip = topology.random_address(system.asn, rng)
+                assert topology.asn_db.asn_of(ip) == system.asn
+
+    def test_total_capacity(self, topology):
+        expected = 12 * 2 * prefix_size(16)
+        assert topology.total_address_capacity() == expected
+
+    def test_by_category_partition(self, topology):
+        total = sum(len(topology.by_category(category)) for category in AS_CATEGORIES)
+        assert total == len(topology)
+
+    def test_get_unknown_asn_raises(self, topology):
+        with pytest.raises(KeyError):
+            topology.get(1)
+
+    def test_duplicate_asn_rejected(self):
+        system = AutonomousSystem(asn=64512, name="a", category="hosting",
+                                  prefixes=((10 << 24, 16),))
+        clone = AutonomousSystem(asn=64512, name="b", category="hosting",
+                                 prefixes=((11 << 24, 16),))
+        with pytest.raises(ValueError):
+            Topology([system, clone])
+
+    def test_generation_is_deterministic(self):
+        config = TopologyConfig(as_count=6)
+        first = generate_topology(config, random.Random(7))
+        second = generate_topology(config, random.Random(7))
+        assert [s.asn for s in first.systems] == [s.asn for s in second.systems]
+        assert [s.prefixes for s in first.systems] == [s.prefixes for s in second.systems]
+        assert [s.category for s in first.systems] == [s.category for s in second.systems]

@@ -1,0 +1,171 @@
+"""Unit and property tests for the synthetic universe generator."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.internet.profiles import profiles_by_name
+from repro.internet.topology import TopologyConfig
+from repro.internet.universe import Universe, UniverseConfig, generate_universe
+from repro.net.ipv4 import ip_in_prefix, prefix_of, subnet_key
+
+
+class TestUniverseConfig:
+    @pytest.mark.parametrize("kwargs", [
+        {"host_count": 0},
+        {"pseudo_host_fraction": 1.5},
+        {"middlebox_fraction": -0.1},
+        {"pseudo_port_span": 0},
+        {"subnet_cluster_len": 8},
+        {"cluster_probability": 2.0},
+    ])
+    def test_invalid_configs_rejected(self, kwargs):
+        with pytest.raises(ValueError):
+            UniverseConfig(**kwargs)
+
+
+class TestGeneration:
+    def test_host_count_close_to_requested(self, universe):
+        described = universe.describe()
+        # Real hosts plus pseudo hosts plus middleboxes.
+        assert described["hosts"] >= 1200
+
+    def test_every_real_host_has_a_service(self, universe):
+        for host in universe.hosts.values():
+            if not host.is_pseudo_host() and not host.is_middlebox:
+                assert host.services
+
+    def test_service_records_consistent_with_host(self, universe):
+        for host in list(universe.hosts.values())[:300]:
+            for port, record in host.services.items():
+                assert record.ip == host.ip
+                assert record.port == port
+                assert 1 <= port <= 65535
+                assert record.app_features.get("protocol") == record.protocol
+
+    def test_hosts_reside_in_their_as(self, universe):
+        db = universe.topology.asn_db
+        for ip, host in list(universe.hosts.items())[:300]:
+            assert db.asn_of(ip) == host.asn
+
+    def test_generation_is_deterministic(self):
+        config = UniverseConfig(host_count=300, seed=9,
+                                topology=TopologyConfig(as_count=4))
+        first = generate_universe(config)
+        second = generate_universe(config)
+        assert set(first.real_service_pairs()) == set(second.real_service_pairs())
+
+    def test_different_seeds_differ(self):
+        base = dict(host_count=300, topology=TopologyConfig(as_count=4))
+        first = generate_universe(UniverseConfig(seed=1, **base))
+        second = generate_universe(UniverseConfig(seed=2, **base))
+        assert set(first.real_service_pairs()) != set(second.real_service_pairs())
+
+    def test_pseudo_hosts_have_wide_port_ranges(self, universe):
+        pseudo = [h for h in universe.hosts.values() if h.is_pseudo_host()]
+        assert pseudo, "universe should contain pseudo-service hosts"
+        for host in pseudo:
+            lo, hi = host.pseudo_port_range
+            assert hi - lo + 1 >= 1000
+
+    def test_middleboxes_exist_and_have_no_services(self, universe):
+        middleboxes = [h for h in universe.hosts.values() if h.is_middlebox]
+        assert middleboxes
+        assert all(not host.services for host in middleboxes)
+
+    def test_port_forwarded_services_have_differing_ttl(self):
+        profiles = profiles_by_name()
+        config = UniverseConfig(
+            host_count=300, seed=3,
+            topology=TopologyConfig(as_count=4),
+            profiles=(profiles["random_forwarder"],),
+            pseudo_host_fraction=0.0, middlebox_fraction=0.0,
+        )
+        universe = generate_universe(config)
+        ttl_spreads = [
+            len({record.ttl for record in host.services.values()})
+            for host in universe.hosts.values() if len(host.services) >= 2
+        ]
+        assert any(spread > 1 for spread in ttl_spreads)
+
+    def test_as_specific_ports_differ_across_ases(self):
+        profiles = profiles_by_name()
+        config = UniverseConfig(
+            host_count=600, seed=5,
+            topology=TopologyConfig(as_count=6),
+            profiles=(profiles["ip_camera"],),
+            pseudo_host_fraction=0.0, middlebox_fraction=0.0,
+        )
+        universe = generate_universe(config)
+        # Collect the per-AS port sets; AS-specific bundles must not all map
+        # to the same port across different ASes.
+        ports_by_asn = {}
+        for host in universe.hosts.values():
+            ports_by_asn.setdefault(host.asn, set()).update(host.services)
+        distinct_high_ports = set()
+        for ports in ports_by_asn.values():
+            distinct_high_ports.update(p for p in ports if p > 10000)
+        assert len(distinct_high_ports) > len(ports_by_asn)
+
+
+class TestQueries:
+    def test_lookup_matches_ground_truth(self, universe):
+        ip, port = next(iter(universe.real_service_pairs()))
+        record = universe.lookup(ip, port)
+        assert record is not None and record.port == port
+        assert universe.lookup(ip, 1) is None or (ip, 1) in set(universe.real_service_pairs())
+
+    def test_lookup_dark_address(self, universe):
+        assert universe.lookup(1, 80) is None
+
+    def test_syn_ack_consistency(self, universe):
+        pairs = list(universe.real_service_pairs())[:200]
+        assert all(universe.syn_ack(ip, port) for ip, port in pairs)
+
+    def test_middlebox_syn_acks_everything(self, universe):
+        middlebox = next(h for h in universe.hosts.values() if h.is_middlebox)
+        assert universe.syn_ack(middlebox.ip, 1)
+        assert universe.syn_ack(middlebox.ip, 65535)
+
+    def test_pseudo_responsive_range(self, universe):
+        host = next(h for h in universe.hosts.values() if h.is_pseudo_host())
+        lo, hi = host.pseudo_port_range
+        assert universe.is_pseudo_responsive(host.ip, lo)
+        assert universe.is_pseudo_responsive(host.ip, hi)
+        if lo > 1:
+            assert not universe.is_pseudo_responsive(host.ip, lo - 1)
+
+    def test_port_registry_matches_service_count(self, universe):
+        registry = universe.port_registry()
+        assert registry.total_services() == universe.service_count()
+
+    def test_ips_on_port_sorted_and_real(self, universe):
+        port = universe.port_registry().top_ports(1)[0]
+        ips = universe.ips_on_port(port)
+        assert ips == sorted(ips)
+        assert all(port in universe.hosts[ip].services for ip in ips)
+
+    def test_responders_in_prefix_subset_of_prefix(self, universe):
+        port = universe.port_registry().top_ports(1)[0]
+        system = universe.topology.systems[0]
+        base, length = system.prefixes[0]
+        responders = universe.responders_in_prefix(port, base, length)
+        assert all(ip_in_prefix(ip, base, length) for ip in responders)
+        expected_real = [ip for ip in universe.ips_on_port(port)
+                         if ip_in_prefix(ip, base, length)]
+        assert set(expected_real) <= set(responders)
+
+    def test_announced_overlap_full_space(self, universe):
+        assert universe.announced_overlap(0, 0) == universe.address_space_size()
+
+    def test_announced_overlap_single_as_prefix(self, universe):
+        base, length = universe.topology.systems[0].prefixes[0]
+        assert universe.announced_overlap(base, length) == 2 ** (32 - length)
+
+    def test_announced_overlap_outside_space(self, universe):
+        assert universe.announced_overlap(200 << 24, 16) == 0
+
+    def test_describe_keys(self, universe):
+        description = universe.describe()
+        assert {"hosts", "real_services", "ports_in_use", "pseudo_hosts",
+                "middleboxes", "autonomous_systems", "address_space"} <= set(description)

@@ -1,0 +1,101 @@
+"""Unit and property tests for repro.net.ports."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.net.ports import (
+    MAX_PORT,
+    PORT_SERVICE_NAMES,
+    PortRegistry,
+    XGBOOST_FIGURE4_PORTS,
+    assigned_protocol,
+    is_valid_port,
+)
+
+
+class TestAssignments:
+    def test_well_known_assignments(self):
+        assert assigned_protocol(80) == "http"
+        assert assigned_protocol(22) == "ssh"
+        assert assigned_protocol(7547) == "cwmp"
+
+    def test_unassigned_port_is_unknown(self):
+        assert assigned_protocol(49151) == "unknown"
+
+    def test_invalid_port_rejected(self):
+        with pytest.raises(ValueError):
+            assigned_protocol(0)
+        with pytest.raises(ValueError):
+            assigned_protocol(MAX_PORT + 1)
+
+    def test_is_valid_port_bounds(self):
+        assert is_valid_port(1)
+        assert is_valid_port(MAX_PORT)
+        assert not is_valid_port(0)
+        assert not is_valid_port(MAX_PORT + 1)
+
+    def test_figure4_ports_are_19_valid_ports(self):
+        assert len(XGBOOST_FIGURE4_PORTS) == 19
+        assert all(is_valid_port(port) for port in XGBOOST_FIGURE4_PORTS)
+
+    def test_service_name_table_ports_valid(self):
+        assert all(is_valid_port(port) for port in PORT_SERVICE_NAMES)
+
+
+class TestPortRegistry:
+    def test_from_ports_counts(self):
+        registry = PortRegistry.from_ports([80, 80, 443, 22, 80])
+        assert registry.count(80) == 3
+        assert registry.count(443) == 1
+        assert registry.count(9999) == 0
+        assert registry.total_services() == 5
+
+    def test_from_ports_rejects_invalid(self):
+        with pytest.raises(ValueError):
+            PortRegistry.from_ports([80, 0])
+
+    def test_from_counts_rejects_negative(self):
+        with pytest.raises(ValueError):
+            PortRegistry.from_counts({80: -1})
+
+    def test_popularity_order_breaks_ties_by_port(self):
+        registry = PortRegistry.from_counts({443: 5, 80: 5, 22: 9})
+        assert registry.ports_by_popularity() == [22, 80, 443]
+
+    def test_top_ports(self):
+        registry = PortRegistry.from_counts({80: 10, 443: 5, 22: 1})
+        assert registry.top_ports(2) == [80, 443]
+        assert registry.top_ports(0) == []
+
+    def test_top_ports_rejects_negative(self):
+        registry = PortRegistry.from_counts({80: 1})
+        with pytest.raises(ValueError):
+            registry.top_ports(-1)
+
+    def test_ports_with_min_hosts(self):
+        registry = PortRegistry.from_counts({80: 10, 443: 2, 22: 3})
+        assert registry.ports_with_min_hosts(3) == [22, 80]
+
+    def test_cumulative_coverage_reaches_one(self):
+        registry = PortRegistry.from_counts({80: 6, 443: 3, 22: 1})
+        curve = registry.cumulative_coverage()
+        assert curve[0] == (80, 0.6)
+        assert curve[-1][1] == pytest.approx(1.0)
+
+    def test_cumulative_coverage_empty_registry(self):
+        registry = PortRegistry.from_counts({})
+        assert registry.cumulative_coverage([80]) == [(80, 0.0)]
+
+    @given(st.lists(st.integers(min_value=1, max_value=MAX_PORT), min_size=1, max_size=200))
+    def test_cumulative_coverage_is_monotonic(self, ports):
+        registry = PortRegistry.from_ports(ports)
+        curve = registry.cumulative_coverage()
+        fractions = [fraction for _, fraction in curve]
+        assert all(b >= a for a, b in zip(fractions, fractions[1:]))
+        assert fractions[-1] == pytest.approx(1.0)
+
+    @given(st.lists(st.integers(min_value=1, max_value=MAX_PORT), min_size=1, max_size=200))
+    def test_total_services_matches_input_length(self, ports):
+        assert PortRegistry.from_ports(ports).total_services() == len(ports)

@@ -1,0 +1,93 @@
+"""Unit tests for the pseudo-service filter (Appendix B)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scanner.filtering import FilterReport, PseudoServiceFilter, filter_quality
+from repro.scanner.records import ScanObservation
+
+
+def _obs(ip: int, port: int, body: str = "page", protocol: str = "http") -> ScanObservation:
+    return ScanObservation(ip=ip, port=port, protocol=protocol,
+                           app_features={"protocol": protocol, "http_body_hash": body})
+
+
+class TestFilterRules:
+    def test_invalid_thresholds_rejected(self):
+        with pytest.raises(ValueError):
+            PseudoServiceFilter(max_services_per_host=0)
+        with pytest.raises(ValueError):
+            PseudoServiceFilter(min_duplicate_services=1)
+
+    def test_normal_hosts_pass_through(self):
+        observations = [_obs(1, 80, "a"), _obs(1, 443, "b"), _obs(2, 22, "c")]
+        report = PseudoServiceFilter().apply(observations)
+        assert sorted(o.pair() for o in report.kept) == [(1, 80), (1, 443), (2, 22)]
+        assert report.removed_count() == 0
+        assert not report.flagged_hosts
+
+    def test_dense_host_removed_entirely(self):
+        observations = [_obs(1, port, body=f"p{port}") for port in range(1000, 1015)]
+        observations.append(_obs(2, 80, "ok"))
+        report = PseudoServiceFilter(max_services_per_host=10).apply(observations)
+        assert {o.ip for o in report.kept} == {2}
+        assert len(report.removed_dense_host) == 15
+        assert report.flagged_hosts == {1}
+
+    def test_duplicate_content_removed(self):
+        observations = [_obs(1, port, body="same") for port in (80, 81, 82, 83, 84)]
+        observations.append(_obs(1, 22, body="unique", protocol="ssh"))
+        report = PseudoServiceFilter(min_duplicate_services=5).apply(observations)
+        kept_ports = {o.port for o in report.kept}
+        assert kept_ports == {22}
+        assert len(report.removed_duplicate_content) == 5
+        assert report.flagged_hosts == {1}
+
+    def test_duplicate_content_below_threshold_kept(self):
+        observations = [_obs(1, 80, body="same"), _obs(1, 8080, body="same")]
+        report = PseudoServiceFilter(min_duplicate_services=5).apply(observations)
+        assert len(report.kept) == 2
+
+    def test_dynamic_fields_are_stripped_before_comparison(self):
+        observations = []
+        for index, port in enumerate((80, 81, 82, 83, 84)):
+            features = {"protocol": "http", "http_body_hash": "same",
+                        "http_date": f"day-{index}"}
+            observations.append(ScanObservation(ip=1, port=port, protocol="http",
+                                                app_features=features))
+        report = PseudoServiceFilter(min_duplicate_services=5).apply(observations)
+        assert len(report.removed_duplicate_content) == 5
+
+    def test_filter_returns_only_kept(self):
+        observations = [_obs(1, port, body="same") for port in range(80, 86)]
+        kept = PseudoServiceFilter().filter(observations)
+        assert kept == []
+
+
+class TestOnSyntheticUniverse:
+    def test_pseudo_hosts_filtered_with_high_recall(self, universe, pipeline):
+        pseudo_hosts = {h.ip for h in universe.hosts.values() if h.is_pseudo_host()}
+        # Sweep a handful of ports on every pseudo host plus some real hosts.
+        observations = []
+        for host in universe.hosts.values():
+            if host.is_pseudo_host():
+                lo, _ = host.pseudo_port_range
+                targets = [(host.ip, lo + offset) for offset in range(15)]
+                fingerprints = pipeline.lzr.fingerprint_many(targets)
+                observations.extend(pipeline.zgrab.grab_many(fingerprints))
+        for ip, port in list(universe.real_service_pairs())[:100]:
+            fingerprints = pipeline.lzr.fingerprint_many([(ip, port)])
+            observations.extend(pipeline.zgrab.grab_many(fingerprints))
+
+        report = PseudoServiceFilter().apply(observations)
+        quality = filter_quality(report, pseudo_hosts)
+        assert quality["recall"] == pytest.approx(1.0)
+        assert quality["precision"] >= 0.9
+
+    def test_filter_quality_with_no_flags(self):
+        report = FilterReport()
+        quality = filter_quality(report, pseudo_hosts=set())
+        assert quality["recall"] == 1.0
+        quality = filter_quality(report, pseudo_hosts={1})
+        assert quality["recall"] == 0.0

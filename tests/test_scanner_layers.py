@@ -1,0 +1,143 @@
+"""Unit tests for the simulated ZMap, LZR and ZGrab layers."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.scanner.bandwidth import BandwidthLedger, ScanCategory
+from repro.scanner.lzr import PROBES_PER_FINGERPRINT, LZRSimulator
+from repro.scanner.zgrab import ZGrabSimulator
+from repro.scanner.zmap import ZMAP_IP_ID_FINGERPRINT, ZMapSimulator
+
+
+@pytest.fixture()
+def ledger(universe):
+    return BandwidthLedger(address_space_size=universe.address_space_size())
+
+
+@pytest.fixture()
+def zmap(universe, ledger):
+    return ZMapSimulator(universe, ledger)
+
+
+@pytest.fixture()
+def lzr(universe, ledger):
+    return LZRSimulator(universe, ledger)
+
+
+@pytest.fixture()
+def zgrab(universe, ledger):
+    return ZGrabSimulator(universe, ledger)
+
+
+class TestZMap:
+    def test_fingerprint_constant(self, zmap):
+        assert zmap.ip_id == ZMAP_IP_ID_FINGERPRINT == 54321
+
+    def test_scan_prefix_charges_announced_overlap(self, universe, zmap, ledger):
+        base, length = universe.topology.systems[0].prefixes[0]
+        port = universe.port_registry().top_ports(1)[0]
+        responders = zmap.scan_prefix(port, base, length)
+        assert ledger.total_probes() == universe.announced_overlap(base, length)
+        assert ledger.total_responses() == len(responders)
+
+    def test_scan_prefix_rejects_invalid_port(self, zmap):
+        with pytest.raises(ValueError):
+            zmap.scan_prefix(0, 0, 16)
+
+    def test_scan_prefix_finds_known_services(self, universe, zmap):
+        port = universe.port_registry().top_ports(1)[0]
+        expected = set(universe.ips_on_port(port))
+        found = set()
+        for system in universe.topology.systems:
+            for base, length in system.prefixes:
+                found.update(zmap.scan_prefix(port, base, length))
+        assert expected <= found
+
+    def test_scan_host_ports_all_ports(self, universe, zmap, ledger):
+        ip, port = next(iter(universe.real_service_pairs()))
+        responsive = zmap.scan_host_ports(ip)
+        assert port in responsive
+        assert ledger.total_probes() == 65535
+
+    def test_scan_host_ports_subset(self, universe, zmap, ledger):
+        ip, port = next(iter(universe.real_service_pairs()))
+        responsive = zmap.scan_host_ports(ip, ports=[port, 1])
+        assert responsive == [port] or set(responsive) == {port, 1}
+        assert ledger.total_probes() == 2
+
+    def test_scan_host_ports_dark_address(self, zmap):
+        assert zmap.scan_host_ports(1, ports=[80, 443]) == []
+
+    def test_scan_host_ports_rejects_invalid_port(self, zmap):
+        with pytest.raises(ValueError):
+            zmap.scan_host_ports(1, ports=[0])
+
+    def test_scan_pairs_counts_hits(self, universe, zmap, ledger):
+        pairs = list(universe.real_service_pairs())[:20]
+        hits = zmap.scan_pairs(pairs + [(1, 80)])
+        assert set(hits) == set(pairs)
+        assert ledger.total_probes() == len(pairs) + 1
+
+    def test_middlebox_responds_on_all_ports(self, universe, zmap):
+        middlebox = next(h for h in universe.hosts.values() if h.is_middlebox)
+        responsive = zmap.scan_host_ports(middlebox.ip, ports=[1, 2, 3])
+        assert responsive == [1, 2, 3]
+
+
+class TestLZR:
+    def test_real_service_fingerprinted(self, universe, lzr, ledger):
+        ip, port = next(iter(universe.real_service_pairs()))
+        result = lzr.fingerprint(ip, port)
+        assert result.is_real_service
+        assert result.protocol == universe.lookup(ip, port).protocol
+        assert ledger.total_probes() == PROBES_PER_FINGERPRINT
+
+    def test_middlebox_yields_no_protocol(self, universe, lzr):
+        middlebox = next(h for h in universe.hosts.values() if h.is_middlebox)
+        result = lzr.fingerprint(middlebox.ip, 80)
+        assert result.protocol is None
+        assert not result.is_real_service
+
+    def test_pseudo_service_fingerprints_as_http_but_not_real(self, universe, lzr):
+        host = next(h for h in universe.hosts.values() if h.is_pseudo_host())
+        lo, _ = host.pseudo_port_range
+        port = lo if lo not in host.services else lo + 1
+        result = lzr.fingerprint(host.ip, port)
+        assert result.protocol == "http"
+        assert not result.is_real_service
+
+    def test_fingerprint_many_drops_middleboxes(self, universe, lzr):
+        middlebox = next(h for h in universe.hosts.values() if h.is_middlebox)
+        ip, port = next(iter(universe.real_service_pairs()))
+        results = lzr.fingerprint_many([(middlebox.ip, 80), (ip, port)])
+        assert [(r.ip, r.port) for r in results] == [(ip, port)]
+
+
+class TestZGrab:
+    def test_grab_returns_ground_truth_features(self, universe, lzr, zgrab):
+        ip, port = next(iter(universe.real_service_pairs()))
+        observation = zgrab.grab(lzr.fingerprint(ip, port))
+        record = universe.lookup(ip, port)
+        assert observation is not None
+        assert observation.app_features == record.app_features
+        assert observation.ttl == record.ttl
+
+    def test_grab_skips_unfingerprinted(self, universe, lzr, zgrab):
+        middlebox = next(h for h in universe.hosts.values() if h.is_middlebox)
+        assert zgrab.grab(lzr.fingerprint(middlebox.ip, 80)) is None
+
+    def test_grab_pseudo_service_produces_http_page(self, universe, lzr, zgrab):
+        host = next(h for h in universe.hosts.values() if h.is_pseudo_host())
+        lo, _ = host.pseudo_port_range
+        port = lo if lo not in host.services else lo + 1
+        observation = zgrab.grab(lzr.fingerprint(host.ip, port))
+        assert observation is not None
+        assert observation.protocol == "http"
+        assert "http_body_hash" in observation.app_features
+
+    def test_grab_many_matches_individual_grabs(self, universe, lzr, zgrab):
+        pairs = list(universe.real_service_pairs())[:10]
+        fingerprints = lzr.fingerprint_many(pairs)
+        observations = zgrab.grab_many(fingerprints)
+        assert sorted(obs.pair() for obs in observations) == sorted(pairs)

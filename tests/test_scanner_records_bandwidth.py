@@ -1,0 +1,110 @@
+"""Unit tests for scan records and bandwidth accounting."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.scanner.bandwidth import BITS_PER_PROBE, BandwidthLedger, ScanCategory
+from repro.scanner.records import ScanObservation, observations_by_host, unique_pairs
+
+
+def _obs(ip: int, port: int, protocol: str = "http") -> ScanObservation:
+    return ScanObservation(ip=ip, port=port, protocol=protocol,
+                           app_features={"protocol": protocol})
+
+
+class TestScanObservation:
+    def test_pair_and_feature(self):
+        obs = ScanObservation(ip=7, port=80, protocol="http",
+                              app_features={"http_server": "nginx"})
+        assert obs.pair() == (7, 80)
+        assert obs.feature("http_server") == "nginx"
+        assert obs.feature("missing", "d") == "d"
+
+    def test_observations_by_host_groups_and_sorts(self):
+        grouped = observations_by_host([_obs(1, 443), _obs(2, 80), _obs(1, 80)])
+        assert set(grouped) == {1, 2}
+        assert [o.port for o in grouped[1]] == [80, 443]
+
+    def test_unique_pairs_dedupes(self):
+        pairs = unique_pairs([_obs(1, 80), _obs(1, 80), _obs(2, 22)])
+        assert pairs == [(1, 80), (2, 22)]
+
+
+class TestBandwidthLedger:
+    def test_rejects_non_positive_space(self):
+        with pytest.raises(ValueError):
+            BandwidthLedger(address_space_size=0)
+
+    def test_record_and_totals(self):
+        ledger = BandwidthLedger(address_space_size=1000)
+        ledger.record(ScanCategory.SEED, probes=500, responses=5)
+        ledger.record(ScanCategory.PREDICTION, probes=100, responses=80)
+        assert ledger.total_probes() == 600
+        assert ledger.total_probes(ScanCategory.SEED) == 500
+        assert ledger.total_responses() == 85
+        assert ledger.full_scans() == pytest.approx(0.6)
+        assert ledger.full_scans(ScanCategory.PREDICTION) == pytest.approx(0.1)
+
+    def test_precision(self):
+        ledger = BandwidthLedger(address_space_size=10)
+        assert ledger.precision() == 0.0
+        ledger.record(ScanCategory.PRIORS, probes=100, responses=25)
+        assert ledger.precision() == pytest.approx(0.25)
+
+    def test_rejects_negative_counts(self):
+        ledger = BandwidthLedger(address_space_size=10)
+        with pytest.raises(ValueError):
+            ledger.record(ScanCategory.SEED, probes=-1)
+
+    def test_rejects_more_responses_than_probes(self):
+        ledger = BandwidthLedger(address_space_size=10)
+        with pytest.raises(ValueError):
+            ledger.record(ScanCategory.SEED, probes=1, responses=2)
+
+    def test_wall_time_model(self):
+        ledger = BandwidthLedger(address_space_size=10)
+        ledger.record(ScanCategory.SEED, probes=1000)
+        assert ledger.wall_time_seconds(rate_bits_per_second=1000 * BITS_PER_PROBE) \
+            == pytest.approx(1.0)
+        with pytest.raises(ValueError):
+            ledger.wall_time_seconds(rate_bits_per_second=0)
+
+    def test_snapshot_contains_category_breakdown(self):
+        ledger = BandwidthLedger(address_space_size=10)
+        ledger.record(ScanCategory.SEED, probes=10, responses=1)
+        snapshot = ledger.snapshot()
+        assert snapshot["total_probes"] == 10.0
+        assert "full_scans_seed" in snapshot
+
+    def test_merge_requires_same_space(self):
+        a = BandwidthLedger(address_space_size=10)
+        b = BandwidthLedger(address_space_size=20)
+        with pytest.raises(ValueError):
+            a.merged_with(b)
+
+    def test_merge_sums_categories(self):
+        a = BandwidthLedger(address_space_size=10)
+        b = BandwidthLedger(address_space_size=10)
+        a.record(ScanCategory.SEED, probes=5, responses=1)
+        b.record(ScanCategory.SEED, probes=7, responses=2)
+        merged = a.merged_with(b)
+        assert merged.total_probes(ScanCategory.SEED) == 12
+        assert merged.total_responses(ScanCategory.SEED) == 3
+
+    @given(st.lists(st.tuples(st.integers(min_value=0, max_value=10_000),
+                              st.integers(min_value=0, max_value=10_000)),
+                    max_size=30))
+    def test_totals_match_sum_of_records(self, records):
+        ledger = BandwidthLedger(address_space_size=1234)
+        expected_probes = 0
+        expected_responses = 0
+        for probes, responses in records:
+            responses = min(probes, responses)
+            ledger.record(ScanCategory.OTHER, probes=probes, responses=responses)
+            expected_probes += probes
+            expected_responses += responses
+        assert ledger.total_probes() == expected_probes
+        assert ledger.total_responses() == expected_responses
+        assert ledger.full_scans() == pytest.approx(expected_probes / 1234)
