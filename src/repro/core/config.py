@@ -40,6 +40,10 @@ NETWORK_FEATURE_KINDS = (
 
 DEFAULT_NETWORK_KINDS = ("asn", "subnet16")
 
+#: Engine execution paths for model building (``GPSConfig.engine_mode`` /
+#: :func:`repro.core.model.build_model_with_engine`).
+ENGINE_MODES = ("fused", "legacy")
+
 #: Application-layer feature keys (Table 1) excluding the protocol fingerprint,
 #: which is always available and handled explicitly.
 DEFAULT_APP_FEATURE_KEYS = tuple(key for key in APP_FEATURE_KEYS)
@@ -120,6 +124,9 @@ class GPSConfig:
             per batch; only affects the granularity of the discovery log.
         use_engine: build the model on the parallel engine rather than the
             single-core dictionary implementation.
+        engine_mode: which engine execution path to use when ``use_engine``
+            is set: ``"fused"`` (streaming join+group-count, the default) or
+            ``"legacy"`` (materialized self-join, kept as a baseline).
         executor: parallel engine configuration (backend + worker count).
     """
 
@@ -133,6 +140,7 @@ class GPSConfig:
     seed_scan_seed: int = 0
     prediction_batch_size: int = 2000
     use_engine: bool = False
+    engine_mode: str = "fused"
     executor: ExecutorConfig = field(default_factory=ExecutorConfig)
 
     def __post_init__(self) -> None:
@@ -148,6 +156,8 @@ class GPSConfig:
             raise ValueError("max_full_scans must be positive when set")
         if self.prediction_batch_size < 1:
             raise ValueError("prediction_batch_size must be >= 1")
+        if self.engine_mode not in ENGINE_MODES:
+            raise ValueError(f"unknown engine_mode: {self.engine_mode!r}")
         if self.port_domain is not None:
             for port in self.port_domain:
                 if not 1 <= port <= 65535:

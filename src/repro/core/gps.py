@@ -153,7 +153,8 @@ class GPS:
         host_features = extract_host_features(seed.observations, self._asn_db,
                                               config.feature_config)
         if config.use_engine:
-            model = build_model_with_engine(host_features, config.executor)
+            model = build_model_with_engine(host_features, config.executor,
+                                            mode=config.engine_mode)
         else:
             model = build_model(host_features)
         result.model = model
@@ -237,7 +238,8 @@ class GPS:
         host_features = extract_host_features(seed.observations, self._asn_db,
                                               config.feature_config)
         if config.use_engine:
-            model = build_model_with_engine(host_features, config.executor)
+            model = build_model_with_engine(host_features, config.executor,
+                                            mode=config.engine_mode)
         else:
             model = build_model(host_features)
         result.model = model

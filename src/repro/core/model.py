@@ -18,12 +18,20 @@ the two implementations produce identical probabilities.
 
 from __future__ import annotations
 
+from collections import Counter
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
 
+from repro.core.config import ENGINE_MODES
 from repro.core.features import HostFeatures, PredictorTuple
+from repro.engine.encoding import DictionaryEncoder
+from repro.engine.fused import join_group_count
 from repro.engine.ops import group_count, hash_join
-from repro.engine.parallel import ExecutorConfig, partitioned_group_count
+from repro.engine.parallel import (
+    ExecutorConfig,
+    partitioned_group_count,
+    partitioned_join_group_count,
+)
 from repro.engine.table import Table
 
 
@@ -145,41 +153,106 @@ def host_features_to_tables(host_features: Mapping[int, HostFeatures]) -> Tuple[
     port) -- the shape the paper's BigQuery implementation materialises before
     its self-join.
     """
-    feature_rows: List[Tuple[int, int, PredictorTuple]] = []
-    port_rows: List[Tuple[int, int]] = []
+    feature_ips: List[int] = []
+    feature_ports: List[int] = []
+    feature_predictors: List[PredictorTuple] = []
+    port_ips: List[int] = []
+    port_ports: List[int] = []
     for host in host_features.values():
+        ip = host.ip
         for port_b, predictors in host.ports.items():
-            port_rows.append((host.ip, port_b))
+            port_ips.append(ip)
+            port_ports.append(port_b)
             for predictor in predictors:
-                feature_rows.append((host.ip, port_b, predictor))
-    features = Table.from_rows(("ip", "port", "predictor"), feature_rows)
-    ports = Table.from_rows(("ip", "port"), port_rows)
+                feature_ips.append(ip)
+                feature_ports.append(port_b)
+                feature_predictors.append(predictor)
+    features = Table(columns={"ip": feature_ips, "port": feature_ports,
+                              "predictor": feature_predictors})
+    ports = Table(columns={"ip": port_ips, "port": port_ports})
     return features, ports
 
 
 def build_model_with_engine(host_features: Mapping[int, HostFeatures],
-                            executor: Optional[ExecutorConfig] = None) -> CooccurrenceModel:
+                            executor: Optional[ExecutorConfig] = None,
+                            mode: str = "fused") -> CooccurrenceModel:
     """Model building expressed as engine operations (the BigQuery analogue).
 
     The computation is: JOIN the feature relation with the port relation on
     the host address, drop self-pairs, GROUP BY (predictor, target port) to
     obtain the co-occurrence counts, and GROUP BY predictor over the feature
-    relation to obtain the denominators.  With an ``executor`` the group-bys
-    run hash-partitioned across workers.
+    relation to obtain the denominators.
+
+    Two execution paths implement that query:
+
+    * ``mode="fused"`` (default) dictionary-encodes predictor tuples to dense
+      integer ids, then streams the feature relation through the
+      port-relation hash index and folds directly into the co-occurrence
+      counters (:func:`repro.engine.fused.join_group_count`); the quadratic
+      joined relation is never materialized, every group key is a pair of
+      small ints, and with a parallel ``executor`` contiguous chunks of the
+      stream scatter across workers.  Predictor ids are decoded when the
+      counters are reassembled into the model.
+    * ``mode="legacy"`` materializes the full join as a table and group-counts
+      it afterwards -- the original formulation, kept as a comparison
+      baseline for the engine-scaling benchmark.
+
+    Both paths produce probabilities identical to :func:`build_model` (the
+    oracle); the test suite asserts this on randomized inputs.
     """
+    if mode not in ENGINE_MODES:
+        raise ValueError(f"unknown engine mode: {mode!r} (expected one of {ENGINE_MODES})")
     executor = executor or ExecutorConfig()
     features, ports = host_features_to_tables(host_features)
+    serial = executor.backend == "serial" and executor.workers == 1
 
-    joined = hash_join(features, ports, on=("ip",),
-                       left_prefix="b_", right_prefix="a_",
-                       exclude_self_pairs_on=("b_port", "a_port"))
-
-    if executor.backend == "serial" and executor.workers == 1:
-        pair_counts = group_count(joined, ("b_predictor", "a_port"))
-        denom_counts = group_count(features, ("predictor",))
+    if mode == "fused":
+        encoder = DictionaryEncoder()
+        encoded = Table(columns={
+            "ip": features.columns["ip"],
+            "port": features.columns["port"],
+            "predictor": encoder.encode_column(features.columns["predictor"]),
+        })
+        if serial:
+            pair_counts = join_group_count(
+                encoded, ports, on=("ip",), keys=("b_predictor", "a_port"),
+                left_prefix="b_", right_prefix="a_",
+                exclude_self_pairs_on=("b_port", "a_port"), int_keys=True)
+            # GROUP BY the single encoded column is a bare Counter over it.
+            denom_items = Counter(encoded.columns["predictor"]).items()
+        else:
+            pair_counts = partitioned_join_group_count(
+                encoded, ports, on=("ip",), keys=("b_predictor", "a_port"),
+                config=executor, left_prefix="b_", right_prefix="a_",
+                exclude_self_pairs_on=("b_port", "a_port"), int_keys=True)
+            denom_counts = partitioned_group_count(encoded, ("predictor",), executor)
+            denom_items = ((key[0], count) for key, count in denom_counts.items())
+        # Reassemble grouped by encoded id first so each predictor tuple is
+        # decoded once, not once per (predictor, port) pair.
+        cooccurrence_by_id: Dict[int, Dict[int, int]] = {}
+        for (predictor_id, port_a), count in pair_counts.items():
+            targets = cooccurrence_by_id.get(predictor_id)
+            if targets is None:
+                targets = cooccurrence_by_id[predictor_id] = {}
+            targets[port_a] = count
+        decode = encoder.decode
+        model = CooccurrenceModel()
+        model.denominators = {decode(predictor_id): count
+                              for predictor_id, count in denom_items}
+        model.cooccurrence = {decode(predictor_id): targets
+                              for predictor_id, targets in cooccurrence_by_id.items()}
+        return model
     else:
-        pair_counts = partitioned_group_count(joined, ("b_predictor", "a_port"), executor)
-        denom_counts = partitioned_group_count(features, ("predictor",), executor)
+        joined = hash_join(features, ports, on=("ip",),
+                           left_prefix="b_", right_prefix="a_",
+                           exclude_self_pairs_on=("b_port", "a_port"))
+        if serial:
+            pair_counts = group_count(joined, ("b_predictor", "a_port"))
+            denom_counts = group_count(features, ("predictor",))
+        else:
+            pair_counts = partitioned_group_count(joined, ("b_predictor", "a_port"),
+                                                  executor)
+            denom_counts = partitioned_group_count(features, ("predictor",), executor)
 
     model = CooccurrenceModel()
     for (predictor,), count in denom_counts.items():

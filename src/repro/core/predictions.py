@@ -61,13 +61,11 @@ class PredictiveFeatureIndex:
 
     def __init__(self, features: Iterable[PredictiveFeature]) -> None:
         self._by_predictor: Dict[PredictorTuple, Dict[int, float]] = {}
-        count = 0
         for feature in features:
             targets = self._by_predictor.setdefault(feature.predictor, {})
             existing = targets.get(feature.target_port)
             if existing is None or feature.probability > existing:
                 targets[feature.target_port] = feature.probability
-            count += 1
         self._entry_count = sum(len(t) for t in self._by_predictor.values())
 
     # -- construction -----------------------------------------------------------------
@@ -169,9 +167,16 @@ class PredictiveFeatureIndex:
         """
         known = known_pairs or set()
         best: Dict[Tuple[int, int], PredictedService] = {}
+        # Network-layer features depend only on the address, and hosts with
+        # several discovered services appear once per service; memoize per IP
+        # so the ASN lookup and subnet derivations run once per host.
+        net_values_by_ip: Dict[int, List[Tuple[str, int]]] = {}
         for observation in observations:
-            net_values = network_feature_values(observation.ip, asn_db,
-                                                feature_config.network_feature_kinds)
+            net_values = net_values_by_ip.get(observation.ip)
+            if net_values is None:
+                net_values = network_feature_values(
+                    observation.ip, asn_db, feature_config.network_feature_kinds)
+                net_values_by_ip[observation.ip] = net_values
             predictors = predictor_tuples_for_observation(observation, net_values,
                                                           feature_config)
             for predictor in predictors:

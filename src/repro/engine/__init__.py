@@ -11,8 +11,14 @@ Offline we cannot use BigQuery, so this package provides the same primitives:
 * :class:`~repro.engine.table.Table` -- a small in-memory columnar table;
 * :mod:`~repro.engine.ops` -- projection, filtering, hash join and group-by
   aggregation over tables;
-* :mod:`~repro.engine.parallel` -- executors that partition work by key and run
-  partitions serially, on a thread pool, or on a process pool, so the Table 2
+* :mod:`~repro.engine.fused` -- the fused streaming ``join_group_count``
+  operator, which folds the self-join directly into per-key counters without
+  materializing the joined table (the hot path of model building);
+* :mod:`~repro.engine.encoding` -- dictionary encoding of hashable values to
+  dense integer ids (cheap grouping keys, ``PYTHONHASHSEED``-independent
+  sharding, compact cross-process payloads);
+* :mod:`~repro.engine.parallel` -- executors that scatter streamed chunks and
+  run them serially, on a thread pool, or on a process pool, so the Table 2
   experiment can measure how GPS's prediction computation scales with the
   degree of parallelism.
 
@@ -22,6 +28,8 @@ this engine; the test suite asserts they produce identical probabilities.
 """
 
 from repro.engine.table import Column, Table
+from repro.engine.encoding import DictionaryEncoder, stable_hash
+from repro.engine.fused import join_group_count
 from repro.engine.ops import (
     aggregate,
     filter_rows,
@@ -37,15 +45,19 @@ from repro.engine.parallel import (
     ProcessPoolExecutorBackend,
     make_executor,
     partitioned_group_count,
+    partitioned_join_group_count,
 )
 
 __all__ = [
     "Column",
     "Table",
+    "DictionaryEncoder",
+    "stable_hash",
     "project",
     "filter_rows",
     "hash_join",
     "group_count",
+    "join_group_count",
     "aggregate",
     "ExecutorConfig",
     "ParallelExecutor",
@@ -54,4 +66,5 @@ __all__ = [
     "ProcessPoolExecutorBackend",
     "make_executor",
     "partitioned_group_count",
+    "partitioned_join_group_count",
 ]

@@ -1,0 +1,386 @@
+"""Fused streaming operators: join + group-by + count in one pass.
+
+The GPS model-building query is a self-join whose *output* is quadratic in
+the services per host, but whose *answer* -- co-occurrence counts per
+(predictor, target port) -- is only as large as the number of distinct
+patterns.  :func:`repro.engine.ops.hash_join` followed by
+:func:`repro.engine.ops.group_count` materializes the whole quadratic
+intermediate as row tuples (twice, when self-pair exclusion re-filters the
+joined table) before a single count happens.
+
+:func:`join_group_count` fuses the pipeline: left rows stream through the
+right-side hash index and every surviving (left, right) combination folds
+directly into a per-key counter.  No joined ``Table`` is ever constructed,
+self-pairs are skipped inline, and peak memory is the size of the *answer*
+plus the right-side index.  The operator is defined to be exactly equivalent
+to ``group_count(hash_join(left, right, ...), keys)`` -- the property the
+test suite checks on randomized tables -- while the query plan it compiles
+(:class:`FusedJoinPlan`) is plain picklable data, which is what lets
+:mod:`repro.engine.parallel` scatter chunks of the streamed side across
+worker processes without re-deriving anything.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
+
+from repro.engine.table import Table
+
+__all__ = ["FusedJoinPlan", "compile_join_plan", "join_group_count"]
+
+#: Exclusion-predicate shapes: both operands from the streamed (left) side,
+#: one per side, or both from the indexed (right) side.
+_EXCL_LL = "LL"
+_EXCL_LR = "LR"
+_EXCL_RR = "RR"
+
+
+@dataclass(frozen=True)
+class FusedJoinPlan:
+    """A compiled fused join+group-count query (schema-level, no data).
+
+    The plan names which physical columns feed the join key, which fill the
+    static (left-side) slots of the group key, which right-side payload slots
+    fill the rest, and how the optional exclusion predicate is evaluated.
+    Slot indices refer to positions in the output group-key tuple; payload
+    indices refer to positions in the per-match right-side value tuples
+    stored in the hash index.
+
+    Attributes:
+        on: join column names (present in both tables).
+        width: arity of the group-key tuples the query produces.
+        static_slots: ``(slot, left_column_name)`` pairs filled once per left
+            row (join columns are read from the left side -- they are equal
+            across sides by construction).
+        right_slots: ``(slot, payload_index)`` pairs filled once per match.
+        right_payload: right-side column names stored in the index, in
+            payload order.
+        exclusion: ``None`` or ``(shape, a, b)`` where shape is ``"LL"``,
+            ``"LR"`` or ``"RR"``; for ``L`` operands the operand is a left
+            column name, for ``R`` operands a payload index.
+    """
+
+    on: Tuple[str, ...]
+    width: int
+    static_slots: Tuple[Tuple[int, str], ...]
+    right_slots: Tuple[Tuple[int, int], ...]
+    right_payload: Tuple[str, ...]
+    exclusion: Optional[Tuple[str, Any, Any]]
+
+
+def compile_join_plan(left: Table, right: Table, on: Sequence[str],
+                      keys: Sequence[str],
+                      left_prefix: str = "l_", right_prefix: str = "r_",
+                      exclude_self_pairs_on: Optional[Tuple[str, str]] = None,
+                      ) -> FusedJoinPlan:
+    """Compile group keys / exclusion names against the virtual join schema.
+
+    The virtual schema is exactly :func:`repro.engine.ops.hash_join`'s output
+    schema -- join columns unprefixed, then prefixed left and right value
+    columns -- so callers address columns identically in both formulations.
+    """
+    for name in on:
+        if name not in left.columns or name not in right.columns:
+            raise KeyError(f"join column {name!r} missing from one side")
+    left_value_cols = [name for name in left.names if name not in on]
+    right_value_cols = [name for name in right.names if name not in on]
+
+    payload: List[str] = []
+
+    def payload_index(right_col: str) -> int:
+        if right_col not in payload:
+            payload.append(right_col)
+        return payload.index(right_col)
+
+    def resolve(name: str) -> Tuple[str, Any]:
+        """Map an output-schema name to ('L', left column) or ('R', payload idx)."""
+        if name in on:
+            return ("L", name)
+        if name.startswith(left_prefix):
+            stripped = name[len(left_prefix):]
+            if stripped in left_value_cols:
+                return ("L", stripped)
+        if name.startswith(right_prefix):
+            stripped = name[len(right_prefix):]
+            if stripped in right_value_cols:
+                return ("R", payload_index(stripped))
+        raise KeyError(f"column {name!r} not in join output schema")
+
+    static_slots: List[Tuple[int, str]] = []
+    right_slots: List[Tuple[int, int]] = []
+    for slot, name in enumerate(keys):
+        side, ref = resolve(name)
+        if side == "L":
+            static_slots.append((slot, ref))
+        else:
+            right_slots.append((slot, ref))
+
+    exclusion: Optional[Tuple[str, Any, Any]] = None
+    if exclude_self_pairs_on is not None:
+        try:
+            side_a, ref_a = resolve(exclude_self_pairs_on[0])
+            side_b, ref_b = resolve(exclude_self_pairs_on[1])
+        except KeyError:
+            raise KeyError(
+                f"exclude_self_pairs_on columns {exclude_self_pairs_on} not in output schema"
+            ) from None
+        if side_b == "L" and side_a == "R":
+            side_a, ref_a, side_b, ref_b = side_b, ref_b, side_a, ref_a
+        exclusion = (side_a + side_b, ref_a, ref_b)
+
+    return FusedJoinPlan(
+        on=tuple(on),
+        width=len(keys),
+        static_slots=tuple(static_slots),
+        right_slots=tuple(right_slots),
+        right_payload=tuple(payload),
+        exclusion=exclusion,
+    )
+
+
+def build_right_index(right: Table, plan: FusedJoinPlan,
+                      columns: Optional[Dict[str, List[Any]]] = None,
+                      ) -> Dict[Hashable, List[Tuple[Any, ...]]]:
+    """Hash the right side: join key -> list of payload tuples.
+
+    Single-column join keys are stored unwrapped (scalar keys hash faster
+    than 1-tuples and the index is internal to the operator).  ``columns``
+    overrides the physical columns (the parallel driver passes
+    dictionary-encoded ones); by default the table's own columns are used.
+    """
+    cols = columns if columns is not None else right.columns
+    key_cols = [cols[name] for name in plan.on]
+    payload_cols = [cols[name] for name in plan.right_payload]
+    index: Dict[Hashable, List[Tuple[Any, ...]]] = {}
+    if not key_cols:
+        raise ValueError("join requires at least one key column")
+    single = len(key_cols) == 1
+    key_col0 = key_cols[0]
+    for i in range(len(right)):
+        key = key_col0[i] if single else tuple(col[i] for col in key_cols)
+        entry = index.get(key)
+        if entry is None:
+            entry = index[key] = []
+        entry.append(tuple(col[i] for col in payload_cols))
+    return index
+
+
+def count_join_chunk(payload: Tuple[Any, ...]) -> Counter:
+    """Stream one chunk of left rows through the index, counting group keys.
+
+    ``payload`` is plain data -- ``(key_cols, static_cols, excl, right_slots,
+    width, index, pack_base)`` with ``excl`` as ``None`` or ``(shape, a, b)``
+    where ``L`` operands are column lists and ``R`` operands payload indices
+    -- so the same function runs in-process and as a process-pool worker.
+    When ``pack_base`` is set the returned counter is keyed by packed ints
+    (``left * pack_base + right``) instead of 2-tuples; drivers unpack with
+    :func:`unpack_counts`.
+    """
+    key_cols, static_cols, excl, right_slots, width, index, pack_base = payload
+    counts: Counter = Counter()
+    if not key_cols:
+        return counts
+    n = len(key_cols[0])
+    single = len(key_cols) == 1
+    key_col0 = key_cols[0]
+    index_get = index.get
+    shape = excl[0] if excl is not None else None
+
+    # Fast path for the model-building shape: one join key, a two-slot group
+    # key of (left value, right value), and no exclusion or a left-vs-right
+    # one.  This is the loop every pair in the co-occurrence query runs
+    # through, so it avoids the slot indirection of the general case.  When
+    # the driver proved both group columns integral (``pack_base`` set), the
+    # two-int group key is packed into a single int -- hashing a small int is
+    # several times cheaper than hashing a 2-tuple, and this loop does one
+    # hash per joined pair.  The driver unpacks the distinct keys afterwards.
+    if (single and width == 2 and len(static_cols) == 1 and len(right_slots) == 1
+            and static_cols[0][0] == 0 and right_slots[0][0] == 1
+            and shape in (None, _EXCL_LR)):
+        _, left_col = static_cols[0]
+        _, right_idx = right_slots[0]
+        if pack_base is not None:
+            # Packed keys fold through a small bounded buffer so the actual
+            # counting happens in C (``Counter.update`` over a list of ints)
+            # instead of one interpreted dict-increment per joined pair.
+            buffer: List[int] = []
+            buffer_append = buffer.append
+            flush = counts.update
+            if shape is None:
+                for i in range(n):
+                    matches = index_get(key_col0[i])
+                    if not matches:
+                        continue
+                    packed = left_col[i] * pack_base
+                    for match in matches:
+                        buffer_append(packed + match[right_idx])
+                    if len(buffer) >= 8192:
+                        flush(buffer)
+                        buffer.clear()
+            else:
+                _, excl_col, excl_idx = excl
+                for i in range(n):
+                    matches = index_get(key_col0[i])
+                    if not matches:
+                        continue
+                    packed = left_col[i] * pack_base
+                    excl_value = excl_col[i]
+                    for match in matches:
+                        if excl_value == match[excl_idx]:
+                            continue
+                        buffer_append(packed + match[right_idx])
+                    if len(buffer) >= 8192:
+                        flush(buffer)
+                        buffer.clear()
+            if buffer:
+                flush(buffer)
+            return counts
+        if shape is None:
+            for i in range(n):
+                matches = index_get(key_col0[i])
+                if not matches:
+                    continue
+                left_value = left_col[i]
+                for match in matches:
+                    counts[(left_value, match[right_idx])] += 1
+        else:
+            _, excl_col, excl_idx = excl
+            for i in range(n):
+                matches = index_get(key_col0[i])
+                if not matches:
+                    continue
+                left_value = left_col[i]
+                excl_value = excl_col[i]
+                for match in matches:
+                    if excl_value == match[excl_idx]:
+                        continue
+                    counts[(left_value, match[right_idx])] += 1
+        return counts
+
+    if excl is not None:
+        _, excl_a, excl_b = excl
+    parts: List[Any] = [None] * width
+    for i in range(n):
+        key = key_col0[i] if single else tuple(col[i] for col in key_cols)
+        matches = index_get(key)
+        if not matches:
+            continue
+        if shape == _EXCL_LL and excl_a[i] == excl_b[i]:
+            continue
+        for slot, col in static_cols:
+            parts[slot] = col[i]
+        for match in matches:
+            if shape == _EXCL_LR:
+                if excl_a[i] == match[excl_b]:
+                    continue
+            elif shape == _EXCL_RR:
+                if match[excl_a] == match[excl_b]:
+                    continue
+            for slot, payload_idx in right_slots:
+                parts[slot] = match[payload_idx]
+            counts[tuple(parts)] += 1
+    return counts
+
+
+def chunk_payload(plan: FusedJoinPlan,
+                  columns: Dict[str, List[Any]],
+                  index: Dict[Hashable, List[Tuple[Any, ...]]],
+                  start: int = 0, stop: Optional[int] = None,
+                  pack_base: Optional[int] = None) -> Tuple[Any, ...]:
+    """Assemble a :func:`count_join_chunk` payload for left rows [start:stop).
+
+    ``columns`` holds the left table's physical columns (raw or encoded);
+    slicing happens here so the parallel driver ships only each worker's
+    range of the streamed side.
+    """
+    def span(col: List[Any]) -> List[Any]:
+        return col if start == 0 and stop is None else col[start:stop]
+
+    key_cols = [span(columns[name]) for name in plan.on]
+    static_cols = [(slot, span(columns[name])) for slot, name in plan.static_slots]
+    excl = plan.exclusion
+    if excl is not None:
+        shape, a, b = excl
+        if shape == _EXCL_LL:
+            excl = (shape, span(columns[a]), span(columns[b]))
+        elif shape == _EXCL_LR:
+            excl = (shape, span(columns[a]), b)
+    return (key_cols, static_cols, excl, list(plan.right_slots), plan.width, index,
+            pack_base)
+
+
+def _is_int_column(values: Sequence[Any]) -> bool:
+    """True when every value is a plain int (the packable column shape)."""
+    return all(type(v) is int for v in values)
+
+
+def packing_base(plan: FusedJoinPlan, left_columns: Dict[str, List[Any]],
+                 right_columns: Dict[str, List[Any]],
+                 int_keys: Optional[bool] = None) -> Optional[int]:
+    """The int-packing base for a query, or ``None`` when packing is unsound.
+
+    Packing applies to the two-slot fast shape (one left group column at slot
+    0, one right at slot 1, exclusion absent or left-vs-right) when the left
+    group column holds plain ints and the right one non-negative plain ints;
+    ``base = max(right) + 1`` makes ``left * base + right`` bijective, so the
+    packed counter unpacks losslessly via divmod.
+
+    ``int_keys`` short-circuits the per-element type scans: ``True`` asserts
+    both group columns are plain ints (the caller just dictionary-encoded
+    them, say), ``False`` disables packing outright, ``None`` detects.
+    """
+    shape = plan.exclusion[0] if plan.exclusion is not None else None
+    if int_keys is False:
+        return None
+    if not (len(plan.on) == 1 and plan.width == 2
+            and len(plan.static_slots) == 1 and plan.static_slots[0][0] == 0
+            and len(plan.right_slots) == 1 and plan.right_slots[0][0] == 1
+            and shape in (None, _EXCL_LR)):
+        return None
+    left_col = left_columns[plan.static_slots[0][1]]
+    right_col = right_columns[plan.right_payload[plan.right_slots[0][1]]]
+    if int_keys is None and not (_is_int_column(left_col)
+                                 and _is_int_column(right_col)):
+        return None
+    if right_col and min(right_col) < 0:
+        return None
+    return (max(right_col) + 1) if right_col else 1
+
+
+def unpack_counts(counts: Counter, pack_base: int) -> Dict[Tuple[Any, ...], int]:
+    """Reverse the int packing of a fast-path counter into 2-tuple keys."""
+    return {divmod(key, pack_base): count for key, count in counts.items()}
+
+
+def join_group_count(left: Table, right: Table, on: Sequence[str],
+                     keys: Sequence[str],
+                     left_prefix: str = "l_", right_prefix: str = "r_",
+                     exclude_self_pairs_on: Optional[Tuple[str, str]] = None,
+                     int_keys: Optional[bool] = None,
+                     ) -> Dict[Tuple[Any, ...], int]:
+    """Fused JOIN + GROUP BY ``keys`` + COUNT(*), never materializing the join.
+
+    Exactly equivalent to::
+
+        group_count(hash_join(left, right, on, left_prefix, right_prefix,
+                              exclude_self_pairs_on), keys)
+
+    but the quadratic joined relation only ever exists as a stream: each left
+    row meets its matches in the right-side hash index and the surviving
+    combinations are folded straight into the result counter.
+
+    ``int_keys`` is a performance hint for the packed fast path (see
+    :func:`packing_base`); results are identical either way as long as the
+    hint is truthful.
+    """
+    plan = compile_join_plan(left, right, on, keys, left_prefix, right_prefix,
+                             exclude_self_pairs_on)
+    index = build_right_index(right, plan)
+    pack_base = packing_base(plan, left.columns, right.columns, int_keys)
+    counts = count_join_chunk(chunk_payload(plan, left.columns, index,
+                                            pack_base=pack_base))
+    if pack_base is not None:
+        return unpack_counts(counts, pack_base)
+    return counts

@@ -18,7 +18,8 @@ across workers.
 
 from __future__ import annotations
 
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
+from collections import Counter
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
 
 from repro.engine.table import Table
 
@@ -31,14 +32,49 @@ def project(table: Table, names: Sequence[str]) -> Table:
     return Table(columns={name: list(table.columns[name]) for name in names})
 
 
-def filter_rows(table: Table, predicate: Callable[[Dict[str, Any]], bool]) -> Table:
-    """Return the rows for which ``predicate(record)`` is true (WHERE ...)."""
-    names = table.names
-    kept_rows = [
-        row for row in table.iter_rows()
-        if predicate(dict(zip(names, row)))
-    ]
-    return Table.from_rows(names, kept_rows)
+class _RowView(Mapping):
+    """A zero-copy mapping view of one row, re-aimed at successive indices.
+
+    ``filter_rows`` hands the predicate one of these instead of building a
+    fresh ``dict(zip(names, row))`` per row: lookups go straight to the
+    backing columns, so only the fields the predicate actually touches are
+    read.  The view is only valid during the predicate call; predicates that
+    need to retain a row must copy it (``dict(record)``).
+    """
+
+    __slots__ = ("_columns", "_names", "_index")
+
+    def __init__(self, columns: Dict[str, List[Any]]) -> None:
+        self._columns = columns
+        self._names = list(columns)
+        self._index = 0
+
+    def __getitem__(self, name: str) -> Any:
+        return self._columns[name][self._index]
+
+    def __iter__(self):
+        return iter(self._names)
+
+    def __len__(self) -> int:
+        return len(self._names)
+
+
+def filter_rows(table: Table, predicate: Callable[[Mapping[str, Any]], bool]) -> Table:
+    """Return the rows for which ``predicate(record)`` is true (WHERE ...).
+
+    The predicate receives a column-backed mapping view of the row rather
+    than a materialized dict, and the output table is assembled column-wise
+    from the surviving indices.
+    """
+    view = _RowView(table.columns)
+    keep: List[int] = []
+    for i in range(len(table)):
+        view._index = i
+        if predicate(view):
+            keep.append(i)
+    return Table(columns={
+        name: [col[i] for i in keep] for name, col in table.columns.items()
+    })
 
 
 def hash_join(left: Table, right: Table, on: Sequence[str],
@@ -105,10 +141,7 @@ def hash_join(left: Table, right: Table, on: Sequence[str],
 
 def group_count(table: Table, keys: Sequence[str]) -> Dict[Tuple[Any, ...], int]:
     """GROUP BY ``keys`` and COUNT(*) -- the core aggregation of model building."""
-    counts: Dict[Tuple[Any, ...], int] = {}
-    for row in table.iter_rows(keys):
-        counts[row] = counts.get(row, 0) + 1
-    return counts
+    return Counter(table.iter_rows(keys))
 
 
 def aggregate(table: Table, keys: Sequence[str], value: str,

@@ -17,18 +17,39 @@ Three backends share one interface:
 * :class:`ProcessPoolExecutorBackend` -- runs partitions on a process pool
   (true parallelism; partition payloads must be picklable).
 
-The helper :func:`partitioned_group_count` is the parallel form of
-:func:`repro.engine.ops.group_count`: rows are sharded by the hash of their
-key, each worker counts its shard, and the shard results are merged (counts
-for a given key live in exactly one shard, so the merge is a plain union).
+Partitioned aggregation is *streaming*: rows are scattered to workers in
+contiguous chunks during a single pass over the input, each worker folds its
+chunk into a local :class:`collections.Counter`, and the local counters are
+summed at the end.  Nothing is re-materialized or hash-sharded up front, and
+the merged result is independent of the chunking, so runs are deterministic
+for any worker count.  On the process backend, values are dictionary-encoded
+(:mod:`repro.engine.encoding`) before scattering so the pickle payloads are
+flat integer columns rather than lists of nested tuples.
+
+:func:`partitioned_group_count` is the parallel form of
+:func:`repro.engine.ops.group_count`; :func:`partitioned_join_group_count`
+is the parallel form of the fused :func:`repro.engine.fused.join_group_count`
+(chunks of the streamed join side scatter across workers, each carrying the
+shared right-side hash index).
 """
 
 from __future__ import annotations
 
 import concurrent.futures
+from collections import Counter
 from dataclasses import dataclass
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Sequence, Tuple
+from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequence, Tuple
 
+from repro.engine.encoding import DictionaryEncoder, stable_hash
+from repro.engine.fused import (
+    FusedJoinPlan,
+    build_right_index,
+    chunk_payload,
+    compile_join_plan,
+    count_join_chunk,
+    packing_base,
+    unpack_counts,
+)
 from repro.engine.table import Table
 
 
@@ -104,23 +125,43 @@ def make_executor(config: ExecutorConfig) -> ParallelExecutor:
 # -- partitioned group-count -----------------------------------------------------------
 
 
-def _count_rows(rows: List[Tuple[Hashable, ...]]) -> Dict[Tuple[Hashable, ...], int]:
-    """Count occurrences of each key tuple in one partition (worker function)."""
-    counts: Dict[Tuple[Hashable, ...], int] = {}
-    for row in rows:
-        counts[row] = counts.get(row, 0) + 1
-    return counts
+def _count_rows(rows: Sequence[Hashable]) -> Counter:
+    """Count occurrences of each key in one chunk (worker function)."""
+    return Counter(rows)
 
 
 def partition_rows(rows: Iterable[Tuple[Hashable, ...]],
                    partitions: int) -> List[List[Tuple[Hashable, ...]]]:
-    """Shard rows by the hash of their key tuple into ``partitions`` buckets."""
+    """Shard rows by a stable hash of their key tuple into ``partitions`` buckets.
+
+    Sharding uses :func:`repro.engine.encoding.stable_hash`, not the builtin
+    ``hash``, so the shard a key lands in does not depend on
+    ``PYTHONHASHSEED``: parallel runs are bit-reproducible across interpreter
+    invocations even for str-bearing keys.
+    """
     if partitions < 1:
         raise ValueError("partitions must be >= 1")
     shards: List[List[Tuple[Hashable, ...]]] = [[] for _ in range(partitions)]
     for row in rows:
-        shards[hash(row) % partitions].append(row)
+        shards[stable_hash(row) % partitions].append(row)
     return shards
+
+
+def _contiguous_chunks(items: Sequence[Any], chunk_count: int) -> List[Sequence[Any]]:
+    """Split a sequence into at most ``chunk_count`` contiguous slices."""
+    count = min(len(items), max(1, chunk_count))
+    if count <= 1:
+        return [items]
+    size = (len(items) + count - 1) // count
+    return [items[start:start + size] for start in range(0, len(items), size)]
+
+
+def _merge_counters(counters: Iterable[Counter]) -> Counter:
+    """Sum per-worker local counters into the final result."""
+    merged: Counter = Counter()
+    for counts in counters:
+        merged.update(counts)
+    return merged
 
 
 def partitioned_group_count(table: Table, keys: Sequence[str],
@@ -128,21 +169,100 @@ def partitioned_group_count(table: Table, keys: Sequence[str],
     """GROUP BY + COUNT(*) executed across partitions.
 
     Equivalent to :func:`repro.engine.ops.group_count`; the test suite checks
-    the equivalence property on random tables.
+    the equivalence property on random tables.  Rows scatter to workers in
+    contiguous chunks straight off a single streaming pass; each worker
+    counts its chunk locally and the local counters are summed, so no
+    key-disjointness precondition (and no up-front hash-sharding pass) is
+    needed.  On the process backend each key tuple is dictionary-encoded to
+    one integer first, so workers receive flat ``List[int]`` payloads.
     """
+    if config.backend == "process":
+        encoder = DictionaryEncoder()
+        encoded = encoder.encode_column(table.iter_rows(keys))
+        chunks = _contiguous_chunks(encoded, config.workers)
+        merged = _merge_counters(make_executor(config).map(_count_rows, chunks))
+        return {encoder.decode(key_id): count for key_id, count in merged.items()}
     rows = list(table.iter_rows(keys))
-    partitions = max(1, config.workers)
-    shards = partition_rows(rows, partitions)
-    executor = make_executor(config)
-    shard_counts = executor.map(_count_rows, shards)
-    merged: Dict[Tuple[Hashable, ...], int] = {}
-    for counts in shard_counts:
-        # Keys are hash-partitioned, so shards are disjoint; a plain update
-        # would suffice, but summing keeps the merge correct even if a caller
-        # passes overlapping shards.
-        for key, count in counts.items():
-            merged[key] = merged.get(key, 0) + count
-    return merged
+    chunks = _contiguous_chunks(rows, config.workers)
+    return _merge_counters(make_executor(config).map(_count_rows, chunks))
+
+
+# -- partitioned fused join + group-count ----------------------------------------------
+
+
+def _plan_left_columns(plan: FusedJoinPlan) -> List[str]:
+    """Left-table columns the fused operator actually reads."""
+    names = list(plan.on) + [name for _, name in plan.static_slots]
+    if plan.exclusion is not None:
+        shape, a, b = plan.exclusion
+        if shape == "LL":
+            names.extend((a, b))
+        elif shape == "LR":
+            names.append(a)
+    seen: List[str] = []
+    for name in names:
+        if name not in seen:
+            seen.append(name)
+    return seen
+
+
+def partitioned_join_group_count(
+        left: Table, right: Table, on: Sequence[str], keys: Sequence[str],
+        config: ExecutorConfig,
+        left_prefix: str = "l_", right_prefix: str = "r_",
+        exclude_self_pairs_on: Optional[Tuple[str, str]] = None,
+        int_keys: Optional[bool] = None,
+) -> Dict[Tuple[Any, ...], int]:
+    """Parallel form of :func:`repro.engine.fused.join_group_count`.
+
+    The right side is hashed once; contiguous chunks of the streamed left
+    side scatter across workers, each folding into a local counter that is
+    summed at the end.  The joined relation is never materialized on any
+    backend.  On the process backend every value (join keys, group values,
+    exclusion operands) is interned through one shared
+    :class:`~repro.engine.encoding.DictionaryEncoder`, so the pickled
+    payloads are integer columns and an integer-keyed index; group keys are
+    decoded after the merge.
+    """
+    plan = compile_join_plan(left, right, on, keys, left_prefix, right_prefix,
+                             exclude_self_pairs_on)
+    if not len(left) or not len(right):
+        return Counter()
+
+    encoder: Optional[DictionaryEncoder] = None
+    if config.backend == "process":
+        encoder = DictionaryEncoder()
+        left_cols: Dict[str, List[Any]] = {
+            name: encoder.encode_column(left.columns[name])
+            for name in _plan_left_columns(plan)
+        }
+        right_cols: Dict[str, List[Any]] = {
+            name: encoder.encode_column(right.columns[name])
+            for name in (*plan.on, *plan.right_payload)
+        }
+        index = build_right_index(right, plan, columns=right_cols)
+        int_keys = True  # every shipped column was just dictionary-encoded
+    else:
+        left_cols = left.columns
+        right_cols = right.columns
+        index = build_right_index(right, plan)
+
+    pack_base = packing_base(plan, left_cols, right_cols, int_keys)
+    n = len(left)
+    chunk_count = min(n, max(1, config.workers))
+    size = (n + chunk_count - 1) // chunk_count
+    payloads = [
+        chunk_payload(plan, left_cols, index, start, min(start + size, n),
+                      pack_base=pack_base)
+        for start in range(0, n, size)
+    ]
+    merged = _merge_counters(make_executor(config).map(count_join_chunk, payloads))
+    counts: Dict[Tuple[Any, ...], int] = (
+        unpack_counts(merged, pack_base) if pack_base is not None else merged
+    )
+    if encoder is not None:
+        return {encoder.decode_tuple(key): count for key, count in counts.items()}
+    return counts
 
 
 def parallel_map_reduce(items: Sequence[Any],
@@ -157,8 +277,6 @@ def parallel_map_reduce(items: Sequence[Any],
     """
     if not items:
         return reduce_func([])
-    chunk_count = min(len(items), max(1, config.workers))
-    chunk_size = (len(items) + chunk_count - 1) // chunk_count
-    chunks = [list(items[i:i + chunk_size]) for i in range(0, len(items), chunk_size)]
+    chunks = [list(chunk) for chunk in _contiguous_chunks(items, config.workers)]
     executor = make_executor(config)
     return reduce_func(executor.map(map_func, chunks))

@@ -53,6 +53,7 @@ class TestConfigs:
         {"max_full_scans": 0},
         {"prediction_batch_size": 0},
         {"port_domain": (0,)},
+        {"engine_mode": "vectorized"},
     ])
     def test_gps_config_validation(self, kwargs):
         with pytest.raises(ValueError):

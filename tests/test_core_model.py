@@ -95,30 +95,55 @@ class TestEngineEquivalence:
         assert {k: dict(v) for k, v in a.cooccurrence.items() if v} == \
             {k: dict(v) for k, v in b.cooccurrence.items() if v}
 
-    def test_engine_matches_reference_on_handcrafted_hosts(self):
+    @pytest.mark.parametrize("mode", ["fused", "legacy"])
+    def test_engine_matches_reference_on_handcrafted_hosts(self, mode):
         observations = [
             _obs(1, 80, http_server="a"), _obs(1, 443), _obs(1, 22),
             _obs(2, 80, http_server="b"), _obs(2, 8080),
             _obs(3, 22),
         ]
         hosts = _hosts(observations)
-        self._assert_models_equal(build_model(hosts), build_model_with_engine(hosts))
+        self._assert_models_equal(build_model(hosts),
+                                  build_model_with_engine(hosts, mode=mode))
 
-    def test_engine_matches_reference_with_parallel_workers(self):
+    @pytest.mark.parametrize("mode", ["fused", "legacy"])
+    @pytest.mark.parametrize("config", [
+        ExecutorConfig(backend="serial", workers=4),
+        ExecutorConfig(backend="thread", workers=4),
+    ])
+    def test_engine_matches_reference_with_parallel_workers(self, mode, config):
         observations = [
             _obs(ip, port)
             for ip in range(1, 30)
             for port in ((80, 443) if ip % 2 else (22, 80, 8080))
         ]
         hosts = _hosts(observations)
-        parallel = build_model_with_engine(
-            hosts, ExecutorConfig(backend="thread", workers=4))
+        parallel = build_model_with_engine(hosts, config, mode=mode)
         self._assert_models_equal(build_model(hosts), parallel)
 
-    def test_engine_matches_reference_on_universe_seed(self, universe, censys_split):
+    @pytest.mark.parametrize("mode", ["fused", "legacy"])
+    def test_engine_matches_reference_on_process_backend(self, mode):
+        observations = [
+            _obs(ip, port, http_server="srv%d" % (ip % 3))
+            for ip in range(1, 25)
+            for port in ((80, 443) if ip % 2 else (22, 80, 8080))
+        ]
+        hosts = _hosts(observations)
+        parallel = build_model_with_engine(
+            hosts, ExecutorConfig(backend="process", workers=2), mode=mode)
+        self._assert_models_equal(build_model(hosts), parallel)
+
+    @pytest.mark.parametrize("mode", ["fused", "legacy"])
+    def test_engine_matches_reference_on_universe_seed(self, universe, censys_split,
+                                                       mode):
         hosts = extract_host_features(censys_split.seed_observations,
                                       universe.topology.asn_db, FeatureConfig())
-        self._assert_models_equal(build_model(hosts), build_model_with_engine(hosts))
+        self._assert_models_equal(build_model(hosts),
+                                  build_model_with_engine(hosts, mode=mode))
+
+    def test_unknown_engine_mode_rejected(self):
+        with pytest.raises(ValueError):
+            build_model_with_engine({}, mode="vectorized")
 
     def test_host_features_to_tables_shapes(self):
         hosts = _hosts([_obs(1, 80), _obs(1, 443)])
@@ -160,6 +185,26 @@ class TestProperties:
         for predictor, targets in reference.cooccurrence.items():
             for port, count in targets.items():
                 assert engine.cooccurrence.get(predictor, {}).get(port, 0) == count
+
+    @settings(deadline=None, max_examples=20)
+    @given(ports_strategy,
+           st.sampled_from([("serial", 1), ("serial", 3), ("thread", 4)]))
+    def test_fused_legacy_and_reference_agree(self, host_ports, backend_workers):
+        # Full feature set (nested predictor tuples) so dictionary encoding
+        # and the packed fast path are exercised, across executor shapes.
+        backend, workers = backend_workers
+        observations = [
+            _obs(ip + 1, port, http_server="srv%d" % (ip % 2))
+            for ip, ports in enumerate(host_ports) for port in ports
+        ]
+        hosts = _hosts(observations)
+        reference = build_model(hosts)
+        config = ExecutorConfig(backend=backend, workers=workers)
+        for mode in ("fused", "legacy"):
+            engine = build_model_with_engine(hosts, config, mode=mode)
+            assert engine.denominators == reference.denominators
+            assert {k: v for k, v in engine.cooccurrence.items() if v} == \
+                {k: v for k, v in reference.cooccurrence.items() if v}
 
     @settings(deadline=None, max_examples=40)
     @given(ports_strategy)
