@@ -11,8 +11,9 @@ GPS exposes exactly the knobs the paper describes as user parameters:
 * the **bandwidth budget** ``c1`` (Equation 3) that caps total probes;
 * the **probability cut-off** below which a pattern is considered random noise
   (Section 5.4 uses 1e-5, roughly the hit rate of random probing);
-* the **compute backend** used for model building (single core vs parallel
-  engine, Section 5.5 / Table 2).
+* the **compute backend** used for model building and priors planning (single
+  core vs parallel engine, and the fused vs legacy engine path,
+  Section 5.5 / Table 2).
 """
 
 from __future__ import annotations
@@ -40,8 +41,9 @@ NETWORK_FEATURE_KINDS = (
 
 DEFAULT_NETWORK_KINDS = ("asn", "subnet16")
 
-#: Engine execution paths for model building (``GPSConfig.engine_mode`` /
-#: :func:`repro.core.model.build_model_with_engine`).
+#: Engine execution paths for model building and priors planning
+#: (``GPSConfig.engine_mode`` / :func:`repro.core.model.build_model_with_engine`
+#: / :func:`repro.core.priors.build_priors_plan_with_engine`).
 ENGINE_MODES = ("fused", "legacy")
 
 #: Application-layer feature keys (Table 1) excluding the protocol fingerprint,
@@ -121,12 +123,26 @@ class GPSConfig:
         feature_config: which features the model uses.
         seed_scan_seed: RNG seed for the seed scan's address sample.
         prediction_batch_size: how many predicted (ip, port) probes are sent
-            per batch; only affects the granularity of the discovery log.
-        use_engine: build the model on the parallel engine rather than the
-            single-core dictionary implementation.
+            per batch.  Affects the granularity of the discovery log and of
+            the budget check; inside each batch the probes are additionally
+            grouped per (subnetwork, port) for the pipeline's batched
+            scanner layers, which changes bookkeeping cost but not what is
+            probed or charged.
+        use_engine: run model building (Section 5.2) and priors planning
+            (Section 5.3) on the engine layer rather than the single-core
+            dictionary implementations.
         engine_mode: which engine execution path to use when ``use_engine``
-            is set: ``"fused"`` (streaming join+group-count, the default) or
-            ``"legacy"`` (materialized self-join, kept as a baseline).
+            is set.  Valid values are ``"fused"`` (the default: streaming
+            operators over dictionary-encoded columns --
+            :func:`repro.engine.fused.join_group_count` for the model,
+            :func:`repro.engine.fused.partner_group_count` for the priors
+            plan -- never materializing the joined relation) and
+            ``"legacy"`` (the original formulations: materialized self-join
+            for the model, per-host dict loops for the priors plan; kept as
+            the benchmark baseline and equivalence oracle).  Both modes
+            produce identical models and priors plans; the Table 2
+            "computation" benchmarks (``BENCH_engine.json``,
+            ``BENCH_priors.json``) quantify the difference.
         executor: parallel engine configuration (backend + worker count).
     """
 

@@ -24,8 +24,16 @@ from typing import Dict, List, Optional, Sequence, Set, Tuple
 from repro.core.config import GPSConfig
 from repro.core.features import HostFeatures, extract_host_features
 from repro.core.model import CooccurrenceModel, build_model, build_model_with_engine
-from repro.core.predictions import PredictedService, PredictiveFeatureIndex
-from repro.core.priors import PriorsEntry, build_priors_plan
+from repro.core.predictions import (
+    PREDICTION_BATCH_PREFIX_LEN,
+    PredictedService,
+    PredictiveFeatureIndex,
+)
+from repro.core.priors import (
+    PriorsEntry,
+    build_priors_plan,
+    build_priors_plan_with_engine,
+)
 from repro.scanner.bandwidth import ScanCategory
 from repro.scanner.pipeline import ScanPipeline, SeedScanResult
 from repro.scanner.records import ScanObservation
@@ -160,8 +168,13 @@ class GPS:
         result.model = model
 
         # Phase 3: priors scan (find the first service of every host).
-        priors_plan = build_priors_plan(host_features, model, config.step_size,
-                                        config.port_domain)
+        if config.use_engine:
+            priors_plan = build_priors_plan_with_engine(
+                host_features, model, config.step_size, config.port_domain,
+                executor=config.executor, mode=config.engine_mode)
+        else:
+            priors_plan = build_priors_plan(host_features, model, config.step_size,
+                                            config.port_domain)
         result.priors_plan = priors_plan
         result.model_build_seconds += time.perf_counter() - build_start
 
@@ -196,9 +209,13 @@ class GPS:
                 result.truncated_by_budget = True
                 break
             batch = predictions[start:start + config.prediction_batch_size]
+            # Probes within the slice are grouped by (subnetwork, port) so the
+            # pipeline's batched layers amortize lookups and ledger charges;
+            # the probability ordering still governs at slice granularity.
             observations = self.pipeline.scan_pairs(
                 (prediction.pair() for prediction in batch),
                 category=ScanCategory.PREDICTION,
+                batch_prefix_len=PREDICTION_BATCH_PREFIX_LEN,
             )
             result.prediction_observations.extend(observations)
             self._log_batch(result, "prediction", ledger.total_probes(),
@@ -273,6 +290,7 @@ class GPS:
             observations = self.pipeline.scan_pairs(
                 (prediction.pair() for prediction in batch),
                 category=ScanCategory.PREDICTION,
+                batch_prefix_len=PREDICTION_BATCH_PREFIX_LEN,
             )
             result.prediction_observations.extend(observations)
             self._log_batch(result, "prediction", ledger.total_probes(),

@@ -72,6 +72,16 @@ class DictionaryEncoder:
             append(existing)
         return out
 
+    def values(self) -> List[Hashable]:
+        """The interned values in id order (``values()[i]`` decodes id ``i``).
+
+        Side tables aligned with the id space are built from this view: the
+        fused priors planner, for example, derives one probability row per
+        interned predictor tuple by iterating the values once after all
+        columns are encoded.
+        """
+        return list(self._values)
+
     def decode(self, encoded: int) -> Hashable:
         """Return the value interned under ``encoded``."""
         try:

@@ -28,7 +28,13 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
 from repro.engine.table import Table
 
-__all__ = ["FusedJoinPlan", "compile_join_plan", "join_group_count"]
+__all__ = [
+    "FusedJoinPlan",
+    "FusedPartnerPlan",
+    "compile_join_plan",
+    "join_group_count",
+    "partner_group_count",
+]
 
 #: Exclusion-predicate shapes: both operands from the streamed (left) side,
 #: one per side, or both from the indexed (right) side.
@@ -352,6 +358,201 @@ def packing_base(plan: FusedJoinPlan, left_columns: Dict[str, List[Any]],
 def unpack_counts(counts: Counter, pack_base: int) -> Dict[Tuple[Any, ...], int]:
     """Reverse the int packing of a fast-path counter into 2-tuple keys."""
     return {divmod(key, pack_base): count for key, count in counts.items()}
+
+
+# -- fused partner selection (the priors-planning query shape) --------------------------
+
+
+@dataclass(frozen=True)
+class FusedPartnerPlan:
+    """A compiled partner-selection + group-count query (plain picklable data).
+
+    This is the second GPS query shape the engine fuses (the paper's
+    Section 5.3 priors planner; :class:`FusedJoinPlan` covers the Section 5.2
+    model build).  Rows are *members* grouped into *groups* -- services
+    grouped by host -- flattened into offset-indexed columns the same way the
+    join plan flattens tables, so chunks of groups slice out of the columns
+    and ship to workers as plain data.
+
+    The query: for every member of a multi-member group, select the *partner*
+    member (any other member of the same group) whose encoded values score
+    highest against the member's label, breaking ties toward the partner with
+    the smallest label; fold ``(partner_label, group_key)`` occurrences
+    straight into a counter.  Single-member groups contribute their only
+    member directly.  No per-group intermediate survives the fold -- peak
+    memory is one group's scratch plus the answer counter.
+
+    Scores are exact integer fractions: the score of value ``v`` against
+    label ``m`` is ``target_counts[v].get(m, 0) / denominators[v]``, divided
+    at fold time with exactly the operands the reference implementation
+    divides -- fused and legacy therefore compare bit-identical IEEE doubles
+    and select identical partners.  Storing count rows (typically references
+    into an existing model's dictionaries) also means compiling a plan never
+    materializes a probability table.
+
+    Attributes:
+        group_keys: one key per group (the priors planner stores the host's
+            subnet key here).
+        member_starts: offsets into ``labels``/``value_starts``; group ``g``
+            owns members ``member_starts[g]:member_starts[g + 1]``.  Length is
+            ``len(group_keys) + 1``.
+        labels: per-member integer label (the service's port), ascending
+            within each group -- the tie-break order relies on this.
+        value_starts: offsets into ``value_ids`` per member; length is
+            ``len(labels) + 1``.
+        value_ids: dictionary-encoded values (predictor-tuple ids) per member.
+        target_counts: per encoded id, ``label -> co-occurrence count``.  May
+            alias dictionaries owned by the model the plan was compiled from;
+            a plan is a query snapshot, not a container, so compile a fresh
+            plan after mutating the model.  Precondition: a value's row never
+            contains the label of the member carrying it (true by
+            construction for co-occurrence counts, which never count a label
+            against itself); the fold's saturation early-exit relies on it.
+        denominators: per encoded id, the count's denominator (the value's
+            support); must be positive wherever the count row is non-empty.
+        allowed_labels: optional label whitelist applied to the *selected*
+            partner (and to single-member groups) before counting.
+    """
+
+    group_keys: Tuple[int, ...]
+    member_starts: Tuple[int, ...]
+    labels: Tuple[int, ...]
+    value_starts: Tuple[int, ...]
+    value_ids: Tuple[int, ...]
+    target_counts: Tuple[Dict[int, int], ...]
+    denominators: Tuple[int, ...]
+    allowed_labels: Optional[frozenset] = None
+
+    def __len__(self) -> int:
+        return len(self.group_keys)
+
+
+def partner_chunk_payload(plan: FusedPartnerPlan, start: int = 0,
+                          stop: Optional[int] = None) -> Tuple[Any, ...]:
+    """Slice groups ``[start:stop)`` of a partner plan into a worker payload.
+
+    Only the chunk's own span of each flat column is shipped; the score table
+    travels whole (it plays the role the right-side hash index plays for the
+    join operator -- shared read-only state every worker needs).  Offset
+    columns keep their absolute values; :func:`count_partner_chunk` rebases
+    them from their first entry.
+    """
+    if stop is None:
+        stop = len(plan.group_keys)
+    m_lo, m_hi = plan.member_starts[start], plan.member_starts[stop]
+    v_lo, v_hi = plan.value_starts[m_lo], plan.value_starts[m_hi]
+    return (
+        plan.group_keys[start:stop],
+        plan.member_starts[start:stop + 1],
+        plan.labels[m_lo:m_hi],
+        plan.value_starts[m_lo:m_hi + 1],
+        plan.value_ids[v_lo:v_hi],
+        plan.target_counts,
+        plan.denominators,
+        plan.allowed_labels,
+    )
+
+
+def count_partner_chunk(payload: Tuple[Any, ...]) -> Counter:
+    """Fold one chunk of groups into ``(partner_label, group_key)`` counts.
+
+    ``payload`` is plain data (see :func:`partner_chunk_payload`), so the
+    same function runs in-process and as a process-pool worker.  Per group of
+    ``k`` members the scratch is three ``k``-length lists; the selected
+    partner folds straight into the counter and the scratch dies with the
+    group.
+    """
+    (group_keys, member_starts, labels, value_starts, value_ids,
+     target_counts, denominators, allowed) = payload
+    counts: Counter = Counter()
+    if not group_keys:
+        return counts
+    m_base = member_starts[0]
+    v_base = value_starts[0]
+    for g in range(len(group_keys)):
+        lo = member_starts[g] - m_base
+        hi = member_starts[g + 1] - m_base
+        k = hi - lo
+        if k == 0:
+            continue
+        group_key = group_keys[g]
+        if k == 1:
+            label = labels[lo]
+            if allowed is None or label in allowed:
+                counts[(label, group_key)] += 1
+            continue
+        if k == 2:
+            # A two-member group forces the choice: each member's only
+            # candidate partner is the other member, whatever its score.
+            # Most multi-service hosts have exactly two services, so this
+            # path also lets the compiler skip encoding their values.
+            first, second = labels[lo], labels[lo + 1]
+            if allowed is None or second in allowed:
+                counts[(second, group_key)] += 1
+            if allowed is None or first in allowed:
+                counts[(first, group_key)] += 1
+            continue
+        members = labels[lo:hi]
+        # For every target member i, the running best (score, partner label)
+        # over source members j != i.  Scores are folded source-major so each
+        # count row is fetched once per source value, and the strict > keeps
+        # the first (smallest-label) source on ties -- the documented
+        # deterministic tie-break.  A value never scores against its own
+        # member (its count row cannot contain its own label), so col[j]
+        # stays 0.0 and needs no exclusion test in the inner loop.
+        best_score = [-1.0] * k
+        best_partner = [0] * k
+        full = k - 1
+        for j in range(k):
+            v_lo = value_starts[lo + j] - v_base
+            v_hi = value_starts[lo + j + 1] - v_base
+            col = [0.0] * k
+            saturated = 0
+            for v in range(v_lo, v_hi):
+                pid = value_ids[v]
+                row = target_counts[pid]
+                if not row:
+                    continue
+                denom = denominators[pid]
+                row_get = row.get
+                i = 0
+                for member in members:
+                    count = row_get(member)
+                    if count:
+                        if count == denom:
+                            # Exactly 1.0, the maximum a score can reach;
+                            # once every other member is saturated no later
+                            # value of this member can improve anything.
+                            if col[i] != 1.0:
+                                col[i] = 1.0
+                                saturated += 1
+                        else:
+                            score = count / denom
+                            if score > col[i]:
+                                col[i] = score
+                    i += 1
+                if saturated == full:
+                    break
+            partner = members[j]
+            for i in range(k):
+                if i != j and col[i] > best_score[i]:
+                    best_score[i] = col[i]
+                    best_partner[i] = partner
+        for i in range(k):
+            partner = best_partner[i]
+            if allowed is None or partner in allowed:
+                counts[(partner, group_key)] += 1
+    return counts
+
+
+def partner_group_count(plan: FusedPartnerPlan) -> Dict[Tuple[int, int], int]:
+    """Execute a partner plan serially: ``(partner_label, group_key) -> count``.
+
+    The parallel form (:func:`repro.engine.parallel.partitioned_partner_group_count`)
+    scatters contiguous group chunks across workers; both produce identical
+    counters for any chunking because groups never interact.
+    """
+    return count_partner_chunk(partner_chunk_payload(plan))
 
 
 def join_group_count(left: Table, right: Table, on: Sequence[str],

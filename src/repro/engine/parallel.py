@@ -43,11 +43,14 @@ from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequ
 from repro.engine.encoding import DictionaryEncoder, stable_hash
 from repro.engine.fused import (
     FusedJoinPlan,
+    FusedPartnerPlan,
     build_right_index,
     chunk_payload,
     compile_join_plan,
     count_join_chunk,
+    count_partner_chunk,
     packing_base,
+    partner_chunk_payload,
     unpack_counts,
 )
 from repro.engine.table import Table
@@ -263,6 +266,30 @@ def partitioned_join_group_count(
     if encoder is not None:
         return {encoder.decode_tuple(key): count for key, count in counts.items()}
     return counts
+
+
+def partitioned_partner_group_count(plan: FusedPartnerPlan,
+                                    config: ExecutorConfig,
+                                    ) -> Dict[Tuple[int, int], int]:
+    """Parallel form of :func:`repro.engine.fused.partner_group_count`.
+
+    Contiguous chunks of the plan's groups scatter across workers, each
+    folding its chunk into a local counter that is summed at the end.  Groups
+    are independent (the priors planner's hosts never interact), so the
+    merged result is identical for any worker count and backend.  The plan's
+    columns are already dictionary-encoded flat integers, so process-pool
+    payloads pickle cheaply without a re-encoding pass; the shared score
+    table ships whole to every worker, like the join operator's right-side
+    index.
+    """
+    n = len(plan.group_keys)
+    if n == 0:
+        return Counter()
+    chunk_count = min(n, max(1, config.workers))
+    size = (n + chunk_count - 1) // chunk_count
+    payloads = [partner_chunk_payload(plan, start, min(start + size, n))
+                for start in range(0, n, size)]
+    return _merge_counters(make_executor(config).map(count_partner_chunk, payloads))
 
 
 def parallel_map_reduce(items: Sequence[Any],

@@ -90,6 +90,17 @@ class Host:
         """Whether the host serves pseudo services (Appendix B)."""
         return self.pseudo_port_range is not None
 
+    def is_pseudo_responsive_on(self, port: int) -> bool:
+        """Whether this host would answer ``port`` with a pseudo service.
+
+        The single definition of pseudo-responsiveness: both the point-probe
+        path (:meth:`Universe.is_pseudo_responsive`) and the batched scanner
+        layers (which already hold the ``Host``) route through it, so the
+        two paths cannot drift.
+        """
+        span = self.pseudo_port_range
+        return span is not None and span[0] <= port <= span[1]
+
 
 @dataclass(frozen=True)
 class UniverseConfig:
@@ -192,10 +203,7 @@ class Universe:
     def is_pseudo_responsive(self, ip: int, port: int) -> bool:
         """Whether ``(ip, port)`` would answer with a pseudo service."""
         host = self.hosts.get(ip)
-        if host is None or host.pseudo_port_range is None:
-            return False
-        lo, hi = host.pseudo_port_range
-        return lo <= port <= hi
+        return host is not None and host.is_pseudo_responsive_on(port)
 
     def is_middlebox(self, ip: int) -> bool:
         """Whether ``ip`` is a SYN-ACK-everything middlebox."""
@@ -298,6 +306,41 @@ class Universe:
         if port in host.services:
             return True
         return self.is_pseudo_responsive(ip, port)
+
+    def syn_ack_many(self, ips: Sequence[int], port: int) -> List[int]:
+        """Batched :meth:`syn_ack`: the subset of ``ips`` answering on ``port``.
+
+        Returns responders in input order (duplicates included, like repeated
+        point probes).  Instead of one host-table lookup per address, the
+        sorted per-port, middlebox and pseudo-host indices are bisected once
+        to the batch's address range and misses -- the overwhelming majority
+        of targets in a prediction scan -- cost three membership tests in
+        those small windows.  Batches too small to amortize the bisects fall
+        back to point probes, so callers can batch unconditionally.  The
+        caller still pays bandwidth for every probe sent; this method only
+        amortizes the ground-truth lookups, which is what makes
+        per-(prefix, port) batching worthwhile for the scanners.
+        """
+        if not ips:
+            return []
+        if len(ips) < 8:
+            syn_ack = self.syn_ack
+            return [ip for ip in ips if syn_ack(ip, port)]
+        lo, hi = min(ips), max(ips)
+
+        def window(pool: List[int]) -> Set[int]:
+            return set(pool[bisect_left(pool, lo):bisect_right(pool, hi)])
+
+        open_ips = window(self._port_index.get(port, []))
+        middleboxes = window(self._middlebox_ips)
+        pseudo = window(self._pseudo_ips)
+        out: List[int] = []
+        for ip in ips:
+            if ip in open_ips or ip in middleboxes:
+                out.append(ip)
+            elif ip in pseudo and self.hosts[ip].is_pseudo_responsive_on(port):
+                out.append(ip)
+        return out
 
     def describe(self) -> Dict[str, int]:
         """Summary statistics used in docs, logs and tests."""

@@ -94,3 +94,42 @@ class LZRSimulator:
             if result.protocol is not None:
                 results.append(result)
         return results
+
+    def fingerprint_batch(self, targets: Iterable[Tuple[int, int]],
+                          category: ScanCategory = ScanCategory.OTHER,
+                          ) -> List[FingerprintResult]:
+        """Batched :meth:`fingerprint_many` (the batched prediction scan, Section 5.4).
+
+        Produces the same protocol-bearing results in the same order and
+        charges the ledger identically, but resolves each target with a
+        single host lookup (instead of separate service/pseudo/host queries)
+        and records the handshake cost once for the whole batch.  The
+        middlebox check collapses to the same lookup: a middlebox host has no
+        services and no pseudo range, so it falls through to "no data" and is
+        dropped without further queries.
+        """
+        results: List[FingerprintResult] = []
+        hosts_get = self.universe.hosts.get
+        sent = 0
+        responded = 0
+        for ip, port in targets:
+            sent += 1
+            host = hosts_get(ip)
+            if host is None:
+                continue
+            record = host.services.get(port)
+            if record is not None:
+                responded += 1
+                results.append(FingerprintResult(ip=ip, port=port,
+                                                 protocol=record.protocol,
+                                                 is_real_service=True,
+                                                 ttl=record.ttl))
+                continue
+            if host.is_pseudo_responsive_on(port):
+                responded += 1
+                results.append(FingerprintResult(ip=ip, port=port, protocol="http",
+                                                 is_real_service=False,
+                                                 ttl=host.base_ttl))
+        self.ledger.record(category, probes=PROBES_PER_FINGERPRINT * sent,
+                           responses=PROBES_PER_FINGERPRINT * responded)
+        return results

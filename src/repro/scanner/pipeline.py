@@ -10,7 +10,12 @@ scan shapes the paper's system needs:
 * :meth:`ScanPipeline.scan_prefix` -- an exhaustive sweep of one port over one
   subnetwork: the building block of the priors scan (Section 5.3);
 * :meth:`ScanPipeline.scan_pairs` -- targeted probes of predicted (ip, port)
-  pairs: the prediction scan (Section 5.4).
+  pairs: the prediction scan (Section 5.4).  Passing ``batch_prefix_len``
+  (or calling :meth:`ScanPipeline.scan_pair_batches` with pre-grouped
+  :class:`~repro.scanner.records.ProbeBatch` objects) runs the same probes
+  through the batched scanner layers, which amortize ground-truth lookups,
+  middlebox checks and ledger charges across each per-(prefix, port) batch
+  instead of paying them per pair.
 
 Every probe sent is charged to a :class:`~repro.scanner.bandwidth.BandwidthLedger`
 so that each experiment can report cost in the paper's unit of "100 % scans".
@@ -29,7 +34,7 @@ from repro.net.ports import MAX_PORT
 from repro.scanner.bandwidth import BandwidthLedger, ScanCategory
 from repro.scanner.filtering import PseudoServiceFilter
 from repro.scanner.lzr import LZRSimulator
-from repro.scanner.records import ScanObservation
+from repro.scanner.records import ProbeBatch, ScanObservation, group_pairs
 from repro.scanner.zgrab import ZGrabSimulator
 from repro.scanner.zmap import ZMapSimulator
 
@@ -152,11 +157,48 @@ class ScanPipeline:
 
     def scan_pairs(self, pairs: Iterable[Tuple[int, int]],
                    category: ScanCategory = ScanCategory.PREDICTION,
-                   apply_filter: bool = True) -> List[ScanObservation]:
-        """Probe specific (ip, port) targets and banner-grab the responders."""
+                   apply_filter: bool = True,
+                   batch_prefix_len: Optional[int] = None) -> List[ScanObservation]:
+        """Probe specific (ip, port) targets and banner-grab the responders.
+
+        Args:
+            pairs: the (ip, port) targets, probed in order.
+            category: ledger category the probes are charged to.
+            apply_filter: run the Appendix B pseudo-service filter.
+            batch_prefix_len: when set, group the pairs into per-(subnetwork,
+                port) batches of that prefix length and run them through the
+                batched scanner layers (Section 5.4's prediction scan is
+                GPS's default use of this).  The same probes are sent, the
+                same services are observed and the ledger totals are
+                identical; only the per-pair bookkeeping is amortized, and
+                results come back in batch order rather than strict pair
+                order.
+        """
+        if batch_prefix_len is not None:
+            return self.scan_pair_batches(group_pairs(pairs, batch_prefix_len),
+                                          category=category,
+                                          apply_filter=apply_filter)
         hits = self.zmap.scan_pairs(pairs, category=category)
         fingerprints = self.lzr.fingerprint_many(hits, category=category)
         observations = self.zgrab.grab_many(fingerprints, category=category)
+        if apply_filter:
+            observations = self.pseudo_filter.filter(observations)
+        return observations
+
+    def scan_pair_batches(self, batches: Sequence[ProbeBatch],
+                          category: ScanCategory = ScanCategory.PREDICTION,
+                          apply_filter: bool = True) -> List[ScanObservation]:
+        """Probe pre-grouped per-(prefix, port) batches (Section 5.4, batched).
+
+        Equivalent to :meth:`scan_pairs` over the flattened batches -- same
+        observations (in batch order) and identical ledger charges -- but
+        each layer handles a whole batch per call: ZMap resolves responders
+        with ranged universe queries, and LZR/ZGrab pay one host lookup and
+        one ledger record per batch pass instead of per target.
+        """
+        hits = self.zmap.scan_pair_batches(batches, category=category)
+        fingerprints = self.lzr.fingerprint_batch(hits, category=category)
+        observations = self.zgrab.grab_batch(fingerprints, category=category)
         if apply_filter:
             observations = self.pseudo_filter.filter(observations)
         return observations

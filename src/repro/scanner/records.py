@@ -13,6 +13,8 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Mapping, Tuple
 
+from repro.net.ipv4 import subnet_key
+
 
 @dataclass(frozen=True)
 class ScanObservation:
@@ -40,6 +42,59 @@ class ScanObservation:
     def feature(self, key: str, default: str = "") -> str:
         """Convenience accessor for an application-layer feature value."""
         return self.app_features.get(key, default)
+
+
+@dataclass(frozen=True)
+class ProbeBatch:
+    """A group of probe targets sharing one port and one subnetwork.
+
+    The prediction scan (Section 5.4) probes targeted (ip, port) pairs; pairs
+    that share a port and fall in the same subnetwork can be served by one
+    batched pass through the scanner layers, amortizing ground-truth lookups
+    and bandwidth-ledger charges that a pair-by-pair scan pays per probe.
+
+    Attributes:
+        port: the port every target in the batch is probed on.
+        subnet: packed subnet key (see :func:`repro.net.ipv4.subnet_key`) the
+            targets share -- informational for logs/ordering; the scanners
+            only rely on the addresses being near each other.
+        ips: target addresses, in the order they were submitted.
+    """
+
+    port: int
+    subnet: int
+    ips: Tuple[int, ...]
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """The batch flattened back into (ip, port) pairs."""
+        return [(ip, self.port) for ip in self.ips]
+
+    def __len__(self) -> int:
+        return len(self.ips)
+
+
+def group_pairs(pairs: Iterable[Tuple[int, int]],
+                prefix_len: int = 16) -> List[ProbeBatch]:
+    """Group (ip, port) pairs into per-(subnetwork, port) probe batches.
+
+    Batches appear in first-seen order and addresses keep their submitted
+    order inside each batch, so the grouping is deterministic and the probe
+    schedule stays faithful to the caller's (e.g. probability-ordered)
+    intent at batch granularity.
+    """
+    if not 0 <= prefix_len <= 32:
+        raise ValueError(f"prefix_len must be 0-32: {prefix_len}")
+    # Bucketing shifts the prefix bits out instead of calling subnet_key per
+    # pair; the canonical subnet key is derived once per batch below.  This
+    # loop runs once per predicted probe, so it must stay cheap relative to
+    # the universe lookups the batches exist to amortize.
+    shift = 32 - prefix_len
+    grouped: Dict[Tuple[int, int], List[int]] = {}
+    for ip, port in pairs:
+        grouped.setdefault((port, ip >> shift), []).append(ip)
+    return [ProbeBatch(port=port, subnet=subnet_key(ips[0], prefix_len),
+                       ips=tuple(ips))
+            for (port, _), ips in grouped.items()]
 
 
 def observations_by_host(observations: Iterable[ScanObservation]) -> Dict[int, List[ScanObservation]]:

@@ -73,3 +73,42 @@ class ZGrabSimulator:
             if observation is not None:
                 observations.append(observation)
         return observations
+
+    def grab_batch(self, fingerprints: Iterable[FingerprintResult],
+                   category: ScanCategory = ScanCategory.OTHER,
+                   ) -> List[ScanObservation]:
+        """Batched :meth:`grab_many` (the batched prediction scan, Section 5.4).
+
+        Produces the same observations in the same order and charges the
+        ledger identically, but resolves each target with one host lookup
+        and records the handshake cost once for the whole batch instead of
+        once per target.
+        """
+        observations: List[ScanObservation] = []
+        hosts_get = self.universe.hosts.get
+        handshakes = 0
+        for fingerprint in fingerprints:
+            if fingerprint.protocol is None:
+                continue
+            handshakes += 1
+            ip, port = fingerprint.ip, fingerprint.port
+            host = hosts_get(ip)
+            if host is None:
+                continue
+            record = host.services.get(port)
+            if record is not None:
+                observations.append(ScanObservation(
+                    ip=record.ip, port=record.port, protocol=record.protocol,
+                    app_features=dict(record.app_features), ttl=record.ttl))
+                continue
+            if host.is_pseudo_responsive_on(port):
+                features = self.banner_factory.pseudo_service_features(
+                    ip, host.pseudo_incident_style, port=port
+                )
+                observations.append(ScanObservation(ip=ip, port=port,
+                                                    protocol="http",
+                                                    app_features=features,
+                                                    ttl=host.base_ttl))
+        self.ledger.record(category, probes=PROBES_PER_HANDSHAKE * handshakes,
+                           responses=PROBES_PER_HANDSHAKE * handshakes)
+        return observations

@@ -21,6 +21,7 @@ from typing import Iterable, List, Sequence, Tuple
 from repro.internet.universe import Universe
 from repro.net.ports import MAX_PORT, is_valid_port
 from repro.scanner.bandwidth import BandwidthLedger, ScanCategory
+from repro.scanner.records import ProbeBatch
 
 #: The IP-ID value ZMap stamps on every probe, allowing operators to filter it.
 ZMAP_IP_ID_FINGERPRINT = 54321
@@ -90,6 +91,31 @@ class ZMapSimulator:
             sent += 1
             if self.universe.syn_ack(ip, port):
                 hits.append((ip, port))
+        self.ledger.record(category, probes=sent, responses=len(hits))
+        return hits
+
+    def scan_pair_batches(self, batches: Iterable[ProbeBatch],
+                          category: ScanCategory = ScanCategory.PREDICTION,
+                          ) -> List[Tuple[int, int]]:
+        """Probe per-(prefix, port) batches (the batched prediction scan, Section 5.4).
+
+        Sends exactly the probes :meth:`scan_pairs` would send for the
+        flattened batches and returns the same SYN-ACKing pairs (in batch
+        order), but resolves each batch with one ranged ground-truth query
+        (:meth:`~repro.internet.universe.Universe.syn_ack_many`), validates
+        the port once per batch, and charges the ledger once for the whole
+        call -- the per-pair bookkeeping the unbatched path pays on every
+        probe is amortized across each batch.
+        """
+        sent = 0
+        hits: List[Tuple[int, int]] = []
+        for batch in batches:
+            port = batch.port
+            if not is_valid_port(port):
+                raise ValueError(f"invalid port: {port}")
+            sent += len(batch.ips)
+            hits.extend((ip, port)
+                        for ip in self.universe.syn_ack_many(batch.ips, port))
         self.ledger.record(category, probes=sent, responses=len(hits))
         return hits
 

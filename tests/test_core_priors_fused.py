@@ -1,0 +1,196 @@
+"""Equivalence tests for the fused (engine-backed) priors planner.
+
+The load-bearing property: :func:`repro.core.priors.build_priors_plan_with_engine`
+is *defined* as producing exactly the ordered
+:class:`~repro.core.priors.PriorsEntry` list of the legacy
+:func:`~repro.core.priors.build_priors_plan` oracle -- on handcrafted hosts,
+on randomized observation sets (hypothesis), for every step size / port
+domain, and across the serial, thread and process executor backends.
+"""
+
+from __future__ import annotations
+
+import pickle
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.config import FeatureConfig
+from repro.core.features import HostFeatures, extract_host_features
+from repro.core.model import CooccurrenceModel, build_model
+from repro.core.priors import (
+    build_priors_plan,
+    build_priors_plan_with_engine,
+    compile_priors_query,
+)
+from repro.engine.fused import partner_group_count
+from repro.engine.parallel import ExecutorConfig
+from repro.net.ipv4 import parse_ip
+from repro.scanner.records import ScanObservation
+
+
+def _obs(ip: int, port: int, protocol: str = "http", **features) -> ScanObservation:
+    app = {"protocol": protocol}
+    app.update(features)
+    return ScanObservation(ip=ip, port=port, protocol=protocol, app_features=app)
+
+
+def _model_and_hosts(observations):
+    hosts = extract_host_features(observations, None, FeatureConfig())
+    return build_model(hosts), hosts
+
+
+@pytest.fixture()
+def camera_fleet():
+    """Multi-service camera subnets plus single- and three-service hosts."""
+    observations = []
+    for subnet_index in range(3):
+        base = parse_ip(f"10.{subnet_index}.0.0")
+        for host_index in range(4):
+            ip = base + host_index + 1
+            observations.append(_obs(ip, 554, protocol="rtsp"))
+            observations.append(_obs(ip, 37777, http_server="camera-httpd"))
+            if host_index % 2:
+                observations.append(_obs(ip, 80, http_server="camera-httpd"))
+    observations.append(_obs(parse_ip("10.9.0.1"), 80))
+    observations.append(_obs(parse_ip("10.9.0.2"), 80))
+    return observations
+
+
+class TestFusedPriorsEquivalence:
+    @pytest.mark.parametrize("step_size", [0, 8, 16, 24, 32])
+    def test_matches_legacy_across_step_sizes(self, camera_fleet, step_size):
+        model, hosts = _model_and_hosts(camera_fleet)
+        expected = build_priors_plan(hosts, model, step_size)
+        assert build_priors_plan_with_engine(hosts, model, step_size) == expected
+
+    @pytest.mark.parametrize("port_domain", [None, (80,), (554, 37777), (9999,)])
+    def test_matches_legacy_with_port_domain(self, camera_fleet, port_domain):
+        model, hosts = _model_and_hosts(camera_fleet)
+        expected = build_priors_plan(hosts, model, 16, port_domain)
+        assert build_priors_plan_with_engine(hosts, model, 16, port_domain) == expected
+
+    @pytest.mark.parametrize("backend,workers", [
+        ("serial", 1), ("thread", 2), ("thread", 5), ("process", 2),
+    ])
+    def test_matches_legacy_across_backends(self, camera_fleet, backend, workers):
+        model, hosts = _model_and_hosts(camera_fleet)
+        expected = build_priors_plan(hosts, model, 16)
+        executor = ExecutorConfig(backend=backend, workers=workers)
+        assert build_priors_plan_with_engine(hosts, model, 16,
+                                             executor=executor) == expected
+
+    def test_legacy_mode_delegates_to_oracle(self, camera_fleet):
+        model, hosts = _model_and_hosts(camera_fleet)
+        assert build_priors_plan_with_engine(hosts, model, 16, mode="legacy") == \
+            build_priors_plan(hosts, model, 16)
+
+    def test_unknown_mode_rejected(self, camera_fleet):
+        model, hosts = _model_and_hosts(camera_fleet)
+        with pytest.raises(ValueError):
+            build_priors_plan_with_engine(hosts, model, 16, mode="bigquery")
+
+    def test_invalid_step_size_rejected(self, camera_fleet):
+        model, hosts = _model_and_hosts(camera_fleet)
+        with pytest.raises(ValueError):
+            build_priors_plan_with_engine(hosts, model, 40)
+
+    def test_empty_hosts(self):
+        assert build_priors_plan_with_engine({}, CooccurrenceModel(), 16) == []
+
+    def test_host_without_services_contributes_nothing(self):
+        hosts = {1: HostFeatures(ip=1)}
+        assert build_priors_plan_with_engine(hosts, CooccurrenceModel(), 16) == []
+
+    def test_foreign_model_with_unknown_predictors(self, camera_fleet):
+        # A model trained on different observations: most predictors miss,
+        # exercising the zero-support path on both implementations.
+        model, _ = _model_and_hosts([_obs(500, 22, protocol="ssh"),
+                                     _obs(500, 2222, protocol="ssh"),
+                                     _obs(501, 22, protocol="ssh")])
+        _, hosts = _model_and_hosts(camera_fleet)
+        expected = build_priors_plan(hosts, model, 16)
+        assert build_priors_plan_with_engine(hosts, model, 16) == expected
+
+
+class TestCompiledPlan:
+    def test_small_hosts_skip_value_encoding(self, camera_fleet):
+        # One- and two-service hosts need no predictor evaluation, so only
+        # 3+-service hosts may contribute encoded values.
+        observations = [obs for obs in camera_fleet]
+        model, hosts = _model_and_hosts(observations)
+        plan = compile_priors_query(hosts, model, 16)
+        small_hosts = {h.ip for h in hosts.values() if len(h.ports) <= 2}
+        for g, ip in enumerate(hosts):
+            lo, hi = plan.member_starts[g], plan.member_starts[g + 1]
+            encoded = plan.value_starts[hi] - plan.value_starts[lo]
+            if ip in small_hosts:
+                assert encoded == 0
+            else:
+                assert encoded > 0
+
+    def test_plan_is_picklable_plain_data(self, camera_fleet):
+        model, hosts = _model_and_hosts(camera_fleet)
+        plan = compile_priors_query(hosts, model, 16)
+        clone = pickle.loads(pickle.dumps(plan))
+        assert partner_group_count(clone) == partner_group_count(plan)
+
+    def test_chunked_execution_is_chunking_invariant(self, camera_fleet):
+        model, hosts = _model_and_hosts(camera_fleet)
+        expected = build_priors_plan(hosts, model, 16)
+        for workers in (1, 2, 3, 7, 50):
+            executor = ExecutorConfig(backend="thread", workers=workers)
+            assert build_priors_plan_with_engine(hosts, model, 16,
+                                                 executor=executor) == expected
+
+
+# Random observation sets: a few hosts, a few ports, shared banner values so
+# predictors overlap across hosts (the regime where partner selection has
+# real ties to break deterministically).
+observation_sets = st.lists(
+    st.tuples(st.integers(0, 9),                      # host index
+              st.sampled_from([22, 80, 443, 554, 8080]),
+              st.sampled_from(["http", "ssh", "rtsp"]),
+              st.sampled_from(["srv-a", "srv-b", ""])),
+    min_size=1, max_size=60,
+)
+
+
+class TestRandomizedEquivalence:
+    @settings(deadline=None, max_examples=60)
+    @given(observation_sets, st.sampled_from([0, 12, 16, 24, 32]),
+           st.sampled_from([None, (80, 443), (22, 554, 8080)]))
+    def test_fused_equals_legacy(self, rows, step_size, port_domain):
+        observations = []
+        seen = set()
+        for host_index, port, protocol, server in rows:
+            if (host_index, port) in seen:
+                continue
+            seen.add((host_index, port))
+            # Spread hosts over several /16s with some sharing a subnet.
+            ip = parse_ip("10.0.0.0") + host_index * 40000
+            features = {"http_server": server} if server else {}
+            observations.append(_obs(ip, port, protocol=protocol, **features))
+        model, hosts = _model_and_hosts(observations)
+        expected = build_priors_plan(hosts, model, step_size, port_domain)
+        got = build_priors_plan_with_engine(hosts, model, step_size, port_domain)
+        assert got == expected
+
+    @settings(deadline=None, max_examples=20)
+    @given(observation_sets, st.integers(1, 6),
+           st.sampled_from(["serial", "thread"]))
+    def test_parallel_fused_equals_legacy(self, rows, workers, backend):
+        observations = []
+        seen = set()
+        for host_index, port, protocol, server in rows:
+            if (host_index, port) in seen:
+                continue
+            seen.add((host_index, port))
+            ip = parse_ip("10.0.0.0") + host_index * 7 + 1
+            features = {"http_server": server} if server else {}
+            observations.append(_obs(ip, port, protocol=protocol, **features))
+        model, hosts = _model_and_hosts(observations)
+        expected = build_priors_plan(hosts, model, 16)
+        executor = ExecutorConfig(backend=backend, workers=workers)
+        assert build_priors_plan_with_engine(hosts, model, 16,
+                                             executor=executor) == expected

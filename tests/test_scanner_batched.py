@@ -1,0 +1,201 @@
+"""Equivalence tests for the batched prediction-scan path.
+
+The batched layers (``Universe.syn_ack_many``, ``ZMapSimulator.scan_pair_batches``,
+``LZRSimulator.fingerprint_batch``, ``ZGrabSimulator.grab_batch`` and
+``ScanPipeline.scan_pair_batches``) are *defined* as equivalent to their
+pair-by-pair counterparts: same probes sent, same services observed, identical
+bandwidth-ledger charges.  Every test here compares the two paths on the same
+targets, including the miss-heavy mixes (dark addresses, closed ports,
+middleboxes, pseudo services) a real prediction scan probes.
+"""
+
+from __future__ import annotations
+
+import random
+
+import pytest
+
+from repro.core.config import FeatureConfig, GPSConfig
+from repro.core.gps import GPS
+from repro.datasets.split import seed_scan_cost_probes
+from repro.net.ipv4 import subnet_key
+from repro.scanner.bandwidth import ScanCategory
+from repro.scanner.pipeline import ScanPipeline
+from repro.scanner.records import ProbeBatch, group_pairs
+
+
+def _mixed_targets(universe, count=600, seed=5):
+    """Real pairs, wrong-port probes, dark space, middleboxes and pseudo hosts."""
+    rng = random.Random(seed)
+    pairs = list(universe.real_service_pairs())[: count // 2]
+    all_ips = universe.all_ips()
+    pairs += [(rng.choice(all_ips), rng.randrange(1, 65536))
+              for _ in range(count // 2)]
+    pairs += [(rng.randrange(0, 2**32), 443) for _ in range(count // 4)]
+    rng.shuffle(pairs)
+    return pairs
+
+
+def _observation_key(observations):
+    return sorted((obs.ip, obs.port, obs.protocol,
+                   tuple(sorted(obs.app_features.items())), obs.ttl)
+                  for obs in observations)
+
+
+class TestSynAckMany:
+    def test_matches_point_probes(self, universe):
+        pairs = _mixed_targets(universe, count=400)
+        by_port: dict = {}
+        for ip, port in pairs:
+            by_port.setdefault(port, []).append(ip)
+        for port, ips in by_port.items():
+            expected = [ip for ip in ips if universe.syn_ack(ip, port)]
+            assert universe.syn_ack_many(ips, port) == expected
+
+    def test_small_batches_match(self, universe):
+        # Below the bisect threshold the fallback path must agree too.
+        ip = next(iter(universe.hosts))
+        port = universe.hosts[ip].open_ports()[0] if universe.hosts[ip].services \
+            else 80
+        assert universe.syn_ack_many([ip], port) == \
+            ([ip] if universe.syn_ack(ip, port) else [])
+
+    def test_duplicates_and_order_preserved(self, universe):
+        port = universe.ports_in_use()[0]
+        responders = universe.ips_on_port(port)[:5]
+        ips = responders + responders + [0, 1]
+        assert universe.syn_ack_many(ips, port) == responders + responders
+
+    def test_empty_batch(self, universe):
+        assert universe.syn_ack_many([], 80) == []
+
+
+class TestGroupPairs:
+    def test_partitions_pairs_exactly(self, universe):
+        pairs = _mixed_targets(universe, count=300)
+        batches = group_pairs(pairs, 16)
+        flattened = [pair for batch in batches for pair in batch.pairs()]
+        assert sorted(flattened) == sorted(pairs)
+
+    def test_batches_share_port_and_subnet(self):
+        pairs = [(10, 80), (11, 80), (70000, 80), (10, 443)]
+        batches = group_pairs(pairs, 16)
+        assert len(batches) == 3
+        for batch in batches:
+            assert all(subnet_key(ip, 16) == batch.subnet for ip in batch.ips)
+
+    def test_first_seen_order(self):
+        pairs = [(70000, 80), (10, 443), (11, 80), (70001, 80)]
+        batches = group_pairs(pairs, 16)
+        assert [(b.port, tuple(b.ips)) for b in batches] == [
+            (80, (70000, 70001)), (443, (10,)), (80, (11,)),
+        ]
+
+    def test_prefix_zero_collapses_to_per_port_batches(self):
+        pairs = [(10, 80), (2**31, 80), (10, 443)]
+        batches = group_pairs(pairs, 0)
+        assert {(b.port, len(b)) for b in batches} == {(80, 2), (443, 1)}
+
+    def test_invalid_prefix_rejected(self):
+        with pytest.raises(ValueError):
+            group_pairs([(1, 80)], 33)
+
+
+class TestBatchedLayers:
+    def test_zmap_batches_match_pairs(self, universe):
+        pairs = _mixed_targets(universe)
+        batches = group_pairs(pairs, 16)
+        pipeline_a, pipeline_b = ScanPipeline(universe), ScanPipeline(universe)
+        hits_pairwise = pipeline_a.zmap.scan_pairs(pairs)
+        hits_batched = pipeline_b.zmap.scan_pair_batches(batches)
+        assert sorted(hits_pairwise) == sorted(hits_batched)
+        assert pipeline_a.ledger.probes == pipeline_b.ledger.probes
+        assert pipeline_a.ledger.responses == pipeline_b.ledger.responses
+
+    def test_zmap_batch_rejects_invalid_port(self, universe):
+        pipeline = ScanPipeline(universe)
+        batch = ProbeBatch(port=0, subnet=subnet_key(1, 16), ips=(1, 2))
+        with pytest.raises(ValueError):
+            pipeline.zmap.scan_pair_batches([batch])
+
+    def test_lzr_batch_matches_fingerprint_many(self, universe):
+        pairs = _mixed_targets(universe)
+        hits = ScanPipeline(universe).zmap.scan_pairs(pairs)
+        pipeline_a, pipeline_b = ScanPipeline(universe), ScanPipeline(universe)
+        many = pipeline_a.lzr.fingerprint_many(hits, category=ScanCategory.PREDICTION)
+        batch = pipeline_b.lzr.fingerprint_batch(hits, category=ScanCategory.PREDICTION)
+        assert many == batch
+        assert pipeline_a.ledger.probes == pipeline_b.ledger.probes
+        assert pipeline_a.ledger.responses == pipeline_b.ledger.responses
+
+    def test_zgrab_batch_matches_grab_many(self, universe):
+        pairs = _mixed_targets(universe)
+        fresh = ScanPipeline(universe)
+        fingerprints = fresh.lzr.fingerprint_many(fresh.zmap.scan_pairs(pairs))
+        pipeline_a, pipeline_b = ScanPipeline(universe), ScanPipeline(universe)
+        many = pipeline_a.zgrab.grab_many(fingerprints,
+                                          category=ScanCategory.PREDICTION)
+        batch = pipeline_b.zgrab.grab_batch(fingerprints,
+                                            category=ScanCategory.PREDICTION)
+        assert many == batch
+        assert pipeline_a.ledger.probes == pipeline_b.ledger.probes
+        assert pipeline_a.ledger.responses == pipeline_b.ledger.responses
+
+
+class TestBatchedPipeline:
+    @pytest.mark.parametrize("prefix_len", [0, 16, 24])
+    def test_batched_scan_pairs_equivalent(self, universe, prefix_len):
+        pairs = _mixed_targets(universe)
+        pipeline_a, pipeline_b = ScanPipeline(universe), ScanPipeline(universe)
+        pairwise = pipeline_a.scan_pairs(pairs)
+        batched = pipeline_b.scan_pairs(pairs, batch_prefix_len=prefix_len)
+        assert _observation_key(pairwise) == _observation_key(batched)
+        assert pipeline_a.ledger.probes == pipeline_b.ledger.probes
+        assert pipeline_a.ledger.responses == pipeline_b.ledger.responses
+
+    def test_scan_pair_batches_accepts_pregrouped_batches(self, universe):
+        pairs = _mixed_targets(universe, count=200)
+        pipeline_a, pipeline_b = ScanPipeline(universe), ScanPipeline(universe)
+        pairwise = pipeline_a.scan_pairs(pairs)
+        batched = pipeline_b.scan_pair_batches(group_pairs(pairs, 16))
+        assert _observation_key(pairwise) == _observation_key(batched)
+        assert pipeline_a.ledger.probes == pipeline_b.ledger.probes
+
+    def test_filter_toggle_respected(self, universe):
+        pairs = _mixed_targets(universe)
+        unfiltered = ScanPipeline(universe).scan_pairs(pairs, apply_filter=False,
+                                                       batch_prefix_len=16)
+        filtered = ScanPipeline(universe).scan_pairs(pairs, batch_prefix_len=16)
+        assert len(filtered) <= len(unfiltered)
+
+
+class TestGPSEngineModes:
+    """GPS end-to-end equivalence across engine modes (the acceptance check)."""
+
+    @pytest.fixture(scope="class")
+    def mode_runs(self, universe, censys_dataset, censys_split):
+        results = {}
+        for mode in ("fused", "legacy"):
+            run_pipeline = ScanPipeline(universe)
+            config = GPSConfig(seed_fraction=0.05, step_size=16,
+                               port_domain=censys_dataset.port_domain,
+                               use_engine=True, engine_mode=mode)
+            gps = GPS(run_pipeline, config)
+            seed_cost = seed_scan_cost_probes(censys_dataset, 0.05)
+            results[mode] = (gps.run(seed=censys_split.seed_scan_result(),
+                                     seed_cost_probes=seed_cost), run_pipeline)
+        return results
+
+    def test_priors_plans_identical(self, mode_runs):
+        assert mode_runs["fused"][0].priors_plan == mode_runs["legacy"][0].priors_plan
+
+    def test_predictions_identical(self, mode_runs):
+        assert mode_runs["fused"][0].predictions == mode_runs["legacy"][0].predictions
+
+    def test_discoveries_identical(self, mode_runs):
+        assert mode_runs["fused"][0].discovered_pairs() == \
+            mode_runs["legacy"][0].discovered_pairs()
+
+    def test_bandwidth_identical(self, mode_runs):
+        assert mode_runs["fused"][1].ledger.probes == \
+            mode_runs["legacy"][1].ledger.probes
