@@ -38,7 +38,6 @@ from repro.baselines import (
 )
 from repro.baselines.tga import candidates_budget_from_dataset
 from repro.core.metrics import fraction_of_services
-from repro.datasets import split_seed_test
 
 SEED_FRACTION = 0.05
 

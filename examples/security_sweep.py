@@ -16,7 +16,7 @@ Run it with:  python examples/security_sweep.py
 from __future__ import annotations
 
 from collections import Counter
-from typing import Dict, Set, Tuple
+from typing import Dict, Tuple
 
 from repro.analysis import SMALL_SCALE, make_universe
 from repro.core import GPS, GPSConfig

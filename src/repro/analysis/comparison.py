@@ -16,7 +16,7 @@ The comparison has three parts:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set, Tuple
 
 from repro.analysis.scenarios import run_gps_on_dataset
@@ -28,7 +28,6 @@ from repro.baselines.xgboost_scanner import (
 from repro.core.gps import GPSRunResult
 from repro.core.metrics import CoveragePoint, coverage_curve
 from repro.datasets.builders import GroundTruthDataset
-from repro.datasets.split import split_seed_test
 from repro.internet.universe import Universe
 from repro.net.ipv4 import ip_in_prefix, subnet_key_parts
 

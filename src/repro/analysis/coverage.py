@@ -8,7 +8,7 @@ and oracle references computed from the same ground truth.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.analysis.scenarios import run_gps_on_dataset

@@ -15,9 +15,9 @@ from __future__ import annotations
 import json
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import List, Optional, Sequence
 
-from repro.core.config import FeatureConfig, GPSConfig
+from repro.core.config import FeatureConfig
 from repro.core.features import extract_host_features
 from repro.core.gps import GPS
 from repro.core.model import build_model, build_model_with_engine

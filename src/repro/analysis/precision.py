@@ -13,7 +13,7 @@ from dataclasses import dataclass
 from typing import List, Optional, Tuple
 
 from repro.analysis.coverage import CoverageExperiment, run_coverage_experiment
-from repro.core.metrics import CoveragePoint, coverage_curve, precision_curve
+from repro.core.metrics import coverage_curve, precision_curve
 from repro.datasets.builders import GroundTruthDataset
 from repro.internet.universe import Universe
 

@@ -18,7 +18,7 @@ analysis layer can overlay them.
 
 from __future__ import annotations
 
-from typing import Dict, List, Sequence, Set, Tuple
+from typing import Dict, List, Sequence, Tuple
 
 from repro.core.metrics import CoveragePoint, per_port_counts
 from repro.datasets.builders import GroundTruthDataset

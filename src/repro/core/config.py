@@ -41,9 +41,11 @@ NETWORK_FEATURE_KINDS = (
 
 DEFAULT_NETWORK_KINDS = ("asn", "subnet16")
 
-#: Engine execution paths for model building and priors planning
-#: (``GPSConfig.engine_mode`` / :func:`repro.core.model.build_model_with_engine`
-#: / :func:`repro.core.priors.build_priors_plan_with_engine`).
+#: Engine execution paths for model building, priors planning and the
+#: prediction-index build (``GPSConfig.engine_mode`` /
+#: :func:`repro.core.model.build_model_with_engine` /
+#: :func:`repro.core.priors.build_priors_plan_with_engine` /
+#: :func:`repro.core.predictions.build_prediction_index_with_engine`).
 ENGINE_MODES = ("fused", "legacy")
 
 #: Application-layer feature keys (Table 1) excluding the protocol fingerprint,
@@ -128,19 +130,22 @@ class GPSConfig:
             grouped per (subnetwork, port) for the pipeline's batched
             scanner layers, which changes bookkeeping cost but not what is
             probed or charged.
-        use_engine: run model building (Section 5.2) and priors planning
-            (Section 5.3) on the engine layer rather than the single-core
-            dictionary implementations.
+        use_engine: run model building (Section 5.2), priors planning
+            (Section 5.3) and the prediction-index build (Section 5.4) on
+            the engine layer rather than the single-core dictionary
+            implementations.
         engine_mode: which engine execution path to use when ``use_engine``
             is set.  Valid values are ``"fused"`` (the default: streaming
             operators over dictionary-encoded columns --
             :func:`repro.engine.fused.join_group_count` for the model,
             :func:`repro.engine.fused.partner_group_count` for the priors
-            plan -- never materializing the joined relation) and
-            ``"legacy"`` (the original formulations: materialized self-join
-            for the model, per-host dict loops for the priors plan; kept as
-            the benchmark baseline and equivalence oracle).  Both modes
-            produce identical models and priors plans; the Table 2
+            plan and :func:`repro.engine.fused.argmax_partner_select` for
+            the most-predictive-feature index -- never materializing the
+            joined relation) and ``"legacy"`` (the original formulations:
+            materialized self-join for the model, per-host dict loops for
+            the priors plan and the feature index; kept as the benchmark
+            baseline and equivalence oracle).  All modes produce identical
+            models, priors plans and feature indices; the Table 2
             "computation" benchmarks (``BENCH_engine.json``,
             ``BENCH_priors.json``) quantify the difference.
         executor: parallel engine configuration (backend + worker count).

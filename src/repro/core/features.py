@@ -24,7 +24,7 @@ each *other* port is open on the same host.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import FeatureConfig
 from repro.net.asn import AsnDatabase

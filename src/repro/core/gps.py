@@ -19,15 +19,16 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional, Sequence, Set, Tuple
+from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import GPSConfig
-from repro.core.features import HostFeatures, extract_host_features
+from repro.core.features import extract_host_features
 from repro.core.model import CooccurrenceModel, build_model, build_model_with_engine
 from repro.core.predictions import (
     PREDICTION_BATCH_PREFIX_LEN,
     PredictedService,
     PredictiveFeatureIndex,
+    build_prediction_index_with_engine,
 )
 from repro.core.priors import (
     PriorsEntry,
@@ -190,12 +191,7 @@ class GPS:
 
         # Phase 4: predict and scan remaining services.
         build_start = time.perf_counter()
-        feature_index = PredictiveFeatureIndex.from_seed(
-            host_features, model,
-            probability_cutoff=config.probability_cutoff,
-            port_domain=config.port_domain,
-            min_pattern_support=config.min_pattern_support,
-        )
+        feature_index = self._build_feature_index(host_features, model)
         result.feature_index = feature_index
         predictions = feature_index.predict(
             result.priors_observations, self._asn_db, config.feature_config,
@@ -261,12 +257,7 @@ class GPS:
             model = build_model(host_features)
         result.model = model
 
-        feature_index = PredictiveFeatureIndex.from_seed(
-            host_features, model,
-            probability_cutoff=config.probability_cutoff,
-            port_domain=config.port_domain,
-            min_pattern_support=config.min_pattern_support,
-        )
+        feature_index = self._build_feature_index(host_features, model)
         result.feature_index = feature_index
 
         known = list(known_observations)
@@ -298,6 +289,32 @@ class GPS:
         return result
 
     # -- helpers ------------------------------------------------------------------------
+
+    def _build_feature_index(self, host_features, model: CooccurrenceModel,
+                             ) -> PredictiveFeatureIndex:
+        """Build the most-predictive-feature index on the configured path.
+
+        ``use_engine`` routes the Section 5.4 index build through the fused
+        argmax engine (``engine_mode`` selects fused/legacy, exactly like the
+        model and priors paths); otherwise the single-core reference
+        implementation runs.  All paths produce identical indices.
+        """
+        config = self.config
+        if config.use_engine:
+            return build_prediction_index_with_engine(
+                host_features, model,
+                probability_cutoff=config.probability_cutoff,
+                port_domain=config.port_domain,
+                min_pattern_support=config.min_pattern_support,
+                executor=config.executor,
+                mode=config.engine_mode,
+            )
+        return PredictiveFeatureIndex.from_seed(
+            host_features, model,
+            probability_cutoff=config.probability_cutoff,
+            port_domain=config.port_domain,
+            min_pattern_support=config.min_pattern_support,
+        )
 
     def _budget_probes(self) -> Optional[int]:
         if self.config.max_full_scans is None:

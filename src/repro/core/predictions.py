@@ -18,10 +18,10 @@ GPS uses the features of those services to predict every remaining service:
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.core.config import FeatureConfig
+from repro.core.config import ENGINE_MODES, FeatureConfig
 from repro.core.features import (
     HostFeatures,
     PredictorTuple,
@@ -29,6 +29,9 @@ from repro.core.features import (
     predictor_tuples_for_observation,
 )
 from repro.core.model import CooccurrenceModel
+from repro.engine.encoding import DictionaryEncoder
+from repro.engine.fused import FusedArgmaxPlan, argmax_partner_select
+from repro.engine.parallel import ExecutorConfig, partitioned_argmax_partner_select
 from repro.net.asn import AsnDatabase
 from repro.scanner.records import ProbeBatch, ScanObservation, group_pairs
 
@@ -38,6 +41,13 @@ from repro.scanner.records import ProbeBatch, ScanObservation, group_pairs
 #: emit one prediction per co-located host), so batches stay large without
 #: reordering the probability-ordered schedule by more than a batch.
 PREDICTION_BATCH_PREFIX_LEN = 16
+
+#: Upper bound on the per-index network-feature memo used by
+#: :meth:`PredictiveFeatureIndex.predict`.  The memo persists across predict
+#: calls (GPS rounds against the same universe hit the same hosts again), so
+#: without a bound it would grow with every distinct address ever predicted
+#: from; at the bound the oldest entries are evicted first-in-first-out.
+NET_FEATURE_CACHE_MAX = 65536
 
 
 @dataclass(frozen=True)
@@ -74,6 +84,12 @@ class PredictiveFeatureIndex:
             if existing is None or feature.probability > existing:
                 targets[feature.target_port] = feature.probability
         self._entry_count = sum(len(t) for t in self._by_predictor.values())
+        # Bounded memo for network_feature_values, shared across predict
+        # calls; keyed per (asn_db, feature kinds) identity so an index
+        # reused against a different universe never serves stale features.
+        self._net_cache: Dict[int, List[Tuple[str, int]]] = {}
+        self._net_cache_db: Optional[AsnDatabase] = None
+        self._net_cache_kinds: Optional[Tuple[str, ...]] = None
 
     # -- construction -----------------------------------------------------------------
 
@@ -150,6 +166,15 @@ class PredictiveFeatureIndex:
 
     # -- prediction (steps 2-3) ----------------------------------------------------------
 
+    def _net_values_cache(self, asn_db: Optional[AsnDatabase],
+                          kinds: Tuple[str, ...]) -> Dict[int, List[Tuple[str, int]]]:
+        """The bounded per-(asn_db, kinds) network-feature memo, reset on rekey."""
+        if self._net_cache_db is not asn_db or self._net_cache_kinds != kinds:
+            self._net_cache = {}
+            self._net_cache_db = asn_db
+            self._net_cache_kinds = kinds
+        return self._net_cache
+
     def predict(
         self,
         observations: Iterable[ScanObservation],
@@ -176,14 +201,23 @@ class PredictiveFeatureIndex:
         best: Dict[Tuple[int, int], PredictedService] = {}
         # Network-layer features depend only on the address, and hosts with
         # several discovered services appear once per service; memoize per IP
-        # so the ASN lookup and subnet derivations run once per host.
-        net_values_by_ip: Dict[int, List[Tuple[str, int]]] = {}
+        # so the ASN lookup and subnet derivations run once per host.  The
+        # memo lives on the index and persists across GPS rounds, but is
+        # bounded (NET_FEATURE_CACHE_MAX, FIFO eviction) so long-running
+        # multi-round deployments cannot grow it without limit, and is keyed
+        # per (asn_db, kinds) so reuse against another universe resets it.
+        net_cache = self._net_values_cache(
+            asn_db, feature_config.network_feature_kinds)
+        net_cache_get = net_cache.get
+        limit = NET_FEATURE_CACHE_MAX
         for observation in observations:
-            net_values = net_values_by_ip.get(observation.ip)
+            net_values = net_cache_get(observation.ip)
             if net_values is None:
                 net_values = network_feature_values(
                     observation.ip, asn_db, feature_config.network_feature_kinds)
-                net_values_by_ip[observation.ip] = net_values
+                if len(net_cache) >= limit:
+                    net_cache.pop(next(iter(net_cache)))
+                net_cache[observation.ip] = net_values
             predictors = predictor_tuples_for_observation(observation, net_values,
                                                           feature_config)
             for predictor in predictors:
@@ -225,3 +259,142 @@ class PredictiveFeatureIndex:
         predictions = self.predict(observations, asn_db, feature_config,
                                    known_pairs=known_pairs)
         return group_pairs((p.pair() for p in predictions), prefix_len)
+
+
+# -- engine-backed index construction ----------------------------------------------------
+
+
+def compile_prediction_index_query(
+    host_features: Mapping[int, HostFeatures],
+    model: CooccurrenceModel,
+    port_domain: Optional[Sequence[int]] = None,
+    min_pattern_support: int = 2,
+    probability_cutoff: float = 1e-5,
+) -> Tuple[FusedArgmaxPlan, DictionaryEncoder]:
+    """Flatten the Section 5.4 index build into a fused argmax plan.
+
+    Hosts with at least two services become groups, services become members
+    labelled by port, and each service's predictor tuples are
+    dictionary-encoded into the plan's flat integer columns (single-service
+    hosts contribute nothing to the index and are omitted outright).  The
+    model's count rows and supports are referenced once per *distinct*
+    predictor tuple -- after compilation the per-service argmax runs entirely
+    on small ints -- and ``tie_ranks`` orders the ids by their decoded tuples
+    so ties break exactly as
+    :meth:`~repro.core.model.CooccurrenceModel.best_predictor` breaks them.
+
+    Returns the plan together with the encoder that decodes winning ids back
+    to predictor tuples.
+    """
+    encoder = DictionaryEncoder()
+    member_starts: List[int] = [0]
+    labels: List[int] = []
+    value_starts: List[int] = [0]
+    value_ids: List[int] = []
+    for host in host_features.values():
+        open_ports = host.open_ports()
+        if len(open_ports) < 2:
+            continue
+        for port in open_ports:
+            labels.append(port)
+            value_ids.extend(encoder.encode_column(host.ports[port]))
+            value_starts.append(len(value_ids))
+        member_starts.append(len(labels))
+
+    model_denominators = model.denominators
+    model_cooccurrence = model.cooccurrence
+    no_targets: Dict[int, int] = {}
+    target_counts: List[Dict[int, int]] = []
+    denominators: List[int] = []
+    values = encoder.values()
+    for predictor in values:
+        denom = model_denominators.get(predictor, 0)
+        targets = model_cooccurrence.get(predictor) if denom else None
+        if targets:
+            target_counts.append(targets)
+            denominators.append(denom)
+        else:
+            # Unknown predictor, zero support or no co-occurrences: scores 0
+            # for every port, exactly as CooccurrenceModel.probability
+            # reports it, so the fold skips the row outright.
+            target_counts.append(no_targets)
+            denominators.append(0)
+
+    # Rank ids by decoded tuple order: the reference tie-break compares the
+    # predictor tuples themselves, while ids are first-seen-ordered.
+    tie_ranks = [0] * len(values)
+    for rank, value_index in enumerate(sorted(range(len(values)),
+                                              key=values.__getitem__)):
+        tie_ranks[value_index] = rank
+
+    plan = FusedArgmaxPlan(
+        member_starts=tuple(member_starts),
+        labels=tuple(labels),
+        value_starts=tuple(value_starts),
+        value_ids=tuple(value_ids),
+        target_counts=tuple(target_counts),
+        denominators=tuple(denominators),
+        tie_ranks=tuple(tie_ranks),
+        allowed_labels=frozenset(port_domain) if port_domain is not None else None,
+        min_support=min_pattern_support,
+        probability_cutoff=probability_cutoff,
+    )
+    return plan, encoder
+
+
+def build_prediction_index_with_engine(
+    host_features: Mapping[int, HostFeatures],
+    model: CooccurrenceModel,
+    probability_cutoff: float = 1e-5,
+    port_domain: Optional[Sequence[int]] = None,
+    min_pattern_support: int = 2,
+    executor: Optional[ExecutorConfig] = None,
+    mode: str = "fused",
+) -> PredictiveFeatureIndex:
+    """The Section 5.4 index build on the fused engine (the Table 2 story).
+
+    Produces a :class:`PredictiveFeatureIndex` identical to
+    :meth:`PredictiveFeatureIndex.from_seed` (the oracle; the test suite
+    asserts entry-for-entry equality, tie cases included), but executes as a
+    streaming argmax over dictionary-encoded columns
+    (:func:`repro.engine.fused.argmax_partner_select`): count rows bind once
+    per distinct predictor tuple and per-service selection runs on flat int
+    columns instead of re-hashing nested tuples per candidate.  With a
+    parallel ``executor``, contiguous host chunks scatter across workers.
+
+    Args:
+        host_features: per-host features extracted from the seed observations.
+        model: the co-occurrence model built from the same seed set.
+        probability_cutoff: minimum probability for an index entry.
+        port_domain: optional target-port whitelist.
+        min_pattern_support: preferred-tier support floor (see ``from_seed``).
+        executor: parallel engine configuration; ``None`` runs serially.
+        mode: ``"fused"`` (default) or ``"legacy"`` (delegates to the
+            reference implementation, kept as the equivalence oracle).
+    """
+    if mode not in ENGINE_MODES:
+        raise ValueError(f"unknown engine mode: {mode!r} (expected one of {ENGINE_MODES})")
+    if mode == "legacy":
+        return PredictiveFeatureIndex.from_seed(
+            host_features, model,
+            probability_cutoff=probability_cutoff,
+            port_domain=port_domain,
+            min_pattern_support=min_pattern_support,
+        )
+    plan, encoder = compile_prediction_index_query(
+        host_features, model,
+        port_domain=port_domain,
+        min_pattern_support=min_pattern_support,
+        probability_cutoff=probability_cutoff,
+    )
+    serial = executor is None or (executor.backend == "serial" and executor.workers == 1)
+    if serial:
+        winners = argmax_partner_select(plan)
+    else:
+        winners = partitioned_argmax_partner_select(plan, executor)
+    decode = encoder.decode
+    return PredictiveFeatureIndex(
+        PredictiveFeature(predictor=decode(value_id), target_port=label,
+                          probability=probability)
+        for label, value_id, probability in winners
+    )

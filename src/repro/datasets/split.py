@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import random
 from dataclasses import dataclass
-from typing import List, Optional, Set, Tuple
+from typing import List, Set, Tuple
 
 from repro.datasets.builders import GroundTruthDataset
 from repro.scanner.pipeline import SeedScanResult

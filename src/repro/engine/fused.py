@@ -29,8 +29,10 @@ from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 from repro.engine.table import Table
 
 __all__ = [
+    "FusedArgmaxPlan",
     "FusedJoinPlan",
     "FusedPartnerPlan",
+    "argmax_partner_select",
     "compile_join_plan",
     "join_group_count",
     "partner_group_count",
@@ -553,6 +555,213 @@ def partner_group_count(plan: FusedPartnerPlan) -> Dict[Tuple[int, int], int]:
     counters for any chunking because groups never interact.
     """
     return count_partner_chunk(partner_chunk_payload(plan))
+
+
+# -- fused argmax partner selection (the prediction-index query shape) --------------------
+
+
+@dataclass(frozen=True)
+class FusedArgmaxPlan:
+    """A compiled argmax partner-selection query (plain picklable data).
+
+    The third GPS query shape the engine fuses: the Section 5.4
+    most-predictive-feature-values build
+    (:meth:`repro.core.predictions.PredictiveFeatureIndex.from_seed`).  The
+    layout is the :class:`FusedPartnerPlan` flattening -- groups (hosts) own
+    contiguous runs of members (services) which own contiguous runs of
+    dictionary-encoded values (predictor-tuple ids) -- but where the partner
+    plan folds only the best partner's *label* into a counter, this plan
+    tracks the best predictor *identity* alongside the max score: for every
+    member, the query selects the single value (drawn from the group's other
+    members) whose score against the member's label wins under the reference
+    ordering, and emits ``(label, value_id, score)``.
+
+    The reference ordering is exactly
+    :meth:`repro.core.model.CooccurrenceModel.best_predictor`'s: maximum
+    probability, ties broken toward larger support, then toward the smallest
+    predictor *tuple*.  Encoded ids are first-seen-ordered, not
+    value-ordered, so the plan carries ``tie_ranks`` -- the rank of each id
+    in ascending decoded-tuple order -- making the id-space fold bit-identical
+    to the nested-tuple loops.  Selection is two-tier, mirroring the
+    ``min_support``-then-fallback call pattern: values with support below
+    ``min_support`` are only eligible when no supported value scores
+    positively.
+
+    Scores are exact ``count / support`` integer divisions with the very
+    operands the reference divides, so probabilities (and the cutoff
+    comparison) are bit-identical IEEE doubles.
+
+    Attributes:
+        member_starts: group ``g`` owns members
+            ``member_starts[g]:member_starts[g + 1]``; length is the number
+            of groups plus one.  Groups with fewer than two members
+            contribute nothing (the compiler simply omits such hosts).
+        labels: per-member integer label (the service's port), ascending
+            within each group.
+        value_starts: offsets into ``value_ids`` per member.
+        value_ids: dictionary-encoded predictor-tuple ids per member.
+        target_counts: per encoded id, ``label -> co-occurrence count`` (the
+            :class:`FusedPartnerPlan` aliasing notes apply; unlike the
+            partner fold, this operator excludes a member's own values
+            explicitly, so it does not rely on the self-label precondition).
+        denominators: per encoded id, the value's support; positive wherever
+            the count row is non-empty.
+        tie_ranks: per encoded id, its rank in ascending decoded-value order.
+        allowed_labels: optional label whitelist applied to the *target*
+            member (disallowed members are skipped, their values still score
+            for siblings).
+        min_support: minimum support for the preferred selection tier.
+        probability_cutoff: selections scoring below this are dropped.
+    """
+
+    member_starts: Tuple[int, ...]
+    labels: Tuple[int, ...]
+    value_starts: Tuple[int, ...]
+    value_ids: Tuple[int, ...]
+    target_counts: Tuple[Dict[int, int], ...]
+    denominators: Tuple[int, ...]
+    tie_ranks: Tuple[int, ...]
+    allowed_labels: Optional[frozenset] = None
+    min_support: int = 1
+    probability_cutoff: float = 0.0
+
+    def __len__(self) -> int:
+        return len(self.member_starts) - 1
+
+
+def argmax_chunk_payload(plan: FusedArgmaxPlan, start: int = 0,
+                         stop: Optional[int] = None) -> Tuple[Any, ...]:
+    """Slice groups ``[start:stop)`` of an argmax plan into a worker payload.
+
+    Mirrors :func:`partner_chunk_payload`: only the chunk's span of each flat
+    column ships; the shared side tables (count rows, supports, tie ranks)
+    travel whole.  Offsets stay absolute and are rebased by the fold.
+    """
+    if stop is None:
+        stop = len(plan)
+    m_lo, m_hi = plan.member_starts[start], plan.member_starts[stop]
+    v_lo, v_hi = plan.value_starts[m_lo], plan.value_starts[m_hi]
+    return (
+        plan.member_starts[start:stop + 1],
+        plan.labels[m_lo:m_hi],
+        plan.value_starts[m_lo:m_hi + 1],
+        plan.value_ids[v_lo:v_hi],
+        plan.target_counts,
+        plan.denominators,
+        plan.tie_ranks,
+        plan.allowed_labels,
+        plan.min_support,
+        plan.probability_cutoff,
+    )
+
+
+def select_argmax_chunk(payload: Tuple[Any, ...]) -> List[Tuple[int, int, float]]:
+    """Select one chunk's ``(label, value_id, score)`` winners, in member order.
+
+    ``payload`` is plain data (see :func:`argmax_chunk_payload`), so the same
+    function runs in-process and as a process-pool worker.  Per group of
+    ``k`` members the scratch is eight ``k``-length lists (the running best
+    per target for the supported and fallback tiers); winners append straight
+    to the output and the scratch dies with the group.
+    """
+    (member_starts, labels, value_starts, value_ids, target_counts,
+     denominators, tie_ranks, allowed, min_support, cutoff) = payload
+    out: List[Tuple[int, int, float]] = []
+    groups = len(member_starts) - 1
+    if groups <= 0:
+        return out
+    m_base = member_starts[0]
+    v_base = value_starts[0]
+    for g in range(groups):
+        lo = member_starts[g] - m_base
+        hi = member_starts[g + 1] - m_base
+        k = hi - lo
+        if k < 2:
+            continue
+        members = labels[lo:hi]
+        # Two running bests per target member i: one over values with
+        # support >= min_support, one over the rest; the fallback tier only
+        # wins when the supported tier stays empty (mirroring the reference's
+        # best_predictor(min_support) call followed by the unrestricted one).
+        # Scores are folded source-major so each count row is fetched once
+        # per value.  A member's own values are excluded explicitly (i != j):
+        # the reference draws candidates only from the group's *other*
+        # members, and although a predictor tuple produced by the feature
+        # extractor embeds its own port (so its count row can never contain
+        # it), the operator must match the oracle for any caller-supplied
+        # model, not just well-formed co-occurrence counts.
+        sup_prob = [0.0] * k
+        sup_support = [0] * k
+        sup_rank = [0] * k
+        sup_id = [-1] * k
+        uns_prob = [0.0] * k
+        uns_support = [0] * k
+        uns_rank = [0] * k
+        uns_id = [-1] * k
+        for j in range(k):
+            v_lo = value_starts[lo + j] - v_base
+            v_hi = value_starts[lo + j + 1] - v_base
+            for v in range(v_lo, v_hi):
+                pid = value_ids[v]
+                row = target_counts[pid]
+                if not row:
+                    continue
+                denom = denominators[pid]
+                rank = tie_ranks[pid]
+                row_get = row.get
+                if denom >= min_support:
+                    b_prob, b_support = sup_prob, sup_support
+                    b_rank, b_id = sup_rank, sup_id
+                else:
+                    b_prob, b_support = uns_prob, uns_support
+                    b_rank, b_id = uns_rank, uns_id
+                i = 0
+                for member in members:
+                    if i != j:
+                        count = row_get(member)
+                        if count:
+                            # prob > 0 always holds here, so the initial
+                            # (0.0, 0, _) sentinel can never tie a real score
+                            # and the rank comparison only fires between two
+                            # genuine candidates -- exactly the reference's
+                            # "best is not None" guard.
+                            prob = count / denom
+                            cur = b_prob[i]
+                            if (prob > cur
+                                    or (prob == cur
+                                        and (denom > b_support[i]
+                                             or (denom == b_support[i]
+                                                 and rank < b_rank[i])))):
+                                b_prob[i] = prob
+                                b_support[i] = denom
+                                b_rank[i] = rank
+                                b_id[i] = pid
+                    i += 1
+        for i in range(k):
+            label = members[i]
+            if allowed is not None and label not in allowed:
+                continue
+            if sup_id[i] >= 0:
+                pid, prob = sup_id[i], sup_prob[i]
+            elif uns_id[i] >= 0:
+                pid, prob = uns_id[i], uns_prob[i]
+            else:
+                continue
+            if prob < cutoff:
+                continue
+            out.append((label, pid, prob))
+    return out
+
+
+def argmax_partner_select(plan: FusedArgmaxPlan) -> List[Tuple[int, int, float]]:
+    """Execute an argmax plan serially: ``(label, value_id, score)`` winners.
+
+    The parallel form (:func:`repro.engine.parallel.partitioned_argmax_partner_select`)
+    scatters contiguous group chunks across workers and concatenates the
+    per-chunk winner lists; groups never interact, so any chunking produces
+    the identical list.
+    """
+    return select_argmax_chunk(argmax_chunk_payload(plan))
 
 
 def join_group_count(left: Table, right: Table, on: Sequence[str],

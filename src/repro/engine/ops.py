@@ -19,7 +19,7 @@ across workers.
 from __future__ import annotations
 
 from collections import Counter
-from typing import Any, Callable, Dict, Hashable, Iterable, List, Mapping, Sequence, Tuple
+from typing import Any, Callable, Dict, Hashable, List, Mapping, Sequence, Tuple
 
 from repro.engine.table import Table
 

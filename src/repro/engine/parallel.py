@@ -42,8 +42,10 @@ from typing import Any, Callable, Dict, Hashable, Iterable, List, Optional, Sequ
 
 from repro.engine.encoding import DictionaryEncoder, stable_hash
 from repro.engine.fused import (
+    FusedArgmaxPlan,
     FusedJoinPlan,
     FusedPartnerPlan,
+    argmax_chunk_payload,
     build_right_index,
     chunk_payload,
     compile_join_plan,
@@ -51,6 +53,7 @@ from repro.engine.fused import (
     count_partner_chunk,
     packing_base,
     partner_chunk_payload,
+    select_argmax_chunk,
     unpack_counts,
 )
 from repro.engine.table import Table
@@ -290,6 +293,30 @@ def partitioned_partner_group_count(plan: FusedPartnerPlan,
     payloads = [partner_chunk_payload(plan, start, min(start + size, n))
                 for start in range(0, n, size)]
     return _merge_counters(make_executor(config).map(count_partner_chunk, payloads))
+
+
+def partitioned_argmax_partner_select(plan: FusedArgmaxPlan,
+                                      config: ExecutorConfig,
+                                      ) -> List[Tuple[int, int, float]]:
+    """Parallel form of :func:`repro.engine.fused.argmax_partner_select`.
+
+    Contiguous chunks of the plan's groups scatter across workers; each
+    worker returns its chunk's winner list and the lists concatenate in
+    chunk order.  Groups are independent and winners are emitted in member
+    order within each group, so the concatenation is identical to the serial
+    list for any worker count and backend.  Like the partner plan, the flat
+    columns are already dictionary-encoded ints and the shared side tables
+    (count rows, supports, tie ranks) ship whole to every worker.
+    """
+    n = len(plan)
+    if n == 0:
+        return []
+    chunk_count = min(n, max(1, config.workers))
+    size = (n + chunk_count - 1) // chunk_count
+    payloads = [argmax_chunk_payload(plan, start, min(start + size, n))
+                for start in range(0, n, size)]
+    results = make_executor(config).map(select_argmax_chunk, payloads)
+    return [winner for chunk in results for winner in chunk]
 
 
 def parallel_map_reduce(items: Sequence[Any],

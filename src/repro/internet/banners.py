@@ -21,8 +21,10 @@ universe with two properties that matter for reproducing the paper:
 from __future__ import annotations
 
 import hashlib
-from typing import Dict, Optional
+from types import MappingProxyType
+from typing import Dict, List, Mapping, Tuple
 
+from repro.engine.encoding import DictionaryEncoder
 from repro.internet.profiles import DeviceProfile
 
 #: Canonical application-layer feature keys (Table 1), keyed the way the
@@ -222,3 +224,83 @@ class BannerFactory:
             "http_server": "edge-gateway/1.0",
             "http_header": "X-Powered-By: gateway",
         }
+
+
+class BannerInterner:
+    """Interns banner feature dictionaries as dense integer ids.
+
+    The columnar scan path (:class:`repro.scanner.records.ObservationBatch`)
+    ships one small int per hit instead of copying the hit's banner dict; the
+    interner is the id space those ints live in.  Two layers of lookup keep
+    the per-hit cost O(1):
+
+    * an **identity cache**: a dict object that was interned before maps to
+      its id without being re-canonicalized.  Ground-truth
+      :class:`~repro.internet.universe.ServiceRecord` dicts live for the
+      lifetime of the universe and are pre-interned when its indices are
+      built, so a scan hit resolves its banner id with a single int-keyed
+      dict lookup.  The interner pins a reference to every identity-cached
+      mapping, so ``id()`` keys can never be recycled to a different dict.
+    * a **value table** built on :class:`~repro.engine.encoding.DictionaryEncoder`:
+      dicts with equal content (canonicalized as sorted item tuples) share
+      one id, whichever object carried them.  Transient dicts -- pseudo-service
+      pages generated during a scan -- dedupe through this layer; the static
+      "no service here" page collapses to a single id across every pseudo
+      host and port.
+
+    ``features(banner_id)`` returns a read-only :class:`types.MappingProxyType`
+    view of the first mapping interned under the id (created once per id, so
+    materializing observation rows allocates nothing per row).  The proxy may
+    alias ground-truth state; read-only access is exactly the contract
+    :class:`~repro.scanner.records.ScanObservation` already documents for
+    ``app_features``.
+    """
+
+    def __init__(self) -> None:
+        self._encoder = DictionaryEncoder()
+        self._by_identity: Dict[int, Tuple[Mapping[str, str], int]] = {}
+        self._views: List[Mapping[str, str]] = []
+
+    def __len__(self) -> int:
+        return len(self._views)
+
+    def intern(self, features: Mapping[str, str]) -> int:
+        """Return the id for ``features``, interning it if unseen.
+
+        The mapping is identity-cached (a reference is pinned), so repeated
+        calls with the same object are a single dict lookup.
+        """
+        cached = self._by_identity.get(id(features))
+        if cached is not None and cached[0] is features:
+            return cached[1]
+        banner_id = self.intern_value(features)
+        self._by_identity[id(features)] = (features, banner_id)
+        return banner_id
+
+    def intern_value(self, features: Mapping[str, str]) -> int:
+        """Return the id for ``features`` by content, without identity caching.
+
+        Meant for transient dicts (generated pseudo-service pages): equal
+        content maps to one id and the interner keeps only the first carrier.
+        """
+        key = tuple(sorted(features.items()))
+        before = len(self._encoder)
+        banner_id = self._encoder.encode(key)
+        if banner_id == before:
+            self._views.append(MappingProxyType(dict(features)))
+        return banner_id
+
+    def features(self, banner_id: int) -> Mapping[str, str]:
+        """The read-only banner mapping interned under ``banner_id``.
+
+        Negative ids are rejected outright: they address batch-local banners
+        (:meth:`repro.scanner.records.ObservationBatch.banner_features`),
+        and letting them fall through to Python's negative list indexing
+        would silently return an unrelated interned banner.
+        """
+        if banner_id < 0:
+            raise KeyError(f"unknown banner id: {banner_id}")
+        try:
+            return self._views[banner_id]
+        except IndexError:
+            raise KeyError(f"unknown banner id: {banner_id}") from None

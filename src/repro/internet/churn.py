@@ -18,7 +18,7 @@ re-scan, and report how many services disappeared.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field, replace
+from dataclasses import dataclass, replace
 from typing import Dict
 
 from repro.internet.universe import Host, ServiceRecord, Universe, UniverseConfig, generate_universe

@@ -23,7 +23,7 @@ experiments can pass their own profiles to stress specific structure.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Tuple
 
 

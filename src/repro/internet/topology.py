@@ -15,7 +15,7 @@ perform the same "join against an ASN database" the paper describes.
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, List, Sequence, Tuple
 
 from repro.net.asn import AsnDatabase, AsnRecord

@@ -28,11 +28,11 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from bisect import bisect_left, bisect_right
 
-from repro.internet.banners import BannerFactory
+from repro.internet.banners import BannerFactory, BannerInterner
 from repro.internet.profiles import DeviceProfile, default_profiles
 from repro.internet.topology import (
     AutonomousSystem,
@@ -166,6 +166,10 @@ class Universe:
         self._port_index: Dict[int, List[int]] = {}
         self._pseudo_ips: List[int] = []
         self._middlebox_ips: List[int] = []
+        # Banner interner: every ground-truth banner dict is assigned a dense
+        # integer id once, so the columnar scan layers ship ids instead of
+        # copying dicts per hit (see repro.scanner.records.ObservationBatch).
+        self.banners = BannerInterner()
         self._rebuild_indices()
 
     # -- index maintenance ---------------------------------------------------------
@@ -174,9 +178,13 @@ class Universe:
         port_index: Dict[int, List[int]] = {}
         pseudo: List[int] = []
         middlebox: List[int] = []
+        intern_banner = self.banners.intern
         for ip, host in self.hosts.items():
-            for port in host.services:
+            for port, record in host.services.items():
                 port_index.setdefault(port, []).append(ip)
+                # Pre-intern every ground-truth banner so a scan hit resolves
+                # its banner id with one identity-cache lookup.
+                intern_banner(record.app_features)
             if host.is_pseudo_host():
                 pseudo.append(ip)
             if host.is_middlebox:
@@ -199,6 +207,15 @@ class Universe:
         if host is None:
             return None
         return host.services.get(port)
+
+    def banner_id_of(self, record: ServiceRecord) -> int:
+        """Dense interned id of a service record's banner dict.
+
+        Records present at index-build time hit the identity cache (one
+        int-keyed dict lookup); records added afterwards (churn) intern
+        lazily on first use, so callers never need to re-index first.
+        """
+        return self.banners.intern(record.app_features)
 
     def is_pseudo_responsive(self, ip: int, port: int) -> bool:
         """Whether ``(ip, port)`` would answer with a pseudo service."""

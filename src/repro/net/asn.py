@@ -9,7 +9,7 @@ match lookups, exactly like a routing-table-derived IP-to-ASN dataset would.
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Dict, Iterable, List, Optional
 
 from repro.net.ipv4 import IPv4Error, format_ip, prefix_of

@@ -18,21 +18,31 @@ exposes exactly the scan shapes GPS needs:
   (the prediction scan of Section 5.4).
 """
 
-from repro.scanner.records import ScanObservation, observations_by_host
+from repro.scanner.records import (
+    ObservationBatch,
+    ProbeBatch,
+    ScanObservation,
+    group_pairs,
+    observations_by_host,
+)
 from repro.scanner.bandwidth import BandwidthLedger, ScanCategory
 from repro.scanner.zmap import ZMapSimulator
-from repro.scanner.lzr import LZRSimulator, FingerprintResult
+from repro.scanner.lzr import LZRSimulator, FingerprintBatch, FingerprintResult
 from repro.scanner.zgrab import ZGrabSimulator
 from repro.scanner.filtering import PseudoServiceFilter, FilterReport
 from repro.scanner.pipeline import ScanPipeline
 
 __all__ = [
+    "ObservationBatch",
+    "ProbeBatch",
     "ScanObservation",
+    "group_pairs",
     "observations_by_host",
     "BandwidthLedger",
     "ScanCategory",
     "ZMapSimulator",
     "LZRSimulator",
+    "FingerprintBatch",
     "FingerprintResult",
     "ZGrabSimulator",
     "PseudoServiceFilter",

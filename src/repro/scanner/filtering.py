@@ -21,9 +21,14 @@ Appendix B benchmark.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Sequence, Set, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
-from repro.scanner.records import ScanObservation, observations_by_host
+from repro.internet.banners import BannerInterner
+from repro.scanner.records import (
+    ObservationBatch,
+    ScanObservation,
+    observations_by_host,
+)
 
 #: Banner fields that are expected to vary between otherwise identical
 #: responses (the paper's "expected dynamic fields": HTTP Date, cookies, TLS
@@ -80,6 +85,11 @@ class PseudoServiceFilter:
         self.max_services_per_host = max_services_per_host
         self.dynamic_fields = tuple(dynamic_fields)
         self.min_duplicate_services = min_duplicate_services
+        # Stripped-content keys memoized per interned banner id (columnar
+        # path): a banner's key is a pure function of its content, so it is
+        # computed once per *distinct* banner instead of once per observation.
+        self._content_keys: Dict[int, Tuple[Tuple[str, str], ...]] = {}
+        self._content_keys_interner: Optional[BannerInterner] = None
 
     # -- helpers ------------------------------------------------------------------
 
@@ -121,6 +131,96 @@ class PseudoServiceFilter:
     def filter(self, observations: Iterable[ScanObservation]) -> List[ScanObservation]:
         """Filter and return only the surviving observations."""
         return self.apply(observations).kept
+
+    # -- columnar entry point ----------------------------------------------------------
+
+    def _banner_content_keys(self, banners: BannerInterner) -> Dict[int, Tuple]:
+        """The per-banner-id stripped-content memo, reset on interner change."""
+        if self._content_keys_interner is not banners:
+            self._content_keys = {}
+            self._content_keys_interner = banners
+        return self._content_keys
+
+    def filter_batch(self, batch: ObservationBatch) -> List[ScanObservation]:
+        """Columnar :meth:`filter`: apply both rules to an observation batch.
+
+        Produces exactly ``self.filter(batch.materialize())`` -- same
+        surviving observations in the same order -- but the filtering runs on
+        the batch's flat columns: hosts group by row index, the
+        stripped-content key is computed once per *distinct* interned banner
+        id (then memoized across batches) instead of once per observation,
+        and only the surviving rows are ever materialized into
+        :class:`~repro.scanner.records.ScanObservation` objects.
+
+        Duplicate (ip, port) rows cannot disagree: the simulated universe is
+        deterministic per target, so equal pairs always carry equal banner
+        ids and land in the same content group -- index-wise removal is
+        therefore identical to :meth:`apply`'s pair-wise removal.
+        """
+        ports = batch.ports
+        banner_ids = batch.banner_ids
+        by_host: Dict[int, List[int]] = {}
+        for index, ip in enumerate(batch.ips):
+            entry = by_host.get(ip)
+            if entry is None:
+                entry = by_host[ip] = []
+            entry.append(index)
+
+        content_keys = self._banner_content_keys(batch.banners)
+        content_keys_get = content_keys.get
+        dynamic_fields = self.dynamic_fields
+        banner_features = batch.banners.features
+        local_banners = batch.local_banners
+        kept_indices: List[int] = []
+        for indices in by_host.values():
+            # Mirror observations_by_host: each host's rows in port order
+            # (stable, so equal ports keep their probe order).
+            indices.sort(key=ports.__getitem__)
+            # Rule 2 first: dense hosts are dropped wholesale.
+            if len(indices) > self.max_services_per_host:
+                continue
+            # A host with fewer rows than the duplicate threshold cannot
+            # form a removable content group; keep it without resolving any
+            # content keys (the overwhelmingly common case in a prediction
+            # scan, where most hosts contribute one or two targets).
+            if len(indices) < self.min_duplicate_services:
+                kept_indices.extend(indices)
+                continue
+            # Rule 1: identical stripped content across many of the host's
+            # services; keys resolve through the per-banner-id memo.
+            groups: Dict[Tuple, List[int]] = {}
+            for index in indices:
+                banner_id = banner_ids[index]
+                if banner_id >= 0:
+                    key = content_keys_get(banner_id)
+                    if key is None:
+                        key = tuple(sorted(
+                            item for item in banner_features(banner_id).items()
+                            if item[0] not in dynamic_fields
+                        ))
+                        content_keys[banner_id] = key
+                else:
+                    # Batch-local banner (unique to one target): compute the
+                    # key directly; memoizing it would outlive the batch.
+                    key = tuple(sorted(
+                        item
+                        for item in local_banners[-banner_id - 1].items()
+                        if item[0] not in dynamic_fields
+                    ))
+                group = groups.get(key)
+                if group is None:
+                    group = groups[key] = []
+                group.append(index)
+            removed: Set[int] = set()
+            for group in groups.values():
+                if len(group) >= self.min_duplicate_services:
+                    removed.update(group)
+            if removed:
+                kept_indices.extend(i for i in indices if i not in removed)
+            else:
+                kept_indices.extend(indices)
+        row = batch.row
+        return [row(i) for i in kept_indices]
 
 
 def filter_quality(report: FilterReport,

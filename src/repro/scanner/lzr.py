@@ -21,9 +21,10 @@ charged to the same ledger category as the scan that discovered the target.
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Iterable, List, Optional, Tuple
+from dataclasses import dataclass, field
+from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.engine.encoding import DictionaryEncoder
 from repro.internet.universe import Universe
 from repro.scanner.bandwidth import BandwidthLedger, ScanCategory
 
@@ -51,6 +52,28 @@ class FingerprintResult:
     protocol: Optional[str]
     is_real_service: bool
     ttl: int
+
+
+@dataclass
+class FingerprintBatch:
+    """Columnar fingerprint outcomes: the LZR stage of an observation batch.
+
+    Flat parallel columns for the protocol-bearing targets of one batched
+    pass (middlebox / no-data targets are dropped, as in
+    :meth:`LZRSimulator.fingerprint_many`).  ``status`` holds the
+    fingerprinted protocol dictionary-encoded through ``statuses`` -- the
+    same encoder the downstream :class:`~repro.scanner.records.ObservationBatch`
+    decodes with, so ids flow through the ZGrab stage untouched.
+    """
+
+    statuses: DictionaryEncoder = field(default_factory=DictionaryEncoder)
+    ips: List[int] = field(default_factory=list)
+    ports: List[int] = field(default_factory=list)
+    status: List[int] = field(default_factory=list)
+    ttls: List[int] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ips)
 
 
 class LZRSimulator:
@@ -133,3 +156,47 @@ class LZRSimulator:
         self.ledger.record(category, probes=PROBES_PER_FINGERPRINT * sent,
                            responses=PROBES_PER_FINGERPRINT * responded)
         return results
+
+    def fingerprint_batch_columns(self, ips: Sequence[int], ports: Sequence[int],
+                                  category: ScanCategory = ScanCategory.OTHER,
+                                  statuses: Optional[DictionaryEncoder] = None,
+                                  ) -> FingerprintBatch:
+        """Columnar :meth:`fingerprint_batch`: fold outcomes into flat columns.
+
+        Same targets fingerprinted, same protocol-bearing rows kept in the
+        same order, identical ledger charges -- but per surviving target the
+        work is four list appends instead of a :class:`FingerprintResult`
+        allocation.  ``statuses`` lets a pipeline share one protocol-id space
+        across batches; by default each batch gets its own encoder.
+        """
+        # "is not None", not truthiness: a shared encoder that is still empty
+        # must not be silently replaced (DictionaryEncoder defines __len__).
+        batch = FingerprintBatch(
+            statuses=statuses if statuses is not None else DictionaryEncoder())
+        encode_status = batch.statuses.encode
+        pseudo_status = encode_status("http")
+        b_ips, b_ports = batch.ips, batch.ports
+        b_status, b_ttls = batch.status, batch.ttls
+        hosts_get = self.universe.hosts.get
+        responded = 0
+        for ip, port in zip(ips, ports):
+            host = hosts_get(ip)
+            if host is None:
+                continue
+            record = host.services.get(port)
+            if record is not None:
+                responded += 1
+                b_ips.append(ip)
+                b_ports.append(port)
+                b_status.append(encode_status(record.protocol))
+                b_ttls.append(record.ttl)
+                continue
+            if host.is_pseudo_responsive_on(port):
+                responded += 1
+                b_ips.append(ip)
+                b_ports.append(port)
+                b_status.append(pseudo_status)
+                b_ttls.append(host.base_ttl)
+        self.ledger.record(category, probes=PROBES_PER_FINGERPRINT * len(ips),
+                           responses=PROBES_PER_FINGERPRINT * responded)
+        return batch

@@ -24,17 +24,22 @@ so that each experiment can report cost in the paper's unit of "100 % scans".
 from __future__ import annotations
 
 import random
-from dataclasses import dataclass, field
+from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.engine.encoding import DictionaryEncoder
 from repro.internet.banners import BannerFactory
 from repro.internet.universe import Universe
 from repro.net.ipv4 import prefix_size, subnet_key_parts
-from repro.net.ports import MAX_PORT
 from repro.scanner.bandwidth import BandwidthLedger, ScanCategory
 from repro.scanner.filtering import PseudoServiceFilter
 from repro.scanner.lzr import LZRSimulator
-from repro.scanner.records import ProbeBatch, ScanObservation, group_pairs
+from repro.scanner.records import (
+    ObservationBatch,
+    ProbeBatch,
+    ScanObservation,
+    group_pairs,
+)
 from repro.scanner.zgrab import ZGrabSimulator
 from repro.scanner.zmap import ZMapSimulator
 
@@ -81,6 +86,9 @@ class ScanPipeline:
         self.lzr = LZRSimulator(universe, self.ledger)
         self.zgrab = ZGrabSimulator(universe, self.ledger, banner_factory)
         self.pseudo_filter = pseudo_filter or PseudoServiceFilter()
+        # One protocol-status id space per pipeline, so status ids stay
+        # stable across every columnar batch this pipeline produces.
+        self._status_encoder = DictionaryEncoder()
 
     # -- address sampling -------------------------------------------------------------
 
@@ -191,17 +199,37 @@ class ScanPipeline:
         """Probe pre-grouped per-(prefix, port) batches (Section 5.4, batched).
 
         Equivalent to :meth:`scan_pairs` over the flattened batches -- same
-        observations (in batch order) and identical ledger charges -- but
-        each layer handles a whole batch per call: ZMap resolves responders
-        with ranged universe queries, and LZR/ZGrab pay one host lookup and
-        one ledger record per batch pass instead of per target.
+        observations (in batch order) and identical ledger charges -- but the
+        whole pass is *columnar*: ZMap resolves responders into flat
+        (ip, port) columns with ranged universe queries, LZR and ZGrab fold
+        outcomes into parallel int columns (protocol-status ids, interned
+        banner ids) instead of allocating per-hit objects, and
+        :class:`~repro.scanner.records.ScanObservation` rows materialize only
+        here, at the API boundary.  :meth:`scan_pair_batches_columnar`
+        exposes the batch itself for consumers that can stay columnar.
         """
-        hits = self.zmap.scan_pair_batches(batches, category=category)
-        fingerprints = self.lzr.fingerprint_batch(hits, category=category)
-        observations = self.zgrab.grab_batch(fingerprints, category=category)
+        batch = self.scan_pair_batches_columnar(batches, category=category)
         if apply_filter:
-            observations = self.pseudo_filter.filter(observations)
-        return observations
+            # The columnar filter memoizes content keys per interned banner
+            # id and materializes only the surviving rows.
+            return self.pseudo_filter.filter_batch(batch)
+        return batch.materialize()
+
+    def scan_pair_batches_columnar(self, batches: Sequence[ProbeBatch],
+                                   category: ScanCategory = ScanCategory.PREDICTION,
+                                   ) -> ObservationBatch:
+        """Probe pre-grouped batches, returning the raw columnar observations.
+
+        The unfiltered columnar form of :meth:`scan_pair_batches`: per hit
+        the three layers together perform two host-table lookups and a
+        handful of list appends -- no :class:`FingerprintResult` or
+        :class:`ScanObservation` objects, no banner-dict copies.
+        """
+        hit_ips, hit_ports = self.zmap.scan_pair_batch_columns(batches,
+                                                               category=category)
+        fingerprints = self.lzr.fingerprint_batch_columns(
+            hit_ips, hit_ports, category=category, statuses=self._status_encoder)
+        return self.zgrab.grab_batch_columns(fingerprints, category=category)
 
     def exhaustive_port_scan(self, port: int,
                              category: ScanCategory = ScanCategory.EXHAUSTIVE,

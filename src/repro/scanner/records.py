@@ -6,13 +6,23 @@ baselines) operates on.  It deliberately contains only what a real scan could
 observe -- the address, port, fingerprinted protocol, application-layer banner
 fields and the IP TTL -- and never any ground-truth-only information such as
 the device profile that generated the host.
+
+:class:`ObservationBatch` is the *columnar* form the batched scanner layers
+accumulate into: flat parallel int columns (address, port, encoded protocol
+status, interned banner id, TTL) instead of one object per hit, with lazy
+per-row :class:`ScanObservation` views.  Keeping per-hit work O(1) appends is
+what lets the scan loop track the batched ZMap layer's throughput (the
+paper's Section 5.4 / Table 2 story); observations only materialize at the
+pipeline's API boundary.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
 
+from repro.engine.encoding import DictionaryEncoder
+from repro.internet.banners import BannerInterner
 from repro.net.ipv4 import subnet_key
 
 
@@ -42,6 +52,117 @@ class ScanObservation:
     def feature(self, key: str, default: str = "") -> str:
         """Convenience accessor for an application-layer feature value."""
         return self.app_features.get(key, default)
+
+
+@dataclass
+class ObservationBatch:
+    """A batch of service observations stored as flat parallel columns.
+
+    The batched scanner layers fold hits straight into these columns -- one
+    ``list.append`` per column per hit -- instead of allocating a
+    :class:`ScanObservation` (and copying its banner dict) per hit.  Rows are
+    materialized lazily: :meth:`row` builds one observation on demand and
+    :meth:`materialize` builds them all, which the scan pipeline does exactly
+    once at its API boundary.
+
+    Attributes:
+        banners: the interner non-negative banner ids refer to (normally the
+            universe's).
+        statuses: the protocol-status encoder ``status`` values refer to;
+            shared across batches so ids are stable within a pipeline.
+        ips: per-row address.
+        ports: per-row port.
+        status: per-row fingerprint status: the LZR-fingerprinted protocol,
+            dictionary-encoded through ``statuses``.
+        banner_ids: per-row banner id.  Non-negative ids resolve through
+            ``banners`` (see :class:`~repro.internet.banners.BannerInterner`);
+            negative ids index ``local_banners`` (see
+            :meth:`add_local_banner`).
+        ttls: per-row observed IP TTL.
+        local_banners: banners carried by the batch itself -- transient
+            pages unique to one target (incident-style pseudo services),
+            which would bloat a universe-lifetime interner for no dedupe
+            benefit.  They live exactly as long as the batch.
+    """
+
+    banners: BannerInterner
+    statuses: DictionaryEncoder = field(default_factory=DictionaryEncoder)
+    ips: List[int] = field(default_factory=list)
+    ports: List[int] = field(default_factory=list)
+    status: List[int] = field(default_factory=list)
+    banner_ids: List[int] = field(default_factory=list)
+    ttls: List[int] = field(default_factory=list)
+    local_banners: List[Mapping[str, str]] = field(default_factory=list)
+
+    def __len__(self) -> int:
+        return len(self.ips)
+
+    def append(self, ip: int, port: int, status_id: int, banner_id: int,
+               ttl: int) -> None:
+        """Fold one hit into the columns (five appends, no allocation)."""
+        self.ips.append(ip)
+        self.ports.append(port)
+        self.status.append(status_id)
+        self.banner_ids.append(banner_id)
+        self.ttls.append(ttl)
+
+    def status_id(self, protocol: str) -> int:
+        """Encode a protocol string into the batch's status id space."""
+        return self.statuses.encode(protocol)
+
+    def add_local_banner(self, features: Mapping[str, str]) -> int:
+        """Carry a transient banner in the batch, returning its (negative) id.
+
+        For pages unique to a single target, interning into the shared
+        :class:`~repro.internet.banners.BannerInterner` would pin one entry
+        per target forever; batch-local banners die with the batch instead.
+        """
+        self.local_banners.append(features)
+        return -len(self.local_banners)
+
+    def banner_features(self, i: int) -> Mapping[str, str]:
+        """Resolve row ``i``'s banner mapping (interned or batch-local)."""
+        banner_id = self.banner_ids[i]
+        if banner_id >= 0:
+            return self.banners.features(banner_id)
+        return self.local_banners[-banner_id - 1]
+
+    def pairs(self) -> List[Tuple[int, int]]:
+        """The (ip, port) identities of the batch's rows, in row order."""
+        return list(zip(self.ips, self.ports))
+
+    def row(self, i: int) -> ScanObservation:
+        """Materialize one row as a :class:`ScanObservation` (lazy view).
+
+        The observation's ``app_features`` is the interner's (or the
+        batch's) read-only view of the banner -- shared, not copied; equal
+        by ``==`` to the dict the pairwise path copies.
+        """
+        return ScanObservation(
+            ip=self.ips[i],
+            port=self.ports[i],
+            protocol=self.statuses.decode(self.status[i]),
+            app_features=self.banner_features(i),
+            ttl=self.ttls[i],
+        )
+
+    def iter_rows(self) -> Iterator[ScanObservation]:
+        """Iterate lazily materialized rows in order."""
+        decode_status = self.statuses.decode
+        interned_features = self.banners.features
+        local_banners = self.local_banners
+        for ip, port, status_id, banner_id, ttl in zip(
+                self.ips, self.ports, self.status, self.banner_ids, self.ttls):
+            features = (interned_features(banner_id) if banner_id >= 0
+                        else local_banners[-banner_id - 1])
+            yield ScanObservation(ip=ip, port=port,
+                                  protocol=decode_status(status_id),
+                                  app_features=features,
+                                  ttl=ttl)
+
+    def materialize(self) -> List[ScanObservation]:
+        """Materialize every row (the pipeline's API-boundary step)."""
+        return list(self.iter_rows())
 
 
 @dataclass(frozen=True)

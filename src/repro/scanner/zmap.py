@@ -16,6 +16,7 @@ documentation and tests.
 
 from __future__ import annotations
 
+from itertools import repeat
 from typing import Iterable, List, Sequence, Tuple
 
 from repro.internet.universe import Universe
@@ -118,6 +119,32 @@ class ZMapSimulator:
                         for ip in self.universe.syn_ack_many(batch.ips, port))
         self.ledger.record(category, probes=sent, responses=len(hits))
         return hits
+
+    def scan_pair_batch_columns(self, batches: Iterable[ProbeBatch],
+                                category: ScanCategory = ScanCategory.PREDICTION,
+                                ) -> Tuple[List[int], List[int]]:
+        """Columnar :meth:`scan_pair_batches`: hits as parallel (ips, ports) columns.
+
+        Identical probes, responders and ledger charges, but the hits are
+        folded into two flat int columns instead of a list of per-hit tuples
+        -- the shape the columnar LZR/ZGrab layers consume
+        (:class:`~repro.scanner.records.ObservationBatch` downstream).
+        """
+        sent = 0
+        hit_ips: List[int] = []
+        hit_ports: List[int] = []
+        syn_ack_many = self.universe.syn_ack_many
+        for batch in batches:
+            port = batch.port
+            if not is_valid_port(port):
+                raise ValueError(f"invalid port: {port}")
+            sent += len(batch.ips)
+            responders = syn_ack_many(batch.ips, port)
+            if responders:
+                hit_ips.extend(responders)
+                hit_ports.extend(repeat(port, len(responders)))
+        self.ledger.record(category, probes=sent, responses=len(hit_ips))
+        return hit_ips, hit_ports
 
     # -- helpers ----------------------------------------------------------------------
 

@@ -19,7 +19,6 @@ from repro.baselines.tga import (
     evaluate_tga,
 )
 from repro.baselines.xgboost_scanner import XGBoostScanner, XGBoostScannerConfig
-from repro.datasets.split import split_seed_test
 
 
 class TestXGBoostScanner:

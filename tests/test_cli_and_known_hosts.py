@@ -8,7 +8,6 @@ from repro.cli import build_parser, main
 from repro.core.config import GPSConfig
 from repro.core.gps import GPS
 from repro.scanner.pipeline import ScanPipeline
-from repro.scanner.records import ScanObservation
 
 
 class TestKnownHostPrediction:

@@ -7,7 +7,7 @@ import pytest
 from repro.internet.profiles import profiles_by_name
 from repro.internet.topology import TopologyConfig
 from repro.internet.universe import Universe, UniverseConfig, generate_universe
-from repro.net.ipv4 import ip_in_prefix, prefix_of, subnet_key
+from repro.net.ipv4 import ip_in_prefix
 
 
 class TestUniverseConfig:

@@ -7,6 +7,12 @@ pair-by-pair counterparts: same probes sent, same services observed, identical
 bandwidth-ledger charges.  Every test here compares the two paths on the same
 targets, including the miss-heavy mixes (dark addresses, closed ports,
 middleboxes, pseudo services) a real prediction scan probes.
+
+The *columnar* layers (``scan_pair_batch_columns``, ``fingerprint_batch_columns``,
+``grab_batch_columns``, ``ObservationBatch`` and the columnar pseudo filter)
+carry the same contract one representation further: flat int columns instead
+of per-hit objects, materializing ``ScanObservation`` rows only at the API
+boundary -- with the per-object paths kept as the equivalence oracle.
 """
 
 from __future__ import annotations
@@ -15,7 +21,7 @@ import random
 
 import pytest
 
-from repro.core.config import FeatureConfig, GPSConfig
+from repro.core.config import GPSConfig
 from repro.core.gps import GPS
 from repro.datasets.split import seed_scan_cost_probes
 from repro.net.ipv4 import subnet_key
@@ -167,6 +173,169 @@ class TestBatchedPipeline:
                                                        batch_prefix_len=16)
         filtered = ScanPipeline(universe).scan_pairs(pairs, batch_prefix_len=16)
         assert len(filtered) <= len(unfiltered)
+
+
+class TestColumnarLayers:
+    """Columnar scanner stages vs their per-object oracles."""
+
+    def test_zmap_columns_match_pair_batches(self, universe):
+        pairs = _mixed_targets(universe)
+        batches = group_pairs(pairs, 16)
+        pipeline_a, pipeline_b = ScanPipeline(universe), ScanPipeline(universe)
+        hits = pipeline_a.zmap.scan_pair_batches(batches)
+        ips, ports = pipeline_b.zmap.scan_pair_batch_columns(batches)
+        assert list(zip(ips, ports)) == hits
+        assert pipeline_a.ledger.probes == pipeline_b.ledger.probes
+        assert pipeline_a.ledger.responses == pipeline_b.ledger.responses
+
+    def test_zmap_columns_reject_invalid_port(self, universe):
+        pipeline = ScanPipeline(universe)
+        batch = ProbeBatch(port=70000, subnet=subnet_key(1, 16), ips=(1,))
+        with pytest.raises(ValueError):
+            pipeline.zmap.scan_pair_batch_columns([batch])
+
+    def test_lzr_columns_match_fingerprint_batch(self, universe):
+        pairs = _mixed_targets(universe)
+        hits = ScanPipeline(universe).zmap.scan_pairs(pairs)
+        pipeline_a, pipeline_b = ScanPipeline(universe), ScanPipeline(universe)
+        objects = pipeline_a.lzr.fingerprint_batch(hits,
+                                                   category=ScanCategory.PREDICTION)
+        columns = pipeline_b.lzr.fingerprint_batch_columns(
+            [ip for ip, _ in hits], [port for _, port in hits],
+            category=ScanCategory.PREDICTION)
+        assert len(columns) == len(objects)
+        decode = columns.statuses.decode
+        for i, result in enumerate(objects):
+            assert (columns.ips[i], columns.ports[i]) == (result.ip, result.port)
+            assert decode(columns.status[i]) == result.protocol
+            assert columns.ttls[i] == result.ttl
+        assert pipeline_a.ledger.probes == pipeline_b.ledger.probes
+        assert pipeline_a.ledger.responses == pipeline_b.ledger.responses
+
+    def test_zgrab_columns_match_grab_batch(self, universe):
+        pairs = _mixed_targets(universe)
+        fresh = ScanPipeline(universe)
+        hits = fresh.zmap.scan_pairs(pairs)
+        fingerprints = fresh.lzr.fingerprint_many(hits)
+        columns = fresh.lzr.fingerprint_batch_columns(
+            [ip for ip, _ in hits], [port for _, port in hits])
+        pipeline_a, pipeline_b = ScanPipeline(universe), ScanPipeline(universe)
+        objects = pipeline_a.zgrab.grab_batch(fingerprints,
+                                              category=ScanCategory.PREDICTION)
+        batch = pipeline_b.zgrab.grab_batch_columns(columns,
+                                                    category=ScanCategory.PREDICTION)
+        assert batch.materialize() == objects
+        assert pipeline_a.ledger.probes == pipeline_b.ledger.probes
+        assert pipeline_a.ledger.responses == pipeline_b.ledger.responses
+
+    def test_columnar_pipeline_matches_pairwise(self, universe):
+        pairs = _mixed_targets(universe)
+        pipeline_a, pipeline_b = ScanPipeline(universe), ScanPipeline(universe)
+        pairwise = pipeline_a.scan_pairs(pairs, apply_filter=False)
+        batch = pipeline_b.scan_pair_batches_columnar(group_pairs(pairs, 16))
+        assert _observation_key(batch.materialize()) == _observation_key(pairwise)
+        assert pipeline_a.ledger.probes == pipeline_b.ledger.probes
+        assert pipeline_a.ledger.responses == pipeline_b.ledger.responses
+
+
+class TestObservationBatch:
+    @pytest.fixture()
+    def batch(self, universe):
+        pairs = _mixed_targets(universe, count=400)
+        return ScanPipeline(universe).scan_pair_batches_columnar(
+            group_pairs(pairs, 16))
+
+    def test_lazy_rows_match_materialize(self, batch):
+        assert len(batch) > 0
+        materialized = batch.materialize()
+        assert len(materialized) == len(batch)
+        for i in (0, len(batch) // 2, len(batch) - 1):
+            assert batch.row(i) == materialized[i]
+
+    def test_pairs_match_rows(self, batch):
+        assert batch.pairs() == [(obs.ip, obs.port)
+                                 for obs in batch.iter_rows()]
+
+    def test_banner_ids_decode_to_row_features(self, batch, universe):
+        for i in range(0, len(batch), max(1, len(batch) // 16)):
+            assert batch.row(i).app_features == batch.banner_features(i)
+            if batch.banner_ids[i] >= 0:
+                assert batch.banner_features(i) is \
+                    universe.banners.features(batch.banner_ids[i])
+
+    def test_shared_banner_mappings_are_read_only(self, batch):
+        observation = batch.row(0)
+        with pytest.raises(TypeError):
+            observation.app_features["protocol"] = "tampered"
+
+    def test_ground_truth_banners_share_one_interned_id(self, universe):
+        # Every real-service hit resolves to the id interned at index-build
+        # time: hitting the same service twice must not mint a new id.
+        interned_before = len(universe.banners)
+        pairs = list(universe.real_service_pairs())[:50]
+        pipeline = ScanPipeline(universe)
+        pipeline.scan_pair_batches_columnar(group_pairs(pairs * 2, 16))
+        assert len(universe.banners) == interned_before
+
+    def test_incident_pseudo_pages_never_grow_the_interner(self, universe):
+        # Incident-style pseudo pages are unique per (ip, port); repeated
+        # columnar scans must carry them batch-locally, not pin one interned
+        # entry per target forever (the static page may intern one id once).
+        incident_hosts = [host for host in universe.hosts.values()
+                          if host.pseudo_port_range is not None
+                          and host.pseudo_incident_style]
+        assert incident_hosts
+        pipeline = ScanPipeline(universe)
+        sizes = []
+        for round_index in range(3):
+            pairs = [(host.ip, host.pseudo_port_range[0] + round_index * 20 + k)
+                     for host in incident_hosts for k in range(20)]
+            batch = pipeline.scan_pair_batches_columnar(group_pairs(pairs, 16))
+            assert len(batch.local_banners) == len(batch) > 0
+            assert all(banner_id < 0 for banner_id in batch.banner_ids)
+            sizes.append(len(universe.banners))
+        assert sizes[0] == sizes[1] == sizes[2]
+
+    def test_status_ids_stable_across_batches(self, universe):
+        pairs = list(universe.real_service_pairs())[:40]
+        pipeline = ScanPipeline(universe)
+        first = pipeline.scan_pair_batches_columnar(group_pairs(pairs[:20], 16))
+        second = pipeline.scan_pair_batches_columnar(group_pairs(pairs[20:], 16))
+        assert first.statuses is second.statuses
+
+
+class TestColumnarFilter:
+    def test_filter_batch_matches_filter_on_materialized(self, universe):
+        # Include pseudo hosts' port ranges so both filter rules can fire.
+        pairs = _mixed_targets(universe)
+        for host in universe.hosts.values():
+            if host.pseudo_port_range is not None:
+                lo, _ = host.pseudo_port_range
+                pairs.extend((host.ip, lo + offset) for offset in range(12))
+        pipeline = ScanPipeline(universe)
+        batch = pipeline.scan_pair_batches_columnar(group_pairs(pairs, 16))
+        assert pipeline.pseudo_filter.filter_batch(batch) == \
+            pipeline.pseudo_filter.filter(batch.materialize())
+
+    def test_filter_batch_drops_pseudo_hosts(self, universe):
+        pseudo_hosts = [host for host in universe.hosts.values()
+                        if host.pseudo_port_range is not None]
+        assert pseudo_hosts
+        host = pseudo_hosts[0]
+        lo, _ = host.pseudo_port_range
+        pairs = [(host.ip, lo + offset) for offset in range(12)]
+        pipeline = ScanPipeline(universe)
+        batch = pipeline.scan_pair_batches_columnar(group_pairs(pairs, 16))
+        assert len(batch) == 12
+        assert pipeline.pseudo_filter.filter_batch(batch) == []
+
+    def test_filtered_pipeline_matches_pairwise_filtered(self, universe):
+        pairs = _mixed_targets(universe)
+        pipeline_a, pipeline_b = ScanPipeline(universe), ScanPipeline(universe)
+        pairwise = pipeline_a.scan_pairs(pairs)
+        batched = pipeline_b.scan_pair_batches(group_pairs(pairs, 16))
+        assert _observation_key(pairwise) == _observation_key(batched)
+        assert pipeline_a.ledger.probes == pipeline_b.ledger.probes
 
 
 class TestGPSEngineModes:

@@ -4,7 +4,7 @@ from __future__ import annotations
 
 import pytest
 
-from repro.scanner.bandwidth import BandwidthLedger, ScanCategory
+from repro.scanner.bandwidth import BandwidthLedger
 from repro.scanner.lzr import PROBES_PER_FINGERPRINT, LZRSimulator
 from repro.scanner.zgrab import ZGrabSimulator
 from repro.scanner.zmap import ZMAP_IP_ID_FINGERPRINT, ZMapSimulator
