@@ -75,12 +75,21 @@ def run_coverage_experiment(
     feature_config: Optional[FeatureConfig] = None,
     max_full_scans: Optional[float] = None,
     seed_cost_mode: str = "scan",
+    executor: Optional[str] = None,
+    num_workers: int = 0,
 ) -> CoverageExperiment:
-    """Run GPS against a dataset and compute the Figure 2 curves."""
+    """Run GPS against a dataset and compute the Figure 2 curves.
+
+    ``executor`` / ``num_workers`` route the run's engine builds through a
+    persistent execution runtime (see
+    :func:`repro.analysis.scenarios.run_gps_on_dataset`); the curves are
+    identical on every backend.
+    """
     run, pipeline, _ = run_gps_on_dataset(
         universe, dataset, seed_fraction, step_size=step_size,
         split_seed=split_seed, feature_config=feature_config,
         max_full_scans=max_full_scans, seed_cost_mode=seed_cost_mode,
+        executor=executor, num_workers=num_workers,
     )
     ground_truth = dataset.pairs()
     gps_points = coverage_curve(run.log_as_tuples(), ground_truth,

@@ -113,6 +113,8 @@ def run_gps_on_dataset(
     max_full_scans: Optional[float] = None,
     use_engine: bool = False,
     seed_cost_mode: str = "scan",
+    executor: Optional[str] = None,
+    num_workers: int = 0,
 ) -> Tuple[GPSRunResult, ScanPipeline, SeedTestSplit]:
     """Run GPS in dataset-split mode (the paper's evaluation methodology).
 
@@ -127,6 +129,11 @@ def run_gps_on_dataset(
       (Section 5.1); used by the all-port experiments, where collecting a seed
       at this reproduction's scale would otherwise dominate every curve.
 
+    ``executor`` selects a persistent engine-runtime backend (``"serial"``,
+    ``"thread"`` or ``"pool"``; implies ``use_engine``) with ``num_workers``
+    workers; the runtime lives for this one run and is closed before
+    returning.
+
     Returns the run result, the pipeline (whose ledger holds the bandwidth
     accounting) and the split (for evaluating against the test half).
     """
@@ -134,18 +141,22 @@ def run_gps_on_dataset(
         raise ValueError(f"unknown seed_cost_mode: {seed_cost_mode}")
     split = split_seed_test(dataset, seed_fraction, seed=split_seed)
     pipeline = ScanPipeline(universe)
+    engine_kwargs = {}
+    if executor is not None:
+        engine_kwargs = {"executor": executor, "num_workers": num_workers}
     config = GPSConfig(
         seed_fraction=seed_fraction,
         step_size=step_size,
         port_domain=dataset.port_domain,
         feature_config=feature_config or FeatureConfig(),
         max_full_scans=max_full_scans,
-        use_engine=use_engine,
+        use_engine=use_engine or executor is not None,
+        **engine_kwargs,
     )
-    gps = GPS(pipeline, config)
     if seed_cost_mode == "scan":
         seed_cost = seed_scan_cost_probes(dataset, seed_fraction)
     else:
         seed_cost = 0
-    result = gps.run(seed=split.seed_scan_result(), seed_cost_probes=seed_cost)
+    with GPS(pipeline, config) as gps:
+        result = gps.run(seed=split.seed_scan_result(), seed_cost_probes=seed_cost)
     return result, pipeline, split

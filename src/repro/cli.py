@@ -50,13 +50,30 @@ def _add_common_arguments(parser: argparse.ArgumentParser) -> None:
                         help="RNG seed for universe generation")
 
 
+def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--executor", choices=("serial", "thread", "pool"),
+                        default=None,
+                        help="run model/priors/prediction-index builds on the "
+                             "persistent engine runtime with this backend "
+                             "(results are identical; 'pool' keeps a warm "
+                             "worker pool for the whole run)")
+    parser.add_argument("--workers", type=int, default=0,
+                        help="engine runtime worker count (0 = machine default; "
+                             "only meaningful with --executor)")
+
+
 def cmd_quickstart(args: argparse.Namespace) -> int:
     """Run GPS end to end on a fresh synthetic universe and print a summary."""
     universe = make_universe(_scale(args.scale), seed=args.seed)
     pipeline = ScanPipeline(universe)
-    gps = GPS(pipeline, GPSConfig(seed_fraction=args.seed_fraction,
-                                  step_size=args.step_size))
-    result = gps.run()
+    engine_kwargs = {}
+    if args.executor is not None:
+        engine_kwargs = {"use_engine": True, "executor": args.executor,
+                         "num_workers": args.workers}
+    config = GPSConfig(seed_fraction=args.seed_fraction,
+                       step_size=args.step_size, **engine_kwargs)
+    with GPS(pipeline, config) as gps:
+        result = gps.run()
     truth = set(universe.real_service_pairs())
     found = result.discovered_pairs()
     print(format_table(
@@ -93,7 +110,9 @@ def cmd_coverage(args: argparse.Namespace) -> int:
         seed_cost_mode = "available"
     experiment = run_coverage_experiment(universe, dataset, seed_fraction,
                                          step_size=args.step_size,
-                                         seed_cost_mode=seed_cost_mode)
+                                         seed_cost_mode=seed_cost_mode,
+                                         executor=args.executor,
+                                         num_workers=args.workers)
     print(format_table(
         ("coverage target", "GPS bandwidth (100% scans)", "savings vs optimal order"),
         coverage_summary_rows(experiment, targets=(0.5, 0.7, 0.8, 0.9)),
@@ -161,6 +180,7 @@ def build_parser() -> argparse.ArgumentParser:
     quickstart = subparsers.add_parser("quickstart",
                                        help="run GPS end to end and print a summary")
     _add_common_arguments(quickstart)
+    _add_executor_arguments(quickstart)
     quickstart.add_argument("--seed-fraction", type=float, default=0.05)
     quickstart.add_argument("--step-size", type=int, default=16)
     quickstart.set_defaults(func=cmd_quickstart)
@@ -168,6 +188,7 @@ def build_parser() -> argparse.ArgumentParser:
     coverage = subparsers.add_parser("coverage",
                                      help="coverage-vs-bandwidth experiment (Figure 2)")
     _add_common_arguments(coverage)
+    _add_executor_arguments(coverage)
     coverage.add_argument("--dataset", choices=("censys", "lzr"), default="censys")
     coverage.add_argument("--seed-fraction", type=float, default=None,
                           help="seed size (defaults to the scale's standard value)")

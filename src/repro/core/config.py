@@ -19,9 +19,10 @@ GPS exposes exactly the knobs the paper describes as user parameters:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Optional, Tuple
+from typing import Optional, Tuple, Union
 
 from repro.engine.parallel import ExecutorConfig
+from repro.engine.runtime import RUNTIME_EXECUTORS
 from repro.internet.banners import APP_FEATURE_KEYS
 
 #: Network-layer feature kinds GPS can be configured with.  Appendix C
@@ -148,7 +149,23 @@ class GPSConfig:
             models, priors plans and feature indices; the Table 2
             "computation" benchmarks (``BENCH_engine.json``,
             ``BENCH_priors.json``) quantify the difference.
-        executor: parallel engine configuration (backend + worker count).
+        executor: how engine queries execute.  Either an
+            :class:`~repro.engine.parallel.ExecutorConfig` (the per-call
+            scatter backends: a fresh pool is created for every engine
+            operation) or the name of a persistent-runtime executor --
+            ``"serial"``, ``"thread"`` or ``"pool"`` -- in which case the
+            :class:`GPS` orchestrator owns one
+            :class:`~repro.engine.runtime.EngineRuntime` for its lifetime:
+            workers start once, the seed's encoded columns load into them
+            once per run, and the model, priors and prediction-index builds
+            all execute against the resident shards
+            (``BENCH_runtime.json`` quantifies the difference against
+            per-call spawn).
+        num_workers: worker count for the persistent runtime (``0`` selects
+            the machine default); ignored when ``executor`` is an
+            :class:`~repro.engine.parallel.ExecutorConfig`.
+        shard_count: how many shards resident datasets are partitioned into
+            (``0`` means one per worker); ignored for per-call executors.
     """
 
     seed_fraction: float = 0.01
@@ -162,7 +179,9 @@ class GPSConfig:
     prediction_batch_size: int = 2000
     use_engine: bool = False
     engine_mode: str = "fused"
-    executor: ExecutorConfig = field(default_factory=ExecutorConfig)
+    executor: Union[str, ExecutorConfig] = field(default_factory=ExecutorConfig)
+    num_workers: int = 0
+    shard_count: int = 0
 
     def __post_init__(self) -> None:
         if not 0.0 < self.seed_fraction <= 1.0:
@@ -179,6 +198,29 @@ class GPSConfig:
             raise ValueError("prediction_batch_size must be >= 1")
         if self.engine_mode not in ENGINE_MODES:
             raise ValueError(f"unknown engine_mode: {self.engine_mode!r}")
+        if isinstance(self.executor, str):
+            if self.executor not in RUNTIME_EXECUTORS:
+                raise ValueError(
+                    f"unknown executor: {self.executor!r} "
+                    f"(expected one of {RUNTIME_EXECUTORS} or an ExecutorConfig)")
+            # A runtime executor that cannot run is a misconfiguration, not a
+            # preference: fail loudly instead of silently measuring the
+            # single-core reference path.
+            if not self.use_engine:
+                raise ValueError(
+                    "a runtime executor name requires use_engine=True "
+                    "(without the engine there is nothing for the runtime to run)")
+            if self.engine_mode != "fused":
+                raise ValueError(
+                    "the execution runtime serves only engine_mode='fused'; "
+                    "use an ExecutorConfig for the legacy baseline")
+        elif not isinstance(self.executor, ExecutorConfig):
+            raise TypeError(
+                "executor must be a runtime executor name or an ExecutorConfig")
+        if self.num_workers < 0:
+            raise ValueError("num_workers must be >= 0 (0 selects the default)")
+        if self.shard_count < 0:
+            raise ValueError("shard_count must be >= 0 (0 selects one per worker)")
         if self.port_domain is not None:
             for port in self.port_domain:
                 if not 1 <= port <= 65535:

@@ -35,6 +35,8 @@ from repro.core.priors import (
     build_priors_plan,
     build_priors_plan_with_engine,
 )
+from repro.core.runtime_plans import ResidentHostGroups
+from repro.engine.runtime import EngineRuntime
 from repro.scanner.bandwidth import ScanCategory
 from repro.scanner.pipeline import ScanPipeline, SeedScanResult
 from repro.scanner.records import ScanObservation
@@ -108,14 +110,52 @@ class GPSRunResult:
 
 
 class GPS:
-    """The GPS system bound to one scan pipeline and one configuration."""
+    """The GPS system bound to one scan pipeline and one configuration.
+
+    When the configuration names a persistent-runtime executor
+    (``GPSConfig.executor`` is ``"serial"``, ``"thread"`` or ``"pool"``), the
+    instance owns one :class:`~repro.engine.runtime.EngineRuntime` for its
+    whole life: the pool starts lazily on the first engine build, every run
+    reuses it, and :meth:`close` (or using the GPS as a context manager)
+    tears it down.  Within a run the seed's encoded columns load into the
+    workers once and the model, priors and prediction-index builds all fold
+    against the resident shards.
+    """
 
     def __init__(self, pipeline: ScanPipeline, config: Optional[GPSConfig] = None) -> None:
         self.pipeline = pipeline
         self.config = config or GPSConfig()
         self._asn_db = pipeline.universe.topology.asn_db
+        self._runtime: Optional[EngineRuntime] = None
 
     # -- public API -----------------------------------------------------------------
+
+    def runtime(self) -> Optional[EngineRuntime]:
+        """This instance's persistent engine runtime (``None`` for per-call
+        executors).  Created lazily from ``config.executor`` /
+        ``config.num_workers`` / ``config.shard_count``; recreated if a
+        previous one was closed or broken by a worker crash."""
+        config = self.config
+        if not isinstance(config.executor, str):
+            return None
+        if self._runtime is None or self._runtime.closed or self._runtime.broken:
+            if self._runtime is not None:
+                self._runtime.close()
+            self._runtime = EngineRuntime(executor=config.executor,
+                                          num_workers=config.num_workers,
+                                          shard_count=config.shard_count)
+        return self._runtime
+
+    def close(self) -> None:
+        """Shut the engine runtime's worker pool down; idempotent."""
+        if self._runtime is not None:
+            self._runtime.close()
+
+    def __enter__(self) -> "GPS":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
 
     def run(self, seed: Optional[SeedScanResult] = None,
             seed_cost_probes: Optional[int] = None) -> GPSRunResult:
@@ -161,38 +201,35 @@ class GPS:
         build_start = time.perf_counter()
         host_features = extract_host_features(seed.observations, self._asn_db,
                                               config.feature_config)
-        if config.use_engine:
-            model = build_model_with_engine(host_features, config.executor,
-                                            mode=config.engine_mode)
-        else:
-            model = build_model(host_features)
-        result.model = model
+        dataset = self._resident_dataset(host_features)
+        try:
+            model = self._build_model(host_features, dataset)
+            result.model = model
 
-        # Phase 3: priors scan (find the first service of every host).
-        if config.use_engine:
-            priors_plan = build_priors_plan_with_engine(
-                host_features, model, config.step_size, config.port_domain,
-                executor=config.executor, mode=config.engine_mode)
-        else:
-            priors_plan = build_priors_plan(host_features, model, config.step_size,
-                                            config.port_domain)
-        result.priors_plan = priors_plan
-        result.model_build_seconds += time.perf_counter() - build_start
+            # Phase 3: priors scan (find the first service of every host).
+            priors_plan = self._build_priors_plan(host_features, model, dataset)
+            result.priors_plan = priors_plan
+            result.model_build_seconds += time.perf_counter() - build_start
 
-        for entry in priors_plan:
-            if budget_probes is not None and ledger.total_probes() >= budget_probes:
-                result.truncated_by_budget = True
-                break
-            observations = self.pipeline.scan_prefix(entry.port, entry.subnet,
-                                                     category=ScanCategory.PRIORS)
-            result.priors_observations.extend(observations)
-            self._log_batch(result, "priors", ledger.total_probes(),
-                            [obs.pair() for obs in observations], discovered)
+            for entry in priors_plan:
+                if budget_probes is not None and ledger.total_probes() >= budget_probes:
+                    result.truncated_by_budget = True
+                    break
+                observations = self.pipeline.scan_prefix(entry.port, entry.subnet,
+                                                         category=ScanCategory.PRIORS)
+                result.priors_observations.extend(observations)
+                self._log_batch(result, "priors", ledger.total_probes(),
+                                [obs.pair() for obs in observations], discovered)
 
-        # Phase 4: predict and scan remaining services.
-        build_start = time.perf_counter()
-        feature_index = self._build_feature_index(host_features, model)
-        result.feature_index = feature_index
+            # Phase 4: predict and scan remaining services.
+            build_start = time.perf_counter()
+            feature_index = self._build_feature_index(host_features, model, dataset)
+            result.feature_index = feature_index
+        finally:
+            # The resident shards served their three builds; free the worker
+            # memory (the runtime itself stays warm for the next run).
+            if dataset is not None:
+                dataset.release()
         predictions = feature_index.predict(
             result.priors_observations, self._asn_db, config.feature_config,
             known_pairs=set(discovered),
@@ -250,15 +287,16 @@ class GPS:
         build_start = time.perf_counter()
         host_features = extract_host_features(seed.observations, self._asn_db,
                                               config.feature_config)
-        if config.use_engine:
-            model = build_model_with_engine(host_features, config.executor,
-                                            mode=config.engine_mode)
-        else:
-            model = build_model(host_features)
-        result.model = model
+        dataset = self._resident_dataset(host_features)
+        try:
+            model = self._build_model(host_features, dataset)
+            result.model = model
 
-        feature_index = self._build_feature_index(host_features, model)
-        result.feature_index = feature_index
+            feature_index = self._build_feature_index(host_features, model, dataset)
+            result.feature_index = feature_index
+        finally:
+            if dataset is not None:
+                dataset.release()
 
         known = list(known_observations)
         result.priors_observations = known
@@ -290,23 +328,80 @@ class GPS:
 
     # -- helpers ------------------------------------------------------------------------
 
+    def _resident_dataset(self, host_features) -> Optional[ResidentHostGroups]:
+        """Load the seed's host groups into the runtime's workers, if configured.
+
+        Returns ``None`` unless the configuration routes the fused engine
+        through a persistent runtime; otherwise flattens and ships the
+        encoded columns once so all three builds of this run fold against
+        worker-resident shards.  The caller releases the dataset when the
+        builds are done.
+        """
+        config = self.config
+        if not (config.use_engine and config.engine_mode == "fused"):
+            return None
+        runtime = self.runtime()
+        if runtime is None:
+            return None
+        return ResidentHostGroups(runtime, host_features, config.step_size)
+
+    def _per_call_executor(self):
+        """The ExecutorConfig for per-call engine dispatch (None if runtime-based)."""
+        executor = self.config.executor
+        return None if isinstance(executor, str) else executor
+
+    def _build_model(self, host_features, dataset) -> CooccurrenceModel:
+        """Build the Section 5.2 model on the configured execution path."""
+        config = self.config
+        if dataset is not None:
+            return build_model_with_engine(host_features, mode=config.engine_mode,
+                                           dataset=dataset)
+        if config.use_engine:
+            return build_model_with_engine(host_features, self._per_call_executor(),
+                                           mode=config.engine_mode)
+        return build_model(host_features)
+
+    def _build_priors_plan(self, host_features, model: CooccurrenceModel, dataset):
+        """Build the Section 5.3 priors plan on the configured execution path."""
+        config = self.config
+        if dataset is not None:
+            return build_priors_plan_with_engine(
+                host_features, model, config.step_size, config.port_domain,
+                mode=config.engine_mode, dataset=dataset)
+        if config.use_engine:
+            return build_priors_plan_with_engine(
+                host_features, model, config.step_size, config.port_domain,
+                executor=self._per_call_executor(), mode=config.engine_mode)
+        return build_priors_plan(host_features, model, config.step_size,
+                                 config.port_domain)
+
     def _build_feature_index(self, host_features, model: CooccurrenceModel,
-                             ) -> PredictiveFeatureIndex:
+                             dataset=None) -> PredictiveFeatureIndex:
         """Build the most-predictive-feature index on the configured path.
 
         ``use_engine`` routes the Section 5.4 index build through the fused
         argmax engine (``engine_mode`` selects fused/legacy, exactly like the
-        model and priors paths); otherwise the single-core reference
+        model and priors paths); a resident ``dataset`` folds it against the
+        runtime's worker-held shards; otherwise the single-core reference
         implementation runs.  All paths produce identical indices.
         """
         config = self.config
+        if dataset is not None:
+            return build_prediction_index_with_engine(
+                host_features, model,
+                probability_cutoff=config.probability_cutoff,
+                port_domain=config.port_domain,
+                min_pattern_support=config.min_pattern_support,
+                mode=config.engine_mode,
+                dataset=dataset,
+            )
         if config.use_engine:
             return build_prediction_index_with_engine(
                 host_features, model,
                 probability_cutoff=config.probability_cutoff,
                 port_domain=config.port_domain,
                 min_pattern_support=config.min_pattern_support,
-                executor=config.executor,
+                executor=self._per_call_executor(),
                 mode=config.engine_mode,
             )
         return PredictiveFeatureIndex.from_seed(

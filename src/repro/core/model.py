@@ -32,6 +32,8 @@ from repro.engine.parallel import (
     partitioned_group_count,
     partitioned_join_group_count,
 )
+from repro.core.runtime_plans import ResidentHostGroups
+from repro.engine.runtime import EngineRuntime
 from repro.engine.table import Table
 
 
@@ -175,7 +177,10 @@ def host_features_to_tables(host_features: Mapping[int, HostFeatures]) -> Tuple[
 
 def build_model_with_engine(host_features: Mapping[int, HostFeatures],
                             executor: Optional[ExecutorConfig] = None,
-                            mode: str = "fused") -> CooccurrenceModel:
+                            mode: str = "fused",
+                            runtime: Optional[EngineRuntime] = None,
+                            dataset: Optional[ResidentHostGroups] = None,
+                            ) -> CooccurrenceModel:
     """Model building expressed as engine operations (the BigQuery analogue).
 
     The computation is: JOIN the feature relation with the port relation on
@@ -197,14 +202,31 @@ def build_model_with_engine(host_features: Mapping[int, HostFeatures],
       it afterwards -- the original formulation, kept as a comparison
       baseline for the engine-scaling benchmark.
 
-    Both paths produce probabilities identical to :func:`build_model` (the
+    The fused query can also run on the persistent execution runtime instead
+    of per-call executors: ``runtime`` dispatches the streamed chunks to the
+    runtime's long-lived workers, and ``dataset`` (a
+    :class:`~repro.core.runtime_plans.ResidentHostGroups` already loaded
+    into a runtime) folds the query against worker-resident shards without
+    shipping the columns at all.
+
+    All paths produce probabilities identical to :func:`build_model` (the
     oracle); the test suite asserts this on randomized inputs.
     """
     if mode not in ENGINE_MODES:
         raise ValueError(f"unknown engine mode: {mode!r} (expected one of {ENGINE_MODES})")
-    executor = executor or ExecutorConfig()
+    if dataset is not None or runtime is not None:
+        if mode != "fused":
+            raise ValueError("the execution runtime serves only the fused mode")
+        if executor is not None:
+            raise ValueError("pass either executor or runtime/dataset, not both")
+    if dataset is not None:
+        cooccurrence, denominators = dataset.model_counts()
+        return CooccurrenceModel(cooccurrence=cooccurrence,
+                                 denominators=denominators)
+    executor = executor or (ExecutorConfig() if runtime is None else None)
     features, ports = host_features_to_tables(host_features)
-    serial = executor.backend == "serial" and executor.workers == 1
+    serial = (runtime is None and executor.backend == "serial"
+              and executor.workers == 1)
 
     if mode == "fused":
         encoder = DictionaryEncoder()
@@ -224,8 +246,10 @@ def build_model_with_engine(host_features: Mapping[int, HostFeatures],
             pair_counts = partitioned_join_group_count(
                 encoded, ports, on=("ip",), keys=("b_predictor", "a_port"),
                 config=executor, left_prefix="b_", right_prefix="a_",
-                exclude_self_pairs_on=("b_port", "a_port"), int_keys=True)
-            denom_counts = partitioned_group_count(encoded, ("predictor",), executor)
+                exclude_self_pairs_on=("b_port", "a_port"), int_keys=True,
+                runtime=runtime)
+            denom_counts = partitioned_group_count(encoded, ("predictor",),
+                                                   executor, runtime=runtime)
             denom_items = ((key[0], count) for key, count in denom_counts.items())
         # Reassemble grouped by encoded id first so each predictor tuple is
         # decoded once, not once per (predictor, port) pair.

@@ -18,6 +18,7 @@ GPS uses the features of those services to predict every remaining service:
 
 from __future__ import annotations
 
+from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
@@ -29,9 +30,11 @@ from repro.core.features import (
     predictor_tuples_for_observation,
 )
 from repro.core.model import CooccurrenceModel
+from repro.core.runtime_plans import ResidentHostGroups
 from repro.engine.encoding import DictionaryEncoder
 from repro.engine.fused import FusedArgmaxPlan, argmax_partner_select
 from repro.engine.parallel import ExecutorConfig, partitioned_argmax_partner_select
+from repro.engine.runtime import EngineRuntime
 from repro.net.asn import AsnDatabase
 from repro.scanner.records import ProbeBatch, ScanObservation, group_pairs
 
@@ -46,7 +49,8 @@ PREDICTION_BATCH_PREFIX_LEN = 16
 #: :meth:`PredictiveFeatureIndex.predict`.  The memo persists across predict
 #: calls (GPS rounds against the same universe hit the same hosts again), so
 #: without a bound it would grow with every distinct address ever predicted
-#: from; at the bound the oldest entries are evicted first-in-first-out.
+#: from; at the bound the least-recently-used entry is evicted, so hosts
+#: that keep reappearing across rounds stay memoized under pressure.
 NET_FEATURE_CACHE_MAX = 65536
 
 
@@ -84,10 +88,10 @@ class PredictiveFeatureIndex:
             if existing is None or feature.probability > existing:
                 targets[feature.target_port] = feature.probability
         self._entry_count = sum(len(t) for t in self._by_predictor.values())
-        # Bounded memo for network_feature_values, shared across predict
+        # Bounded LRU memo for network_feature_values, shared across predict
         # calls; keyed per (asn_db, feature kinds) identity so an index
         # reused against a different universe never serves stale features.
-        self._net_cache: Dict[int, List[Tuple[str, int]]] = {}
+        self._net_cache: "OrderedDict[int, List[Tuple[str, int]]]" = OrderedDict()
         self._net_cache_db: Optional[AsnDatabase] = None
         self._net_cache_kinds: Optional[Tuple[str, ...]] = None
 
@@ -167,10 +171,11 @@ class PredictiveFeatureIndex:
     # -- prediction (steps 2-3) ----------------------------------------------------------
 
     def _net_values_cache(self, asn_db: Optional[AsnDatabase],
-                          kinds: Tuple[str, ...]) -> Dict[int, List[Tuple[str, int]]]:
+                          kinds: Tuple[str, ...],
+                          ) -> "OrderedDict[int, List[Tuple[str, int]]]":
         """The bounded per-(asn_db, kinds) network-feature memo, reset on rekey."""
         if self._net_cache_db is not asn_db or self._net_cache_kinds != kinds:
-            self._net_cache = {}
+            self._net_cache = OrderedDict()
             self._net_cache_db = asn_db
             self._net_cache_kinds = kinds
         return self._net_cache
@@ -203,12 +208,15 @@ class PredictiveFeatureIndex:
         # several discovered services appear once per service; memoize per IP
         # so the ASN lookup and subnet derivations run once per host.  The
         # memo lives on the index and persists across GPS rounds, but is
-        # bounded (NET_FEATURE_CACHE_MAX, FIFO eviction) so long-running
-        # multi-round deployments cannot grow it without limit, and is keyed
-        # per (asn_db, kinds) so reuse against another universe resets it.
+        # bounded (NET_FEATURE_CACHE_MAX, LRU eviction: a hit refreshes the
+        # entry, the stalest entry goes first) so long-running multi-round
+        # deployments cannot grow it without limit while hot hosts stay
+        # memoized, and it is keyed per (asn_db, kinds) so reuse against
+        # another universe resets it.
         net_cache = self._net_values_cache(
             asn_db, feature_config.network_feature_kinds)
         net_cache_get = net_cache.get
+        net_cache_refresh = net_cache.move_to_end
         limit = NET_FEATURE_CACHE_MAX
         for observation in observations:
             net_values = net_cache_get(observation.ip)
@@ -216,8 +224,10 @@ class PredictiveFeatureIndex:
                 net_values = network_feature_values(
                     observation.ip, asn_db, feature_config.network_feature_kinds)
                 if len(net_cache) >= limit:
-                    net_cache.pop(next(iter(net_cache)))
+                    net_cache.popitem(last=False)
                 net_cache[observation.ip] = net_values
+            else:
+                net_cache_refresh(observation.ip)
             predictors = predictor_tuples_for_observation(observation, net_values,
                                                           feature_config)
             for predictor in predictors:
@@ -350,6 +360,8 @@ def build_prediction_index_with_engine(
     min_pattern_support: int = 2,
     executor: Optional[ExecutorConfig] = None,
     mode: str = "fused",
+    runtime: Optional[EngineRuntime] = None,
+    dataset: Optional[ResidentHostGroups] = None,
 ) -> PredictiveFeatureIndex:
     """The Section 5.4 index build on the fused engine (the Table 2 story).
 
@@ -371,9 +383,18 @@ def build_prediction_index_with_engine(
         executor: parallel engine configuration; ``None`` runs serially.
         mode: ``"fused"`` (default) or ``"legacy"`` (delegates to the
             reference implementation, kept as the equivalence oracle).
+        runtime: dispatch the compiled plan's chunks to a persistent
+            :class:`~repro.engine.runtime.EngineRuntime` instead of a
+            per-call pool.
+        dataset: a :class:`~repro.core.runtime_plans.ResidentHostGroups`
+            already loaded from the same ``host_features``: the argmax then
+            folds against worker-resident shards, shipping only the model's
+            score tables (once) and the thresholds.
     """
     if mode not in ENGINE_MODES:
         raise ValueError(f"unknown engine mode: {mode!r} (expected one of {ENGINE_MODES})")
+    if (dataset is not None or runtime is not None) and mode != "fused":
+        raise ValueError("the execution runtime serves only the fused mode")
     if mode == "legacy":
         return PredictiveFeatureIndex.from_seed(
             host_features, model,
@@ -381,14 +402,27 @@ def build_prediction_index_with_engine(
             port_domain=port_domain,
             min_pattern_support=min_pattern_support,
         )
+    if dataset is not None:
+        return PredictiveFeatureIndex(
+            PredictiveFeature(predictor=predictor, target_port=label,
+                              probability=probability)
+            for label, predictor, probability in dataset.argmax_winners(
+                model, port_domain=port_domain,
+                min_pattern_support=min_pattern_support,
+                probability_cutoff=probability_cutoff)
+        )
     plan, encoder = compile_prediction_index_query(
         host_features, model,
         port_domain=port_domain,
         min_pattern_support=min_pattern_support,
         probability_cutoff=probability_cutoff,
     )
-    serial = executor is None or (executor.backend == "serial" and executor.workers == 1)
-    if serial:
+    serial = (runtime is None
+              and (executor is None
+                   or (executor.backend == "serial" and executor.workers == 1)))
+    if runtime is not None:
+        winners = partitioned_argmax_partner_select(plan, runtime=runtime)
+    elif serial:
         winners = argmax_partner_select(plan)
     else:
         winners = partitioned_argmax_partner_select(plan, executor)

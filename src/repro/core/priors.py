@@ -44,9 +44,11 @@ from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 from repro.core.config import ENGINE_MODES
 from repro.core.features import HostFeatures
 from repro.core.model import CooccurrenceModel
+from repro.core.runtime_plans import ResidentHostGroups
 from repro.engine.encoding import DictionaryEncoder
 from repro.engine.fused import FusedPartnerPlan, partner_group_count
 from repro.engine.parallel import ExecutorConfig, partitioned_partner_group_count
+from repro.engine.runtime import EngineRuntime
 from repro.net.ipv4 import format_subnet, subnet_key
 
 
@@ -218,6 +220,8 @@ def build_priors_plan_with_engine(
     port_domain: Optional[Sequence[int]] = None,
     executor: Optional[ExecutorConfig] = None,
     mode: str = "fused",
+    runtime: Optional[EngineRuntime] = None,
+    dataset: Optional[ResidentHostGroups] = None,
 ) -> List[PriorsEntry]:
     """Priors planning on the fused engine (Section 5.3 / Table 2).
 
@@ -238,17 +242,37 @@ def build_priors_plan_with_engine(
         executor: parallel engine configuration; ``None`` runs serially.
         mode: ``"fused"`` (default) or ``"legacy"`` (delegates to the
             reference implementation, kept as the benchmark baseline).
+        runtime: dispatch the compiled plan's chunks to a persistent
+            :class:`~repro.engine.runtime.EngineRuntime` instead of a
+            per-call pool.
+        dataset: a :class:`~repro.core.runtime_plans.ResidentHostGroups`
+            already loaded from the same ``host_features``: the query then
+            folds against worker-resident shards, shipping only the model's
+            score tables (once) and the port whitelist.
     """
     if mode not in ENGINE_MODES:
         raise ValueError(f"unknown engine mode: {mode!r} (expected one of {ENGINE_MODES})")
+    if (dataset is not None or runtime is not None) and mode != "fused":
+        raise ValueError("the execution runtime serves only the fused mode")
     if mode == "legacy":
         return build_priors_plan(host_features, model, step_size, port_domain)
-    plan = compile_priors_query(host_features, model, step_size, port_domain)
-    serial = executor is None or (executor.backend == "serial" and executor.workers == 1)
-    if serial:
-        coverage = partner_group_count(plan)
+    if dataset is not None:
+        if dataset.step_size != step_size:
+            raise ValueError(
+                f"resident dataset was flattened for step_size {dataset.step_size}, "
+                f"not {step_size}")
+        coverage = dataset.priors_coverage(model, port_domain)
     else:
-        coverage = partitioned_partner_group_count(plan, executor)
+        plan = compile_priors_query(host_features, model, step_size, port_domain)
+        serial = (runtime is None and
+                  (executor is None
+                   or (executor.backend == "serial" and executor.workers == 1)))
+        if runtime is not None:
+            coverage = partitioned_partner_group_count(plan, runtime=runtime)
+        elif serial:
+            coverage = partner_group_count(plan)
+        else:
+            coverage = partitioned_partner_group_count(plan, executor)
     entries = [
         PriorsEntry(port=port, subnet=subnet, coverage=count)
         for (port, subnet), count in coverage.items()

@@ -20,7 +20,13 @@ Offline we cannot use BigQuery, so this package provides the same primitives:
 * :mod:`~repro.engine.parallel` -- executors that scatter streamed chunks and
   run them serially, on a thread pool, or on a process pool, so the Table 2
   experiment can measure how GPS's prediction computation scales with the
-  degree of parallelism.
+  degree of parallelism;
+* :mod:`~repro.engine.shard` -- ``PYTHONHASHSEED``-independent hash
+  partitioning of encoded columns into shards with a stable identity;
+* :mod:`~repro.engine.runtime` -- the persistent execution runtime: one
+  shared worker pool (``serial`` / ``thread`` / ``pool`` executors) that
+  holds sharded columns resident and executes every fused plan without
+  per-call process spawn.
 
 GPS's model (:mod:`repro.core.model`) ships two implementations: a direct
 dictionary-based one (the single-core reference) and one expressed against
@@ -47,6 +53,13 @@ from repro.engine.parallel import (
     partitioned_group_count,
     partitioned_join_group_count,
 )
+from repro.engine.runtime import (
+    RUNTIME_EXECUTORS,
+    EngineRuntime,
+    WorkerCrashError,
+    WorkerTaskError,
+)
+from repro.engine.shard import ShardedColumns, shard_columns, shard_group_columns
 
 __all__ = [
     "Column",
@@ -67,4 +80,11 @@ __all__ = [
     "make_executor",
     "partitioned_group_count",
     "partitioned_join_group_count",
+    "RUNTIME_EXECUTORS",
+    "EngineRuntime",
+    "WorkerCrashError",
+    "WorkerTaskError",
+    "ShardedColumns",
+    "shard_columns",
+    "shard_group_columns",
 ]

@@ -31,6 +31,14 @@ flat integer columns rather than lists of nested tuples.
 is the parallel form of the fused :func:`repro.engine.fused.join_group_count`
 (chunks of the streamed join side scatter across workers, each carrying the
 shared right-side hash index).
+
+Every partitioned operation can alternatively dispatch through a persistent
+:class:`repro.engine.runtime.EngineRuntime` (the ``runtime`` parameter): the
+same chunk payloads ship to the runtime's long-lived workers instead of a
+freshly spawned pool, so per-call process start-up disappears while results
+stay bit-identical.  The runtime additionally supports *resident* datasets
+(ship the columns once, then only plans -- see
+:mod:`repro.core.runtime_plans`), which is what the GPS orchestrator uses.
 """
 
 from __future__ import annotations
@@ -56,7 +64,32 @@ from repro.engine.fused import (
     select_argmax_chunk,
     unpack_counts,
 )
+from repro.engine.runtime import EngineRuntime
 from repro.engine.table import Table
+
+
+def _dispatch_plan(config: Optional["ExecutorConfig"],
+                   runtime: Optional[EngineRuntime]) -> Tuple[int, bool]:
+    """Validate the dispatch choice; return (parallel degree, encode payloads).
+
+    Exactly one of ``config`` (per-call executor) and ``runtime`` (persistent
+    pool) must be provided; payloads are dictionary-encoded whenever they
+    cross a process boundary.
+    """
+    if (config is None) == (runtime is None):
+        raise ValueError("provide exactly one of config and runtime")
+    if runtime is not None:
+        return runtime.num_workers, runtime.wants_encoded_payloads
+    return config.workers, config.backend == "process"
+
+
+def _run_chunks(config: Optional["ExecutorConfig"], runtime: Optional[EngineRuntime],
+                local_func: Callable[[Any], Any], task_name: str,
+                payloads: Sequence[Any]) -> List[Any]:
+    """Run chunk payloads on the chosen dispatcher, results in payload order."""
+    if runtime is not None:
+        return runtime.map_stateless(task_name, payloads)
+    return make_executor(config).map(local_func, payloads)
 
 
 @dataclass(frozen=True)
@@ -162,16 +195,28 @@ def _contiguous_chunks(items: Sequence[Any], chunk_count: int) -> List[Sequence[
     return [items[start:start + size] for start in range(0, len(items), size)]
 
 
-def _merge_counters(counters: Iterable[Counter]) -> Counter:
-    """Sum per-worker local counters into the final result."""
+def merge_counters(counters: Iterable[Counter]) -> Counter:
+    """Sum per-worker local counters into the final result.
+
+    The canonical reduce step of every partitioned count in the engine
+    (per-call backends and the persistent runtime alike): counter addition
+    is commutative, so the merged result is independent of chunking, shard
+    layout and arrival order.
+    """
     merged: Counter = Counter()
     for counts in counters:
         merged.update(counts)
     return merged
 
 
+#: Backwards-compatible private alias (pre-runtime name).
+_merge_counters = merge_counters
+
+
 def partitioned_group_count(table: Table, keys: Sequence[str],
-                            config: ExecutorConfig) -> Dict[Tuple[Hashable, ...], int]:
+                            config: Optional[ExecutorConfig] = None,
+                            runtime: Optional[EngineRuntime] = None,
+                            ) -> Dict[Tuple[Hashable, ...], int]:
     """GROUP BY + COUNT(*) executed across partitions.
 
     Equivalent to :func:`repro.engine.ops.group_count`; the test suite checks
@@ -179,18 +224,23 @@ def partitioned_group_count(table: Table, keys: Sequence[str],
     contiguous chunks straight off a single streaming pass; each worker
     counts its chunk locally and the local counters are summed, so no
     key-disjointness precondition (and no up-front hash-sharding pass) is
-    needed.  On the process backend each key tuple is dictionary-encoded to
-    one integer first, so workers receive flat ``List[int]`` payloads.
+    needed.  When the payload crosses a process boundary each key tuple is
+    dictionary-encoded to one integer first, so workers receive flat
+    ``List[int]`` payloads.  ``runtime`` dispatches the same chunks to a
+    persistent worker pool instead of spawning one for this call.
     """
-    if config.backend == "process":
+    workers, encode = _dispatch_plan(config, runtime)
+    if encode:
         encoder = DictionaryEncoder()
         encoded = encoder.encode_column(table.iter_rows(keys))
-        chunks = _contiguous_chunks(encoded, config.workers)
-        merged = _merge_counters(make_executor(config).map(_count_rows, chunks))
+        chunks = _contiguous_chunks(encoded, workers)
+        merged = _merge_counters(
+            _run_chunks(config, runtime, _count_rows, "count_rows", chunks))
         return {encoder.decode(key_id): count for key_id, count in merged.items()}
     rows = list(table.iter_rows(keys))
-    chunks = _contiguous_chunks(rows, config.workers)
-    return _merge_counters(make_executor(config).map(_count_rows, chunks))
+    chunks = _contiguous_chunks(rows, workers)
+    return _merge_counters(
+        _run_chunks(config, runtime, _count_rows, "count_rows", chunks))
 
 
 # -- partitioned fused join + group-count ----------------------------------------------
@@ -214,29 +264,32 @@ def _plan_left_columns(plan: FusedJoinPlan) -> List[str]:
 
 def partitioned_join_group_count(
         left: Table, right: Table, on: Sequence[str], keys: Sequence[str],
-        config: ExecutorConfig,
+        config: Optional[ExecutorConfig] = None,
         left_prefix: str = "l_", right_prefix: str = "r_",
         exclude_self_pairs_on: Optional[Tuple[str, str]] = None,
         int_keys: Optional[bool] = None,
+        runtime: Optional[EngineRuntime] = None,
 ) -> Dict[Tuple[Any, ...], int]:
     """Parallel form of :func:`repro.engine.fused.join_group_count`.
 
     The right side is hashed once; contiguous chunks of the streamed left
     side scatter across workers, each folding into a local counter that is
     summed at the end.  The joined relation is never materialized on any
-    backend.  On the process backend every value (join keys, group values,
-    exclusion operands) is interned through one shared
+    backend.  When the payload crosses a process boundary every value (join
+    keys, group values, exclusion operands) is interned through one shared
     :class:`~repro.engine.encoding.DictionaryEncoder`, so the pickled
     payloads are integer columns and an integer-keyed index; group keys are
-    decoded after the merge.
+    decoded after the merge.  ``runtime`` dispatches the same chunk payloads
+    to a persistent worker pool instead of spawning one for this call.
     """
+    workers, encode = _dispatch_plan(config, runtime)
     plan = compile_join_plan(left, right, on, keys, left_prefix, right_prefix,
                              exclude_self_pairs_on)
     if not len(left) or not len(right):
         return Counter()
 
     encoder: Optional[DictionaryEncoder] = None
-    if config.backend == "process":
+    if encode:
         encoder = DictionaryEncoder()
         left_cols: Dict[str, List[Any]] = {
             name: encoder.encode_column(left.columns[name])
@@ -255,14 +308,15 @@ def partitioned_join_group_count(
 
     pack_base = packing_base(plan, left_cols, right_cols, int_keys)
     n = len(left)
-    chunk_count = min(n, max(1, config.workers))
+    chunk_count = min(n, max(1, workers))
     size = (n + chunk_count - 1) // chunk_count
     payloads = [
         chunk_payload(plan, left_cols, index, start, min(start + size, n),
                       pack_base=pack_base)
         for start in range(0, n, size)
     ]
-    merged = _merge_counters(make_executor(config).map(count_join_chunk, payloads))
+    merged = _merge_counters(
+        _run_chunks(config, runtime, count_join_chunk, "join_chunk", payloads))
     counts: Dict[Tuple[Any, ...], int] = (
         unpack_counts(merged, pack_base) if pack_base is not None else merged
     )
@@ -272,7 +326,8 @@ def partitioned_join_group_count(
 
 
 def partitioned_partner_group_count(plan: FusedPartnerPlan,
-                                    config: ExecutorConfig,
+                                    config: Optional[ExecutorConfig] = None,
+                                    runtime: Optional[EngineRuntime] = None,
                                     ) -> Dict[Tuple[int, int], int]:
     """Parallel form of :func:`repro.engine.fused.partner_group_count`.
 
@@ -283,20 +338,24 @@ def partitioned_partner_group_count(plan: FusedPartnerPlan,
     columns are already dictionary-encoded flat integers, so process-pool
     payloads pickle cheaply without a re-encoding pass; the shared score
     table ships whole to every worker, like the join operator's right-side
-    index.
+    index.  ``runtime`` dispatches the same chunk payloads to a persistent
+    worker pool instead of spawning one for this call.
     """
+    workers, _ = _dispatch_plan(config, runtime)
     n = len(plan.group_keys)
     if n == 0:
         return Counter()
-    chunk_count = min(n, max(1, config.workers))
+    chunk_count = min(n, max(1, workers))
     size = (n + chunk_count - 1) // chunk_count
     payloads = [partner_chunk_payload(plan, start, min(start + size, n))
                 for start in range(0, n, size)]
-    return _merge_counters(make_executor(config).map(count_partner_chunk, payloads))
+    return _merge_counters(
+        _run_chunks(config, runtime, count_partner_chunk, "partner_chunk", payloads))
 
 
 def partitioned_argmax_partner_select(plan: FusedArgmaxPlan,
-                                      config: ExecutorConfig,
+                                      config: Optional[ExecutorConfig] = None,
+                                      runtime: Optional[EngineRuntime] = None,
                                       ) -> List[Tuple[int, int, float]]:
     """Parallel form of :func:`repro.engine.fused.argmax_partner_select`.
 
@@ -307,15 +366,19 @@ def partitioned_argmax_partner_select(plan: FusedArgmaxPlan,
     list for any worker count and backend.  Like the partner plan, the flat
     columns are already dictionary-encoded ints and the shared side tables
     (count rows, supports, tie ranks) ship whole to every worker.
+    ``runtime`` dispatches the same chunk payloads to a persistent worker
+    pool instead of spawning one for this call.
     """
+    workers, _ = _dispatch_plan(config, runtime)
     n = len(plan)
     if n == 0:
         return []
-    chunk_count = min(n, max(1, config.workers))
+    chunk_count = min(n, max(1, workers))
     size = (n + chunk_count - 1) // chunk_count
     payloads = [argmax_chunk_payload(plan, start, min(start + size, n))
                 for start in range(0, n, size)]
-    results = make_executor(config).map(select_argmax_chunk, payloads)
+    results = _run_chunks(config, runtime, select_argmax_chunk, "argmax_chunk",
+                          payloads)
     return [winner for chunk in results for winner in chunk]
 
 

@@ -1,0 +1,756 @@
+"""Persistent execution runtime: a shared worker pool for all fused plans.
+
+The parallel driver in :mod:`repro.engine.parallel` creates a fresh
+``ProcessPoolExecutor`` per call: every plan execution pays worker spawn plus
+a full re-ship of the data, which is why the process backend stays
+spawn-dominated at interactive scale (see ``BENCH_priors.json``).  High-rate
+scanners avoid exactly this trap -- ZMap/LZR keep long-lived workers over a
+partitioned address space and stream work *to* the data.  The
+:class:`EngineRuntime` applies the same architecture to the engine's query
+plans:
+
+* **one pool, many plans** -- workers start once per runtime and execute
+  every subsequent plan (:class:`~repro.engine.fused.FusedJoinPlan`,
+  :class:`~repro.engine.fused.FusedPartnerPlan`,
+  :class:`~repro.engine.fused.FusedArgmaxPlan`) without respawning;
+* **sharded residency** -- dictionary-encoded column payloads
+  (:mod:`repro.engine.shard`) load into workers once, each worker holding its
+  shard resident, so repeated builds against the same data (model -> priors
+  -> prediction index in one GPS run) ship only the plan parameters, never
+  the columns;
+* **one dispatch protocol** -- the ``serial``, ``thread`` and ``pool``
+  executors implement the same :class:`Executor` interface, so callers pick
+  a backend by name and results are bit-identical across all three (the
+  equivalence suites assert it).
+
+Workers are plain interpreter processes started with the ``spawn`` method
+(fork-safety on 3.12+, identical behaviour on 3.10-3.12); each owns a
+dedicated inbox queue so shard ``s`` tasks always route to the worker holding
+shard ``s``.  Tasks are named entries in a module-level registry -- messages
+carry names and plain data, never pickled callables.
+
+Lifecycle is explicit: :meth:`EngineRuntime.close` (idempotent) terminates
+the pool, the runtime is a context manager, and a worker that dies mid-task
+surfaces as a :class:`WorkerCrashError` instead of a hang.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import queue as queue_module
+import traceback
+from collections import Counter
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+from repro.engine.fused import (
+    count_join_chunk,
+    count_partner_chunk,
+    select_argmax_chunk,
+)
+
+__all__ = [
+    "EngineRuntime",
+    "RUNTIME_EXECUTORS",
+    "WorkerCrashError",
+    "WorkerTaskError",
+    "default_worker_count",
+]
+
+#: Executor backends an :class:`EngineRuntime` can run plans on.
+RUNTIME_EXECUTORS = ("serial", "thread", "pool")
+
+#: Packing base for the resident model fold: group keys are
+#: ``(predictor id, target port)`` pairs and ports are < 65536, so
+#: ``pid * 65536 + port`` is bijective and the packed counter unpacks
+#: losslessly (see :func:`repro.engine.fused.packing_base`).
+MODEL_PACK_BASE = 65536
+
+
+def default_worker_count() -> int:
+    """Default pool size: the machine's cores, capped at 4.
+
+    The engine's folds are memory-bandwidth-light and the cap keeps the
+    default footprint modest; callers with bigger machines raise
+    ``num_workers`` explicitly.
+    """
+    return max(1, min(4, os.cpu_count() or 1))
+
+
+class WorkerTaskError(RuntimeError):
+    """A task raised inside a worker; carries the worker-side traceback."""
+
+
+class WorkerCrashError(RuntimeError):
+    """A worker process died (signal, ``os._exit``, OOM kill) mid-request."""
+
+
+# -- task registry -----------------------------------------------------------------------
+#
+# Every task is ``fn(shard, broadcast, args) -> result`` where ``shard`` is the
+# worker-resident per-shard payload dict (or None for stateless dispatch),
+# ``broadcast`` the worker-resident broadcast payload dict (or None), and
+# ``args`` the per-call plain-data arguments.  Registering by name keeps
+# messages free of pickled callables and makes the same registry serve the
+# in-process executors and the spawned workers.
+
+
+def _task_count_rows(shard: Optional[dict], broadcast: Optional[dict],
+                     args: Any) -> Counter:
+    """Stateless GROUP BY count over a shipped chunk of key rows."""
+    return Counter(args)
+
+
+def _task_join_chunk(shard: Optional[dict], broadcast: Optional[dict],
+                     args: Any) -> Counter:
+    """Stateless fused join+group-count over a shipped chunk payload."""
+    return count_join_chunk(args)
+
+
+def _task_partner_chunk(shard: Optional[dict], broadcast: Optional[dict],
+                        args: Any) -> Counter:
+    """Stateless fused partner-selection count over a shipped chunk payload."""
+    return count_partner_chunk(args)
+
+
+def _task_argmax_chunk(shard: Optional[dict], broadcast: Optional[dict],
+                       args: Any) -> List[Tuple[int, int, float]]:
+    """Stateless fused argmax selection over a shipped chunk payload."""
+    return select_argmax_chunk(args)
+
+
+def _derive_model_join(shard: dict) -> Tuple[Any, ...]:
+    """Derive the resident model-build join payload from host-group columns.
+
+    The co-occurrence query over one shard of hosts is a self-join local to
+    the shard: the left side streams one row per (host, port, predictor id),
+    the right index maps each shard-local host to its ``(port,)`` rows, and
+    the left-vs-right exclusion drops the self-pairs.  Group keys are
+    ``(predictor id, target port)`` packed into one int (ports < 65536), so
+    the fold runs :func:`~repro.engine.fused.count_join_chunk`'s packed fast
+    path.  Derivation happens worker-side on first use and is cached in the
+    resident shard, so repeated model builds skip it entirely.
+    """
+    member_starts = shard["member_starts"]
+    labels = shard["labels"]
+    value_starts = shard["value_starts"]
+    value_ids = shard["value_ids"]
+    left_host: List[int] = []
+    left_port: List[int] = []
+    left_pid: List[int] = []
+    index: Dict[int, List[Tuple[int]]] = {}
+    for g in range(len(member_starts) - 1):
+        m_lo, m_hi = member_starts[g], member_starts[g + 1]
+        if m_lo == m_hi:
+            continue
+        index[g] = [(labels[m],) for m in range(m_lo, m_hi)]
+        for m in range(m_lo, m_hi):
+            port = labels[m]
+            for v in range(value_starts[m], value_starts[m + 1]):
+                left_host.append(g)
+                left_port.append(port)
+                left_pid.append(value_ids[v])
+    return ([left_host], [(0, left_pid)], ("LR", left_port, 0), [(1, 0)], 2,
+            index, MODEL_PACK_BASE)
+
+
+def _task_model_pairs(shard: dict, broadcast: Optional[dict],
+                      args: Any) -> Counter:
+    """Resident co-occurrence fold: packed (predictor id, port) counts."""
+    payload = shard.get("_model_join")
+    if payload is None:
+        payload = shard["_model_join"] = _derive_model_join(shard)
+    return count_join_chunk(payload)
+
+
+def _task_model_denominators(shard: dict, broadcast: Optional[dict],
+                             args: Any) -> Counter:
+    """Resident denominator fold: predictor-id occurrence counts."""
+    return Counter(shard["value_ids"])
+
+
+def _task_priors_partner(shard: dict, broadcast: dict, args: Any) -> Counter:
+    """Resident priors fold: partner counts over the shard's host groups.
+
+    ``args`` is ``(allowed_labels,)``; the score tables come from the
+    broadcast model sides, everything else is already resident.
+    """
+    (allowed,) = args
+    payload = (shard["group_keys"], shard["member_starts"], shard["labels"],
+               shard["value_starts"], shard["value_ids"],
+               broadcast["target_counts"], broadcast["denominators"], allowed)
+    return count_partner_chunk(payload)
+
+
+def _task_index_argmax(shard: dict, broadcast: dict,
+                       args: Any) -> List[Tuple[int, List[Tuple[int, int, float]]]]:
+    """Resident argmax fold, one selection per group, tagged for re-ordering.
+
+    Hash-sharding permutes group order, but the prediction-index build is
+    order-sensitive (the serial winner list is the oracle), so each group's
+    winners come back tagged with the group's original index and the driver
+    merges via :func:`repro.engine.shard.merge_ordered`.
+    """
+    allowed, min_support, cutoff = args
+    target_counts = broadcast["target_counts"]
+    denominators = broadcast["denominators"]
+    tie_ranks = broadcast["tie_ranks"]
+    member_starts = shard["member_starts"]
+    labels = shard["labels"]
+    value_starts = shard["value_starts"]
+    value_ids = shard["value_ids"]
+    out: List[Tuple[int, List[Tuple[int, int, float]]]] = []
+    for local, original in enumerate(shard["group_order"]):
+        m_lo, m_hi = member_starts[local], member_starts[local + 1]
+        if m_hi - m_lo < 2:
+            continue
+        v_lo, v_hi = value_starts[m_lo], value_starts[m_hi]
+        winners = select_argmax_chunk((
+            (m_lo, m_hi), labels[m_lo:m_hi], value_starts[m_lo:m_hi + 1],
+            value_ids[v_lo:v_hi], target_counts, denominators, tie_ranks,
+            allowed, min_support, cutoff,
+        ))
+        if winners:
+            out.append((original, winners))
+    return out
+
+
+def _task_probe(shard: Optional[dict], broadcast: Optional[dict],
+                args: Any) -> Tuple[int, List[str]]:
+    """Introspection task for tests: worker pid + resident shard columns."""
+    resident = sorted(shard) if shard is not None else []
+    return os.getpid(), resident
+
+
+def _task_crash(shard: Optional[dict], broadcast: Optional[dict], args: Any) -> None:
+    """Crash drill: kill the worker process without a reply.
+
+    Exercises the crash-detection path (lifecycle tests, operational
+    drills).  Gated behind an environment variable so ordinary API misuse
+    cannot hard-kill a pool: without the opt-in the task fails like any
+    other task error.
+    """
+    if os.environ.get("REPRO_RUNTIME_CRASH_TEST") != "1":
+        raise RuntimeError(
+            "the crash drill requires REPRO_RUNTIME_CRASH_TEST=1 in the "
+            "worker environment")
+    os._exit(17)
+
+
+_TASKS: Dict[str, Callable[[Optional[dict], Optional[dict], Any], Any]] = {
+    "count_rows": _task_count_rows,
+    "join_chunk": _task_join_chunk,
+    "partner_chunk": _task_partner_chunk,
+    "argmax_chunk": _task_argmax_chunk,
+    "model_pairs": _task_model_pairs,
+    "model_denominators": _task_model_denominators,
+    "priors_partner": _task_priors_partner,
+    "index_argmax": _task_index_argmax,
+    "_probe": _task_probe,
+    "_crash": _task_crash,
+}
+
+
+# -- worker process ----------------------------------------------------------------------
+
+
+def _worker_main(worker_id: int, inbox: Any, outbox: Any) -> None:
+    """Worker loop: hold resident payloads, execute named tasks against them.
+
+    Messages are plain tuples.  Requests: ``("load", task_id, key, shard_idx,
+    payload)`` merges ``payload`` into the resident store (``shard_idx`` is
+    ``None`` for broadcast payloads), ``("run", task_id, fn, key, shard_idx,
+    args)`` executes a registered task, ``("drop", task_id, key)`` releases a
+    key's payloads, ``("close",)`` exits.  Replies: ``("ok", worker_id,
+    task_id, result)`` or ``("err", worker_id, task_id, description)``.
+    """
+    store: Dict[Tuple[Any, Optional[int]], dict] = {}
+    while True:
+        message = inbox.get()
+        kind = message[0]
+        if kind == "close":
+            break
+        task_id = message[1]
+        try:
+            if kind == "load":
+                _, _, key, shard_idx, payload = message
+                store.setdefault((key, shard_idx), {}).update(payload)
+                outbox.put(("ok", worker_id, task_id, None))
+            elif kind == "run":
+                _, _, fn_name, key, shard_idx, args = message
+                shard = store.get((key, shard_idx)) if key is not None else None
+                broadcast = store.get((key, None)) if key is not None else None
+                if key is not None and shard is None and broadcast is None:
+                    raise KeyError(f"no resident payload for key {key!r}")
+                result = _TASKS[fn_name](shard, broadcast, args)
+                outbox.put(("ok", worker_id, task_id, result))
+            elif kind == "drop":
+                _, _, key = message
+                for resident_key in [k for k in store if k[0] == key]:
+                    del store[resident_key]
+                outbox.put(("ok", worker_id, task_id, None))
+            else:
+                raise ValueError(f"unknown message kind: {kind!r}")
+        except BaseException as exc:  # noqa: BLE001 - reported to the driver
+            detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
+            outbox.put(("err", worker_id, task_id, detail))
+
+
+# -- executors ---------------------------------------------------------------------------
+
+
+class Executor:
+    """Dispatch protocol every runtime backend implements.
+
+    ``load`` makes a payload resident (per-shard or, with ``shard_idx=None``,
+    broadcast to every worker), ``run`` executes a batch of named tasks and
+    returns their results in order, ``drop`` releases a key, ``close`` tears
+    the backend down.  Shard ``s`` is always served by worker
+    ``s % worker_count``, which is what makes residency meaningful.
+    ``broken`` reports an unrecoverable backend (a crashed pool): the only
+    valid next step is ``close`` and a fresh runtime.
+    """
+
+    broken = False
+
+    def load(self, key: Any, shard_idx: Optional[int], payload: dict) -> None:
+        raise NotImplementedError
+
+    def load_shards(self, key: Any, payloads: Sequence[dict]) -> None:
+        """Load payload ``s`` onto shard ``s``'s worker (batched where possible)."""
+        for shard_idx, payload in enumerate(payloads):
+            self.load(key, shard_idx, payload)
+
+    def run(self, tasks: Sequence[Tuple[str, Any, Optional[int], Any]]) -> List[Any]:
+        """Execute ``(fn_name, key, shard_idx, args)`` tasks, results in order."""
+        raise NotImplementedError
+
+    def drop(self, key: Any) -> None:
+        raise NotImplementedError
+
+    def close(self) -> None:
+        raise NotImplementedError
+
+
+class SerialExecutor(Executor):
+    """Runs every task inline in the calling thread (the reference backend)."""
+
+    def __init__(self) -> None:
+        self._store: Dict[Tuple[Any, Optional[int]], dict] = {}
+
+    def _resolve(self, key: Any, shard_idx: Optional[int]):
+        if key is None:
+            return None, None
+        shard = self._store.get((key, shard_idx))
+        broadcast = self._store.get((key, None))
+        if shard is None and broadcast is None:
+            raise KeyError(f"no resident payload for key {key!r}")
+        return shard, broadcast
+
+    def load(self, key: Any, shard_idx: Optional[int], payload: dict) -> None:
+        self._store.setdefault((key, shard_idx), {}).update(payload)
+
+    def run(self, tasks: Sequence[Tuple[str, Any, Optional[int], Any]]) -> List[Any]:
+        results = []
+        for fn_name, key, shard_idx, args in tasks:
+            shard, broadcast = self._resolve(key, shard_idx)
+            results.append(_TASKS[fn_name](shard, broadcast, args))
+        return results
+
+    def drop(self, key: Any) -> None:
+        for resident_key in [k for k in self._store if k[0] == key]:
+            del self._store[resident_key]
+
+    def close(self) -> None:
+        self._store.clear()
+
+
+class ThreadExecutor(SerialExecutor):
+    """Runs tasks on a persistent thread pool over the shared in-process store.
+
+    Residency is trivial (one address space), so this backend mainly
+    validates the dispatch/sharding logic and serves workloads whose folds
+    release the GIL; the resident store is only read during ``run``.
+    """
+
+    def __init__(self, workers: int) -> None:
+        super().__init__()
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        import concurrent.futures
+
+        self._pool = concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+
+    def run(self, tasks: Sequence[Tuple[str, Any, Optional[int], Any]]) -> List[Any]:
+        def _one(task):
+            fn_name, key, shard_idx, args = task
+            shard, broadcast = self._resolve(key, shard_idx)
+            return _TASKS[fn_name](shard, broadcast, args)
+
+        return list(self._pool.map(_one, tasks))
+
+    def close(self) -> None:
+        self._pool.shutdown(wait=True)
+        super().close()
+
+
+class PoolExecutor(Executor):
+    """Runs tasks on a persistent pool of spawned worker processes.
+
+    Each worker owns a dedicated inbox queue, so tasks for shard ``s`` always
+    land on the worker whose store holds shard ``s``; replies come back on
+    one shared outbox.  Workers start with the ``spawn`` method (stable
+    across Python 3.10-3.12, immune to the 3.12+ fork-in-threads
+    deprecation) and live until :meth:`close`.  A worker that dies
+    mid-request is detected by liveness polling and surfaces as
+    :class:`WorkerCrashError`; the pool is then torn down so no queue is
+    left blocking interpreter exit.
+    """
+
+    _POLL_SECONDS = 0.05
+
+    def __init__(self, workers: int) -> None:
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self.workers = workers
+        self._context = multiprocessing.get_context("spawn")
+        self._processes: List[Any] = []
+        self._inboxes: List[Any] = []
+        self._outbox: Optional[Any] = None
+        self._next_task_id = 0
+        self._started = False
+        self._broken = False
+
+    @property
+    def broken(self) -> bool:
+        return self._broken
+
+    # -- pool management -----------------------------------------------------------
+
+    def _ensure_started(self) -> None:
+        if self._broken:
+            raise WorkerCrashError("runtime pool is broken after a worker crash")
+        if self._started:
+            return
+        self._outbox = self._context.Queue()
+        for worker_id in range(self.workers):
+            inbox = self._context.Queue()
+            process = self._context.Process(
+                target=_worker_main, args=(worker_id, inbox, self._outbox),
+                daemon=True, name=f"engine-runtime-{worker_id}",
+            )
+            process.start()
+            self._inboxes.append(inbox)
+            self._processes.append(process)
+        self._started = True
+
+    def _abandon(self) -> None:
+        """Terminate everything after a crash; the pool is unusable."""
+        self._broken = True
+        for process in self._processes:
+            if process.is_alive():
+                process.terminate()
+        for process in self._processes:
+            process.join(timeout=2.0)
+        self._drain_queues()
+
+    def _drain_queues(self) -> None:
+        for inbox in self._inboxes:
+            inbox.close()
+            inbox.cancel_join_thread()
+        if self._outbox is not None:
+            self._outbox.close()
+            self._outbox.cancel_join_thread()
+        self._inboxes = []
+        self._processes = []
+        self._outbox = None
+
+    def _send(self, worker_id: int, message: Tuple[Any, ...]) -> None:
+        self._inboxes[worker_id].put(message)
+
+    def _collect(self, expected: Dict[int, int]) -> Dict[int, Any]:
+        """Await one reply per expected task id; crash -> clean error.
+
+        ``expected`` maps task id to the worker it was sent to, so a dead
+        process can be reported by name instead of hanging on the queue.  A
+        task that *raises* is not pool-fatal: the worker loop survives, so
+        every outstanding reply is drained first (no stale messages can leak
+        into the next request) and then one :class:`WorkerTaskError` is
+        raised.  Only a worker that *dies* abandons the pool.
+        """
+        results: Dict[int, Any] = {}
+        errors: List[str] = []
+        while len(results) < len(expected):
+            try:
+                reply = self._outbox.get(timeout=self._POLL_SECONDS)
+            except queue_module.Empty:
+                dead = [i for i, p in enumerate(self._processes) if not p.is_alive()]
+                pending_on_dead = [tid for tid, wid in expected.items()
+                                   if wid in dead and tid not in results]
+                if pending_on_dead:
+                    codes = {i: self._processes[i].exitcode for i in dead}
+                    self._abandon()
+                    raise WorkerCrashError(
+                        f"engine runtime worker(s) {sorted(set(dead))} died "
+                        f"(exit codes {codes}) while {len(pending_on_dead)} "
+                        f"task(s) were outstanding; the pool has been shut down"
+                    ) from None
+                continue
+            status, _, task_id, payload = reply
+            if status == "err":
+                errors.append(payload)
+                results[task_id] = None
+            else:
+                results[task_id] = payload
+        if errors:
+            raise WorkerTaskError(
+                f"engine runtime task failed in worker:\n{errors[0]}")
+        return results
+
+    def _worker_for(self, shard_idx: Optional[int], position: int) -> int:
+        if shard_idx is None:
+            return position % self.workers
+        return shard_idx % self.workers
+
+    # -- Executor interface --------------------------------------------------------
+
+    def load(self, key: Any, shard_idx: Optional[int], payload: dict) -> None:
+        self._ensure_started()
+        if shard_idx is None:
+            expected: Dict[int, int] = {}
+            for worker_id in range(self.workers):
+                task_id = self._next_task_id
+                self._next_task_id += 1
+                self._send(worker_id, ("load", task_id, key, None, payload))
+                expected[task_id] = worker_id
+            self._collect(expected)
+        else:
+            worker_id = self._worker_for(shard_idx, 0)
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            self._send(worker_id, ("load", task_id, key, shard_idx, payload))
+            self._collect({task_id: worker_id})
+
+    def load_shards(self, key: Any, payloads: Sequence[dict]) -> None:
+        """Batched shard load: all sends first, one collect, so workers
+        deserialize their shards concurrently instead of one after another."""
+        self._ensure_started()
+        expected: Dict[int, int] = {}
+        for shard_idx, payload in enumerate(payloads):
+            worker_id = self._worker_for(shard_idx, 0)
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            self._send(worker_id, ("load", task_id, key, shard_idx, payload))
+            expected[task_id] = worker_id
+        self._collect(expected)
+
+    def run(self, tasks: Sequence[Tuple[str, Any, Optional[int], Any]]) -> List[Any]:
+        self._ensure_started()
+        expected: Dict[int, int] = {}
+        order: List[int] = []
+        for position, (fn_name, key, shard_idx, args) in enumerate(tasks):
+            worker_id = self._worker_for(shard_idx, position)
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            self._send(worker_id, ("run", task_id, fn_name, key, shard_idx, args))
+            expected[task_id] = worker_id
+            order.append(task_id)
+        results = self._collect(expected)
+        return [results[task_id] for task_id in order]
+
+    def drop(self, key: Any) -> None:
+        if not self._started or self._broken:
+            return
+        expected: Dict[int, int] = {}
+        for worker_id in range(self.workers):
+            task_id = self._next_task_id
+            self._next_task_id += 1
+            self._send(worker_id, ("drop", task_id, key))
+            expected[task_id] = worker_id
+        self._collect(expected)
+
+    def close(self) -> None:
+        if not self._started:
+            return
+        if not self._broken:
+            for worker_id, process in enumerate(self._processes):
+                if process.is_alive():
+                    try:
+                        self._send(worker_id, ("close",))
+                    except (OSError, ValueError):
+                        pass
+            for process in self._processes:
+                process.join(timeout=2.0)
+            for process in self._processes:
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=2.0)
+        self._drain_queues()
+        self._started = False
+
+
+# -- the runtime -------------------------------------------------------------------------
+
+
+class EngineRuntime:
+    """A persistent, shard-aware execution runtime for fused query plans.
+
+    One runtime owns one executor backend (``serial``, ``thread`` or
+    ``pool``) for its whole life: workers start once (lazily, on first use)
+    and every plan execution reuses them.  Data ships through
+    :meth:`load_shards` / :meth:`load_broadcast` and stays resident in the
+    workers under a caller-chosen key; :meth:`execute` then runs a registered
+    task against each resident shard, shipping only per-call arguments.
+    :meth:`map_stateless` covers the classic scatter path (payload chunks
+    shipped per call) for plans whose data is not resident -- still on the
+    warm pool, so per-call process spawn is gone either way.
+
+    Results are bit-identical across backends and shard counts: counter
+    tasks merge order-independently, and order-sensitive tasks come back
+    tagged for exact re-ordering (see
+    :func:`repro.engine.shard.merge_ordered`).
+
+    Lifecycle: :meth:`close` is explicit and idempotent; the runtime is a
+    context manager; using a closed (or crashed) runtime raises instead of
+    hanging.
+    """
+
+    def __init__(self, executor: str = "serial", num_workers: int = 0,
+                 shard_count: int = 0) -> None:
+        """Configure the runtime (workers start lazily on first use).
+
+        Args:
+            executor: ``"serial"``, ``"thread"`` or ``"pool"``.
+            num_workers: pool size; ``0`` means :func:`default_worker_count`.
+            shard_count: shards resident datasets are partitioned into;
+                ``0`` means one shard per worker.  More shards than workers
+                is valid (workers own several shards round-robin).
+        """
+        if executor not in RUNTIME_EXECUTORS:
+            raise ValueError(
+                f"unknown executor: {executor!r} (expected one of {RUNTIME_EXECUTORS})")
+        if num_workers < 0:
+            raise ValueError("num_workers must be >= 0 (0 selects the default)")
+        if shard_count < 0:
+            raise ValueError("shard_count must be >= 0 (0 selects one per worker)")
+        self.executor = executor
+        self.num_workers = num_workers or (1 if executor == "serial"
+                                           else default_worker_count())
+        self.shard_count = shard_count or self.num_workers
+        self._backend: Optional[Executor] = None
+        self._closed = False
+
+    # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether :meth:`close` has been called."""
+        return self._closed
+
+    @property
+    def broken(self) -> bool:
+        """True after a worker crash made the pool unusable.
+
+        A broken runtime fails fast on every further dispatch; the recovery
+        path is :meth:`close` plus a fresh runtime (the GPS orchestrator does
+        this automatically on its next :meth:`~repro.core.gps.GPS.runtime`
+        call).
+        """
+        return self._backend is not None and self._backend.broken
+
+    @property
+    def wants_encoded_payloads(self) -> bool:
+        """True when payloads cross a process boundary (encode before shipping)."""
+        return self.executor == "pool"
+
+    def _ensure_backend(self) -> Executor:
+        if self._closed:
+            raise RuntimeError("engine runtime is closed")
+        if self._backend is None:
+            if self.executor == "serial":
+                self._backend = SerialExecutor()
+            elif self.executor == "thread":
+                self._backend = ThreadExecutor(self.num_workers)
+            else:
+                self._backend = PoolExecutor(self.num_workers)
+        return self._backend
+
+    def close(self) -> None:
+        """Tear the worker pool down; idempotent, safe after a crash."""
+        if self._closed:
+            return
+        self._closed = True
+        if self._backend is not None:
+            self._backend.close()
+            self._backend = None
+
+    def __enter__(self) -> "EngineRuntime":
+        return self
+
+    def __exit__(self, *exc_info: Any) -> None:
+        self.close()
+
+    # -- resident data -------------------------------------------------------------
+
+    def load_shards(self, key: Any, shard_payloads: Sequence[dict]) -> None:
+        """Make per-shard payload dicts resident under ``key``.
+
+        ``shard_payloads`` must have exactly ``shard_count`` entries; shard
+        ``s`` lands on worker ``s % num_workers`` and stays resident there
+        until :meth:`unload` -- the "ship the data once" contract callers
+        like :class:`repro.core.runtime_plans.ResidentHostGroups` build on.
+        Loading the same key again merges (and for colliding column names
+        replaces) payload entries.
+        """
+        if len(shard_payloads) != self.shard_count:
+            raise ValueError(
+                f"expected {self.shard_count} shard payloads, got {len(shard_payloads)}")
+        self._ensure_backend().load_shards(key, shard_payloads)
+
+    def load_broadcast(self, key: Any, payload: dict) -> None:
+        """Make one payload dict resident on *every* worker under ``key``.
+
+        Broadcast payloads are the shared side tables of a query (score rows,
+        supports, tie ranks): any shard may reference any entry, so each
+        worker needs the whole thing -- shipped once, not per call.
+        """
+        self._ensure_backend().load(key, None, payload)
+
+    def unload(self, key: Any) -> None:
+        """Release the resident payloads stored under ``key`` on every worker."""
+        if self._closed or self._backend is None:
+            return
+        self._backend.drop(key)
+
+    # -- execution -----------------------------------------------------------------
+
+    def execute(self, fn_name: str, key: Any,
+                args_per_shard: Optional[Sequence[Any]] = None) -> List[Any]:
+        """Run a registered task against every resident shard of ``key``.
+
+        ``args_per_shard`` supplies each shard's per-call arguments (``None``
+        ships no arguments); results come back in shard order.
+        """
+        if fn_name not in _TASKS:
+            raise KeyError(f"unknown runtime task: {fn_name!r}")
+        if args_per_shard is None:
+            args_per_shard = [None] * self.shard_count
+        if len(args_per_shard) != self.shard_count:
+            raise ValueError(
+                f"expected {self.shard_count} argument entries, got {len(args_per_shard)}")
+        tasks = [(fn_name, key, shard_idx, args)
+                 for shard_idx, args in enumerate(args_per_shard)]
+        return self._ensure_backend().run(tasks)
+
+    def map_stateless(self, fn_name: str, payloads: Sequence[Any]) -> List[Any]:
+        """Run a registered task over shipped payload chunks (no residency).
+
+        The persistent-pool replacement for
+        :meth:`repro.engine.parallel.ParallelExecutor.map`: payload ``i``
+        runs on worker ``i % num_workers``, results return in payload order,
+        and no process is spawned per call.
+        """
+        if fn_name not in _TASKS:
+            raise KeyError(f"unknown runtime task: {fn_name!r}")
+        tasks = [(fn_name, None, None, payload) for payload in payloads]
+        return self._ensure_backend().run(tasks)

@@ -265,6 +265,30 @@ class TestBoundedNetFeatureCache:
             assert self._round(index, ips) == expected
             assert len(index._net_cache) <= 8
 
+    def test_hot_key_survives_eviction_pressure(self, index, monkeypatch):
+        """True LRU: a key that keeps hitting outlives streams of cold keys."""
+        monkeypatch.setattr(predictions_module, "NET_FEATURE_CACHE_MAX", 8)
+        hot_ip = 10_000
+        self._round(index, [hot_ip])
+        cold = iter(range(1_000_000, 2_000_000))
+        for _ in range(10):
+            # Refresh the hot key, then shove in almost a full cache of cold
+            # keys; under FIFO the hot key would age out regardless of hits,
+            # under LRU the refresh keeps it resident every time.
+            self._round(index, [hot_ip])
+            self._round(index, [next(cold) for _ in range(7)])
+            assert hot_ip in index._net_cache
+            assert len(index._net_cache) <= 8
+
+    def test_lru_evicts_stalest_not_newest(self, index, monkeypatch):
+        monkeypatch.setattr(predictions_module, "NET_FEATURE_CACHE_MAX", 4)
+        self._round(index, [1, 2, 3, 4])
+        self._round(index, [1])          # 2 is now the least recently used
+        self._round(index, [5])          # evicts 2
+        assert 1 in index._net_cache
+        assert 2 not in index._net_cache
+        assert set(index._net_cache) == {1, 3, 4, 5}
+
     def test_cache_rekeys_on_feature_kind_change(self, index):
         wide = FeatureConfig(network_feature_kinds=("subnet16",))
         narrow = FeatureConfig(network_feature_kinds=("subnet23",))

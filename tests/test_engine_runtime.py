@@ -1,0 +1,411 @@
+"""Tests for the persistent execution runtime and the sharding layer.
+
+Covers the explicit pool lifecycle (reuse across consecutive plan
+executions, idempotent close, worker crash surfacing a clean error, spawn
+start method), the stable-hash sharding invariants, and bit-identical
+results -- model, priors plan and prediction index -- across the serial,
+thread and pool executors on both the stateless-dispatch and
+resident-dataset paths.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+
+import pytest
+
+from repro.core.config import FeatureConfig, GPSConfig
+from repro.core.features import extract_host_features
+from repro.core.gps import GPS
+from repro.core.model import build_model, build_model_with_engine
+from repro.core.predictions import (
+    PredictiveFeatureIndex,
+    build_prediction_index_with_engine,
+)
+from repro.core.priors import build_priors_plan, build_priors_plan_with_engine
+from repro.core.runtime_plans import ResidentHostGroups
+from repro.engine.parallel import ExecutorConfig, partitioned_group_count
+from repro.engine.runtime import (
+    RUNTIME_EXECUTORS,
+    EngineRuntime,
+    PoolExecutor,
+    WorkerCrashError,
+    WorkerTaskError,
+    default_worker_count,
+)
+from repro.engine.shard import (
+    merge_ordered,
+    shard_assignments,
+    shard_columns,
+    shard_group_columns,
+)
+from repro.engine.table import Table
+from repro.scanner.pipeline import ScanPipeline
+
+BACKENDS = tuple(RUNTIME_EXECUTORS)
+
+
+@pytest.fixture(scope="module")
+def seed_inputs(universe, censys_split):
+    """Host features + oracle model/priors/index for the equivalence tests."""
+    host_features = extract_host_features(censys_split.seed_observations,
+                                          universe.topology.asn_db, FeatureConfig())
+    model = build_model(host_features)
+    priors = build_priors_plan(host_features, model, 16)
+    index = PredictiveFeatureIndex.from_seed(host_features, model)
+    return host_features, model, priors, index
+
+
+class TestRuntimeConstruction:
+    def test_unknown_executor_rejected(self):
+        with pytest.raises(ValueError):
+            EngineRuntime(executor="gpu")
+
+    def test_negative_workers_rejected(self):
+        with pytest.raises(ValueError):
+            EngineRuntime(num_workers=-1)
+
+    def test_negative_shards_rejected(self):
+        with pytest.raises(ValueError):
+            EngineRuntime(shard_count=-1)
+
+    def test_defaults(self):
+        runtime = EngineRuntime(executor="pool")
+        assert runtime.num_workers == default_worker_count()
+        assert runtime.shard_count == runtime.num_workers
+        assert not runtime.closed
+        runtime.close()
+
+    def test_shards_can_outnumber_workers(self):
+        with EngineRuntime(executor="pool", num_workers=2, shard_count=5) as runtime:
+            runtime.load_shards("k", [{"value_ids": [s]} for s in range(5)])
+            merged = Counter()
+            for counts in runtime.execute("model_denominators", "k"):
+                merged.update(counts)
+            assert merged == Counter(range(5))
+
+
+class TestPoolLifecycle:
+    def test_workers_reused_across_executions(self):
+        """Consecutive plan executions run on the same worker processes."""
+        with EngineRuntime(executor="pool", num_workers=2) as runtime:
+            runtime.load_shards("k", [{}, {}])
+            first = [pid for pid, _ in runtime.execute("_probe", "k")]
+            for _ in range(3):
+                again = [pid for pid, _ in runtime.execute("_probe", "k")]
+                assert again == first
+
+    def test_close_is_idempotent_and_final(self):
+        runtime = EngineRuntime(executor="pool", num_workers=2)
+        runtime.map_stateless("count_rows", [[1, 2]])
+        runtime.close()
+        runtime.close()
+        assert runtime.closed
+        with pytest.raises(RuntimeError):
+            runtime.map_stateless("count_rows", [[1]])
+
+    def test_close_without_start_is_safe(self):
+        runtime = EngineRuntime(executor="pool", num_workers=2)
+        runtime.close()
+        assert runtime.closed
+
+    def test_context_manager_closes(self):
+        with EngineRuntime(executor="pool", num_workers=2) as runtime:
+            runtime.map_stateless("count_rows", [[1]])
+        assert runtime.closed
+
+    def test_worker_crash_surfaces_clear_error(self, monkeypatch):
+        """A dying worker raises WorkerCrashError instead of hanging."""
+        monkeypatch.setenv("REPRO_RUNTIME_CRASH_TEST", "1")
+        runtime = EngineRuntime(executor="pool", num_workers=2)
+        with pytest.raises(WorkerCrashError, match="died"):
+            runtime.map_stateless("_crash", [None, None])
+        assert runtime.broken
+        # The pool is torn down; further use fails fast, close stays clean.
+        with pytest.raises(WorkerCrashError):
+            runtime.map_stateless("count_rows", [[1]])
+        runtime.close()
+        runtime.close()
+
+    def test_crash_drill_is_gated(self, monkeypatch):
+        """Without the opt-in, the crash task is an ordinary task error."""
+        monkeypatch.delenv("REPRO_RUNTIME_CRASH_TEST", raising=False)
+        with EngineRuntime(executor="pool", num_workers=1) as runtime:
+            with pytest.raises(WorkerTaskError, match="crash drill"):
+                runtime.map_stateless("_crash", [None])
+            assert not runtime.broken
+
+    def test_task_error_does_not_break_the_pool(self):
+        """A raising task surfaces an error but leaves the workers usable."""
+        with EngineRuntime(executor="pool", num_workers=2) as runtime:
+            with pytest.raises(WorkerTaskError):
+                # "run" against a key that was never loaded raises worker-side.
+                runtime.execute("model_denominators", "missing-key")
+            assert not runtime.broken
+            out = runtime.map_stateless("count_rows", [[1, 1]])
+            assert out[0] == Counter({1: 2})
+
+    def test_spawn_start_method(self):
+        """Workers use the spawn start method (3.10-3.12 compatible)."""
+        executor = PoolExecutor(workers=1)
+        assert executor._context.get_start_method() == "spawn"
+        executor.close()
+
+    def test_unknown_task_rejected_without_dispatch(self):
+        with EngineRuntime(executor="pool", num_workers=1) as runtime:
+            with pytest.raises(KeyError):
+                runtime.execute("no_such_task", "k")
+            with pytest.raises(KeyError):
+                runtime.map_stateless("no_such_task", [None])
+
+    def test_shard_payload_count_enforced(self):
+        with EngineRuntime(executor="serial", shard_count=2) as runtime:
+            with pytest.raises(ValueError):
+                runtime.load_shards("k", [{}])
+            runtime.load_shards("k", [{}, {}])
+            with pytest.raises(ValueError):
+                runtime.execute("_probe", "k", args_per_shard=[None])
+
+    def test_unload_releases_resident_data(self):
+        with EngineRuntime(executor="pool", num_workers=1) as runtime:
+            runtime.load_shards("k", [{"value_ids": [1]}])
+            runtime.execute("model_denominators", "k")
+            runtime.unload("k")
+            with pytest.raises(RuntimeError):
+                runtime.execute("model_denominators", "k")
+
+
+class TestShardingLayer:
+    def test_assignments_are_hashseed_independent(self):
+        # Integers stable-hash to themselves: the layout is fully determined.
+        assert shard_assignments([0, 1, 2, 3, 4], 3) == [0, 1, 2, 0, 1]
+        assert shard_assignments(["a", "b", "a"], 4)[0] == \
+            shard_assignments(["a", "b", "a"], 4)[2]
+
+    def test_single_shard_takes_everything(self):
+        assert shard_assignments([5, "x", (1, 2)], 1) == [0, 0, 0]
+
+    def test_shard_columns_partitions_and_aligns(self):
+        columns = {"k": [3, 1, 4, 1, 5], "v": ["a", "b", "c", "d", "e"]}
+        sharded = shard_columns(columns, "k", 2)
+        rows = [(k, v) for shard in sharded.shards
+                for k, v in zip(shard["k"], shard["v"])]
+        assert sorted(rows) == sorted(zip(columns["k"], columns["v"]))
+        # Equal keys land in the same shard (the duplicate key 1 co-locates).
+        ones = [s for s in sharded.shards if 1 in s["k"]]
+        assert len(ones) == 1 and ones[0]["k"].count(1) == 2
+
+    def test_shard_columns_rejects_misaligned(self):
+        with pytest.raises(ValueError):
+            shard_columns({"k": [1, 2], "v": [1]}, "k", 2)
+
+    def test_shard_group_columns_rebuilds_local_offsets(self):
+        sharded = shard_group_columns(
+            assign_keys=[10, 11, 12],
+            group_keys=[7, 7, 8],
+            member_starts=[0, 2, 3, 5],
+            labels=[80, 443, 22, 25, 53],
+            value_starts=[0, 1, 2, 3, 4, 5],
+            value_ids=[9, 8, 7, 6, 5],
+            shard_count=2,
+        )
+        seen_groups = []
+        for shard in sharded.shards:
+            assert shard["member_starts"][0] == 0
+            assert shard["value_starts"][0] == 0
+            assert shard["member_starts"][-1] == len(shard["labels"])
+            assert shard["value_starts"][-1] == len(shard["value_ids"])
+            assert shard["group_order"] == sorted(shard["group_order"])
+            seen_groups.extend(shard["group_order"])
+        assert sorted(seen_groups) == [0, 1, 2]
+        # Every (group, labels, values) triple survives sharding intact.
+        recovered = {}
+        for shard in sharded.shards:
+            for local, original in enumerate(shard["group_order"]):
+                m_lo = shard["member_starts"][local]
+                m_hi = shard["member_starts"][local + 1]
+                members = []
+                for m in range(m_lo, m_hi):
+                    v_lo, v_hi = shard["value_starts"][m], shard["value_starts"][m + 1]
+                    members.append((shard["labels"][m],
+                                    tuple(shard["value_ids"][v_lo:v_hi])))
+                recovered[original] = (shard["group_keys"][local], tuple(members))
+        assert recovered == {
+            0: (7, ((80, (9,)), (443, (8,)))),
+            1: (7, ((22, (7,)),)),
+            2: (8, ((25, (6,)), (53, (5,)))),
+        }
+
+    def test_merge_ordered_restores_global_order(self):
+        assert merge_ordered([[(3, "d"), (0, "a")], [(2, "c")], [(1, "b")]]) == \
+            ["a", "b", "c", "d"]
+
+
+class TestStatelessRuntimeDispatch:
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_partitioned_group_count_matches(self, backend):
+        table = Table.from_rows(("a", "b"), [(i % 5, i % 3) for i in range(120)])
+        expected = partitioned_group_count(table, ("a", "b"), ExecutorConfig())
+        with EngineRuntime(executor=backend, num_workers=2) as runtime:
+            assert partitioned_group_count(table, ("a", "b"),
+                                           runtime=runtime) == expected
+
+    def test_config_and_runtime_are_exclusive(self):
+        table = Table.from_rows(("a",), [(1,)])
+        with pytest.raises(ValueError):
+            partitioned_group_count(table, ("a",))
+        with EngineRuntime() as runtime:
+            with pytest.raises(ValueError):
+                partitioned_group_count(table, ("a",), ExecutorConfig(),
+                                        runtime=runtime)
+
+
+class TestRuntimeEquivalence:
+    """All three engine builds, bit-identical on every backend and path."""
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    def test_stateless_paths_match_oracles(self, seed_inputs, backend):
+        host_features, model, priors, index = seed_inputs
+        with EngineRuntime(executor=backend, num_workers=2) as runtime:
+            built = build_model_with_engine(host_features, runtime=runtime)
+            assert built.denominators == model.denominators
+            assert {k: v for k, v in built.cooccurrence.items() if v} == \
+                {k: v for k, v in model.cooccurrence.items() if v}
+            assert build_priors_plan_with_engine(host_features, model, 16,
+                                                 runtime=runtime) == priors
+            rebuilt = build_prediction_index_with_engine(host_features, model,
+                                                         runtime=runtime)
+            assert rebuilt.entries() == index.entries()
+
+    @pytest.mark.parametrize("backend", BACKENDS)
+    @pytest.mark.parametrize("shard_count", [1, 3])
+    def test_resident_dataset_matches_oracles(self, seed_inputs, backend,
+                                              shard_count):
+        host_features, model, priors, index = seed_inputs
+        with EngineRuntime(executor=backend, num_workers=2,
+                           shard_count=shard_count) as runtime:
+            dataset = ResidentHostGroups(runtime, host_features, 16)
+            built = build_model_with_engine(host_features, dataset=dataset)
+            assert built.denominators == model.denominators
+            assert {k: v for k, v in built.cooccurrence.items() if v} == \
+                {k: v for k, v in model.cooccurrence.items() if v}
+            assert build_priors_plan_with_engine(host_features, built, 16,
+                                                 dataset=dataset) == priors
+            rebuilt = build_prediction_index_with_engine(host_features, built,
+                                                         dataset=dataset)
+            assert rebuilt.entries() == index.entries()
+            # Consecutive builds reuse the resident shards (the pool path
+            # additionally reuses the worker-side derived join payload).
+            again = build_model_with_engine(host_features, dataset=dataset)
+            assert again.denominators == built.denominators
+            dataset.release()
+            dataset.release()  # idempotent
+            with pytest.raises(RuntimeError):
+                dataset.model_counts()
+
+    def test_resident_dataset_step_size_is_checked(self, seed_inputs):
+        host_features, model, _, _ = seed_inputs
+        with EngineRuntime() as runtime:
+            dataset = ResidentHostGroups(runtime, host_features, 16)
+            with pytest.raises(ValueError):
+                build_priors_plan_with_engine(host_features, model, 20,
+                                              dataset=dataset)
+
+    def test_runtime_rejects_legacy_mode(self, seed_inputs):
+        host_features, model, _, _ = seed_inputs
+        with EngineRuntime() as runtime:
+            with pytest.raises(ValueError):
+                build_model_with_engine(host_features, mode="legacy",
+                                        runtime=runtime)
+            with pytest.raises(ValueError):
+                build_priors_plan_with_engine(host_features, model, 16,
+                                              mode="legacy", runtime=runtime)
+            with pytest.raises(ValueError):
+                build_prediction_index_with_engine(host_features, model,
+                                                   mode="legacy", runtime=runtime)
+
+
+class TestGPSRuntimeIntegration:
+    def test_config_validates_executor_names(self):
+        with pytest.raises(ValueError):
+            GPSConfig(executor="gpu")
+        with pytest.raises(TypeError):
+            GPSConfig(executor=42)
+        with pytest.raises(ValueError):
+            GPSConfig(num_workers=-1)
+        with pytest.raises(ValueError):
+            GPSConfig(shard_count=-2)
+
+    def test_config_rejects_inert_runtime_executors(self):
+        """A runtime executor that would silently do nothing must not validate."""
+        with pytest.raises(ValueError, match="use_engine"):
+            GPSConfig(executor="pool")
+        with pytest.raises(ValueError, match="fused"):
+            GPSConfig(use_engine=True, engine_mode="legacy", executor="pool")
+        assert GPSConfig(use_engine=True, executor="pool").executor == "pool"
+
+    def test_broken_runtime_is_recreated(self, universe, monkeypatch):
+        """After a worker crash, the next runtime() call yields a fresh pool."""
+        monkeypatch.setenv("REPRO_RUNTIME_CRASH_TEST", "1")
+        config = GPSConfig(use_engine=True, executor="pool", num_workers=2)
+        with GPS(ScanPipeline(universe), config) as gps:
+            first = gps.runtime()
+            with pytest.raises(WorkerCrashError):
+                first.map_stateless("_crash", [None, None])
+            assert first.broken
+            second = gps.runtime()
+            assert second is not first and not second.broken
+            assert second.map_stateless("count_rows", [[1]]) == [Counter({1: 1})]
+
+    def test_no_runtime_for_per_call_executors(self, universe):
+        gps = GPS(ScanPipeline(universe), GPSConfig())
+        assert gps.runtime() is None
+        gps.close()  # safe no-op
+
+    def test_gps_owns_one_runtime_and_closes_it(self, universe):
+        config = GPSConfig(use_engine=True, executor="pool", num_workers=2)
+        with GPS(ScanPipeline(universe), config) as gps:
+            runtime = gps.runtime()
+            assert runtime is not None and not runtime.closed
+            assert gps.runtime() is runtime
+        assert runtime.closed
+
+    def test_end_to_end_run_matches_per_call_engine(self, universe,
+                                                    censys_dataset, censys_split):
+        def run(config):
+            pipeline = ScanPipeline(universe)
+            with GPS(pipeline, config) as gps:
+                return gps.run(seed=censys_split.seed_scan_result(),
+                               seed_cost_probes=0)
+
+        reference = run(GPSConfig(seed_fraction=0.05, step_size=16,
+                                  port_domain=censys_dataset.port_domain,
+                                  use_engine=True))
+        pooled = run(GPSConfig(seed_fraction=0.05, step_size=16,
+                               port_domain=censys_dataset.port_domain,
+                               use_engine=True, executor="pool",
+                               num_workers=2, shard_count=3))
+        assert pooled.priors_plan == reference.priors_plan
+        assert [p.pair() for p in pooled.predictions] == \
+            [p.pair() for p in reference.predictions]
+        assert pooled.discovered_pairs() == reference.discovered_pairs()
+        assert pooled.model.denominators == reference.model.denominators
+
+    def test_known_host_prediction_on_runtime(self, universe, censys_dataset,
+                                              censys_split):
+        """predict_for_known_hosts builds model + index off the resident shards."""
+        known = censys_split.test_observations[:50]
+
+        def run(config):
+            pipeline = ScanPipeline(universe)
+            with GPS(pipeline, config) as gps:
+                return gps.predict_for_known_hosts(
+                    censys_split.seed_scan_result(), known, scan=False)
+
+        reference = run(GPSConfig(seed_fraction=0.05, step_size=16,
+                                  port_domain=censys_dataset.port_domain))
+        pooled = run(GPSConfig(seed_fraction=0.05, step_size=16,
+                               port_domain=censys_dataset.port_domain,
+                               use_engine=True, executor="pool", num_workers=2))
+        assert [p.pair() for p in pooled.predictions] == \
+            [p.pair() for p in reference.predictions]
