@@ -77,19 +77,20 @@ def run_coverage_experiment(
     seed_cost_mode: str = "scan",
     executor: Optional[str] = None,
     num_workers: int = 0,
+    shard_count: int = 0,
 ) -> CoverageExperiment:
     """Run GPS against a dataset and compute the Figure 2 curves.
 
-    ``executor`` / ``num_workers`` route the run's engine builds through a
-    persistent execution runtime (see
+    ``executor`` / ``num_workers`` / ``shard_count`` route the run's engine
+    builds through a persistent execution runtime (see
     :func:`repro.analysis.scenarios.run_gps_on_dataset`); the curves are
-    identical on every backend.
+    identical on every backend and shard layout.
     """
     run, pipeline, _ = run_gps_on_dataset(
         universe, dataset, seed_fraction, step_size=step_size,
         split_seed=split_seed, feature_config=feature_config,
         max_full_scans=max_full_scans, seed_cost_mode=seed_cost_mode,
-        executor=executor, num_workers=num_workers,
+        executor=executor, num_workers=num_workers, shard_count=shard_count,
     )
     ground_truth = dataset.pairs()
     gps_points = coverage_curve(run.log_as_tuples(), ground_truth,

@@ -18,11 +18,14 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence
 
 from repro.core.config import FeatureConfig
-from repro.core.features import extract_host_features
+from repro.core.features import extract_host_features, extract_host_features_columns
 from repro.core.gps import GPS
 from repro.core.model import build_model, build_model_with_engine
-from repro.core.predictions import PredictiveFeatureIndex
-from repro.core.priors import build_priors_plan
+from repro.core.predictions import (
+    PredictiveFeatureIndex,
+    build_prediction_index_with_engine,
+)
+from repro.core.priors import build_priors_plan, build_priors_plan_with_engine
 from repro.datasets.builders import GroundTruthDataset
 from repro.datasets.io import observation_to_dict
 from repro.datasets.split import seed_scan_cost_probes, split_seed_test
@@ -30,6 +33,7 @@ from repro.engine.parallel import ExecutorConfig
 from repro.internet.universe import Universe
 from repro.scanner.bandwidth import BITS_PER_PROBE, ScanCategory
 from repro.scanner.pipeline import ScanPipeline
+from repro.scanner.records import ObservationBatch
 
 
 @dataclass
@@ -150,9 +154,21 @@ def run_performance_breakdown(
                                     dataset.port_domain)
     pfs_single = time.perf_counter() - start
 
+    # The engine measurement runs the fused path's own ingest: a dataset
+    # split hands GPS the seed as a pre-sliced column batch (see
+    # SeedTestSplit.seed_scan_result), so the timed region covers exactly
+    # what a fused run computes -- columns -> encoded host/service/predictor
+    # columns -> fused model and priors builds.  Outputs are identical to
+    # the single-core rows above.
+    seed_batch = split.seed_scan_result().batch
+    if seed_batch is None:  # object-backed dataset: rebuild columns untimed
+        seed_batch = ObservationBatch.from_observations(split.seed_observations)
     start = time.perf_counter()
-    model_parallel = build_model_with_engine(host_features, executor)
-    build_priors_plan(host_features, model_parallel, step_size, dataset.port_domain)
+    host_columns = extract_host_features_columns(seed_batch, asn_db,
+                                                 feature_config)
+    model_parallel = build_model_with_engine(host_columns, executor)
+    build_priors_plan_with_engine(host_columns, model_parallel, step_size,
+                                  dataset.port_domain, executor=executor)
     pfs_parallel = time.perf_counter() - start
 
     plan_bytes = sum(len(entry.describe()) + 1 for entry in priors_plan)
@@ -201,8 +217,9 @@ def run_performance_breakdown(
     prs_single = time.perf_counter() - start
 
     start = time.perf_counter()
-    index_parallel = PredictiveFeatureIndex.from_seed(host_features, model_parallel,
-                                                      port_domain=dataset.port_domain)
+    index_parallel = build_prediction_index_with_engine(
+        host_columns, model_parallel, port_domain=dataset.port_domain,
+        executor=executor)
     index_parallel.predict(priors_observations, asn_db, feature_config,
                            known_pairs=known)
     prs_parallel = time.perf_counter() - start

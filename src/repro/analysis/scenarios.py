@@ -115,6 +115,7 @@ def run_gps_on_dataset(
     seed_cost_mode: str = "scan",
     executor: Optional[str] = None,
     num_workers: int = 0,
+    shard_count: int = 0,
 ) -> Tuple[GPSRunResult, ScanPipeline, SeedTestSplit]:
     """Run GPS in dataset-split mode (the paper's evaluation methodology).
 
@@ -131,8 +132,8 @@ def run_gps_on_dataset(
 
     ``executor`` selects a persistent engine-runtime backend (``"serial"``,
     ``"thread"`` or ``"pool"``; implies ``use_engine``) with ``num_workers``
-    workers; the runtime lives for this one run and is closed before
-    returning.
+    workers over ``shard_count`` resident shards (0 = one per worker); the
+    runtime lives for this one run and is closed before returning.
 
     Returns the run result, the pipeline (whose ledger holds the bandwidth
     accounting) and the split (for evaluating against the test half).
@@ -143,7 +144,8 @@ def run_gps_on_dataset(
     pipeline = ScanPipeline(universe)
     engine_kwargs = {}
     if executor is not None:
-        engine_kwargs = {"executor": executor, "num_workers": num_workers}
+        engine_kwargs = {"executor": executor, "num_workers": num_workers,
+                         "shard_count": shard_count}
     config = GPSConfig(
         seed_fraction=seed_fraction,
         step_size=step_size,

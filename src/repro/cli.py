@@ -60,6 +60,12 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("--workers", type=int, default=0,
                         help="engine runtime worker count (0 = machine default; "
                              "only meaningful with --executor)")
+    parser.add_argument("--shard-count", type=int, default=0,
+                        help="shards the resident seed columns are partitioned "
+                             "into (0 = one per worker; more shards than "
+                             "workers lets the least-loaded placement balance "
+                             "skewed universes; only meaningful with "
+                             "--executor)")
 
 
 def cmd_quickstart(args: argparse.Namespace) -> int:
@@ -69,7 +75,8 @@ def cmd_quickstart(args: argparse.Namespace) -> int:
     engine_kwargs = {}
     if args.executor is not None:
         engine_kwargs = {"use_engine": True, "executor": args.executor,
-                         "num_workers": args.workers}
+                         "num_workers": args.workers,
+                         "shard_count": args.shard_count}
     config = GPSConfig(seed_fraction=args.seed_fraction,
                        step_size=args.step_size, **engine_kwargs)
     with GPS(pipeline, config) as gps:
@@ -112,7 +119,8 @@ def cmd_coverage(args: argparse.Namespace) -> int:
                                          step_size=args.step_size,
                                          seed_cost_mode=seed_cost_mode,
                                          executor=args.executor,
-                                         num_workers=args.workers)
+                                         num_workers=args.workers,
+                                         shard_count=args.shard_count)
     print(format_table(
         ("coverage target", "GPS bandwidth (100% scans)", "savings vs optimal order"),
         coverage_summary_rows(experiment, targets=(0.5, 0.7, 0.8, 0.9)),

@@ -27,9 +27,14 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import FeatureConfig
+from repro.engine.encoding import DictionaryEncoder
 from repro.net.asn import AsnDatabase
 from repro.net.ipv4 import subnet_key
-from repro.scanner.records import ScanObservation, observations_by_host
+from repro.scanner.records import (
+    ObservationBatch,
+    ScanObservation,
+    observations_by_host,
+)
 
 #: Type alias for predictor tuples (kept as plain tuples for hashability and
 #: cheap serialization; the first element is the family tag).
@@ -61,24 +66,29 @@ def network_feature_values(ip: int, asn_db: Optional[AsnDatabase],
     return values
 
 
-def predictor_tuples_for_observation(
-    observation: ScanObservation,
-    net_values: Sequence[Tuple[str, int]],
-    config: FeatureConfig,
-) -> List[PredictorTuple]:
-    """All predictor tuples derivable from one observed service."""
-    port = observation.port
+def _app_items(features, config: FeatureConfig) -> List[Tuple[str, str]]:
+    """The (key, value) application-feature pairs present on one service."""
+    items: List[Tuple[str, str]] = []
+    if config.include_app or config.include_app_network:
+        get = features.get
+        for key in config.app_feature_keys:
+            value = get(key)
+            if value:
+                items.append((key, value))
+    return items
+
+
+def _predictor_tuples(port: int, app_items: Sequence[Tuple[str, str]],
+                      net_values: Sequence[Tuple[str, int]],
+                      config: FeatureConfig) -> List[PredictorTuple]:
+    """Assemble predictor tuples from pre-extracted parts.
+
+    Shared by the object and columnar extraction paths so the tuples (and
+    their order) cannot drift between them: P, then PA, then PN, then PAN.
+    """
     tuples: List[PredictorTuple] = []
     if config.include_transport_only:
         tuples.append(("P", port))
-
-    app_items: List[Tuple[str, str]] = []
-    if config.include_app or config.include_app_network:
-        for key in config.app_feature_keys:
-            value = observation.app_features.get(key)
-            if value:
-                app_items.append((key, value))
-
     if config.include_app:
         for key, value in app_items:
             tuples.append(("PA", port, key, value))
@@ -90,6 +100,17 @@ def predictor_tuples_for_observation(
             for kind, net_value in net_values:
                 tuples.append(("PAN", port, key, app_value, kind, net_value))
     return tuples
+
+
+def predictor_tuples_for_observation(
+    observation: ScanObservation,
+    net_values: Sequence[Tuple[str, int]],
+    config: FeatureConfig,
+) -> List[PredictorTuple]:
+    """All predictor tuples derivable from one observed service."""
+    return _predictor_tuples(observation.port,
+                             _app_items(observation.app_features, config),
+                             net_values, config)
 
 
 @dataclass
@@ -133,6 +154,143 @@ def extract_host_features(
             )
         hosts[ip] = host
     return hosts
+
+
+# -- columnar extraction (the fused engine's ingest path) --------------------------------
+
+
+@dataclass
+class HostFeatureColumns:
+    """The host/service/predictor relation as flat, pre-encoded columns.
+
+    The columnar twin of the ``Dict[int, HostFeatures]`` mapping: hosts are
+    groups in first-seen order, each owning a contiguous run of services
+    (ports ascending), each service owning a contiguous run of
+    dictionary-encoded predictor-tuple ids.  This is exactly the group
+    structure every fused engine consumer flattens host features into --
+    producing it directly from :class:`~repro.scanner.records.ObservationBatch`
+    columns removes the object pre-pass from the model, priors and
+    prediction-index builds (and from
+    :class:`~repro.core.runtime_plans.ResidentHostGroups` shard loading).
+
+    Attributes:
+        ips: one address per host, in first-seen observation order (the
+            order the object extraction iterates hosts in).
+        member_starts: host ``g`` owns services
+            ``member_starts[g]:member_starts[g + 1]``; length is
+            ``len(ips) + 1``.
+        ports: per-service port, ascending within each host.
+        value_starts: service ``m`` owns predictor ids
+            ``value_starts[m]:value_starts[m + 1]``; length is
+            ``len(ports) + 1``.
+        value_ids: dictionary-encoded predictor-tuple ids.
+        encoder: the encoder that decodes ``value_ids`` back to tuples (and
+            whose ``values()`` view side tables are built from).
+    """
+
+    ips: List[int]
+    member_starts: List[int]
+    ports: List[int]
+    value_starts: List[int]
+    value_ids: List[int]
+    encoder: DictionaryEncoder
+
+    def __len__(self) -> int:
+        return len(self.ips)
+
+    def service_count(self) -> int:
+        """Number of (host, port) services in the relation."""
+        return len(self.ports)
+
+    def predictors_for(self, group: int) -> Dict[int, List[PredictorTuple]]:
+        """Decoded ``port -> predictor tuples`` of one host (oracle view).
+
+        Materializes objects, so it belongs in tests and debugging, not on
+        the hot path.
+        """
+        decode = self.encoder.decode
+        out: Dict[int, List[PredictorTuple]] = {}
+        for m in range(self.member_starts[group], self.member_starts[group + 1]):
+            out[self.ports[m]] = [
+                decode(self.value_ids[v])
+                for v in range(self.value_starts[m], self.value_starts[m + 1])
+            ]
+        return out
+
+
+def extract_host_features_columns(
+    batch: ObservationBatch,
+    asn_db: Optional[AsnDatabase],
+    config: FeatureConfig,
+    encoder: Optional[DictionaryEncoder] = None,
+) -> HostFeatureColumns:
+    """Columnar feature extraction: observation columns in, encoded columns out.
+
+    Produces the relation :func:`extract_host_features` produces -- same
+    hosts in the same order, same ports, and per service the same predictor
+    tuples in the same order (decoded) -- but folds it straight from the
+    batch's flat columns into :class:`HostFeatureColumns`, never building
+    ``HostFeatures`` dicts or even touching most banner mappings:
+
+    * application-feature items are extracted **once per interned banner
+      id** (equal banner content shares an id, so the 20+-key scan over the
+      banner mapping runs once per distinct banner, not once per service);
+    * the encoded predictor-id run of a service is memoized per
+      ``(port, banner id, network values)`` -- fleets of co-located hosts
+      running the same firmware collapse to one tuple-build + encode.
+
+    Duplicate (host, port) rows resolve exactly as the object path resolves
+    them: the last observation in batch order wins.
+    """
+    encoder = encoder if encoder is not None else DictionaryEncoder()
+    ips_col, ports_col, banner_col = batch.ips, batch.ports, batch.banner_ids
+    # Group rows per host in first-seen order; per (host, port) the last row
+    # wins (dict assignment), mirroring observations_by_host + dict insert.
+    by_host: Dict[int, Dict[int, int]] = {}
+    for i in range(len(ips_col)):
+        rows = by_host.get(ips_col[i])
+        if rows is None:
+            rows = by_host[ips_col[i]] = {}
+        rows[ports_col[i]] = i
+
+    ips: List[int] = []
+    member_starts: List[int] = [0]
+    ports: List[int] = []
+    value_starts: List[int] = [0]
+    value_ids: List[int] = []
+    app_items_cache: Dict[int, List[Tuple[str, str]]] = {}
+    run_cache: Dict[Tuple[int, int, Tuple[Tuple[str, int], ...]], List[int]] = {}
+    kinds = config.network_feature_kinds
+    encode_column = encoder.encode_column
+    for ip, rows in by_host.items():
+        net_values = network_feature_values(ip, asn_db, kinds)
+        net_key = tuple(net_values)
+        ips.append(ip)
+        for port in sorted(rows):
+            row = rows[port]
+            banner_id = banner_col[row]
+            # Batch-local banners (negative ids) are transient one-off pages:
+            # memoizing them would key on an id that dies with the batch.
+            run_key = (port, banner_id, net_key) if banner_id >= 0 else None
+            ids = run_cache.get(run_key) if run_key is not None else None
+            if ids is None:
+                app_items = (app_items_cache.get(banner_id)
+                             if banner_id >= 0 else None)
+                if app_items is None:
+                    app_items = _app_items(batch.banner_features(row), config)
+                    if banner_id >= 0:
+                        app_items_cache[banner_id] = app_items
+                ids = encode_column(
+                    _predictor_tuples(port, app_items, net_values, config))
+                if run_key is not None:
+                    run_cache[run_key] = ids
+            ports.append(port)
+            value_ids.extend(ids)
+            value_starts.append(len(value_ids))
+        member_starts.append(len(ports))
+    return HostFeatureColumns(ips=ips, member_starts=member_starts, ports=ports,
+                              value_starts=value_starts, value_ids=value_ids,
+                              encoder=encoder)
 
 
 def describe_predictor(predictor: PredictorTuple) -> str:

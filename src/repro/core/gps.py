@@ -22,7 +22,7 @@ from dataclasses import dataclass, field
 from typing import List, Optional, Sequence, Set, Tuple
 
 from repro.core.config import GPSConfig
-from repro.core.features import extract_host_features
+from repro.core.features import extract_host_features, extract_host_features_columns
 from repro.core.model import CooccurrenceModel, build_model, build_model_with_engine
 from repro.core.predictions import (
     PREDICTION_BATCH_PREFIX_LEN,
@@ -39,7 +39,7 @@ from repro.core.runtime_plans import ResidentHostGroups
 from repro.engine.runtime import EngineRuntime
 from repro.scanner.bandwidth import ScanCategory
 from repro.scanner.pipeline import ScanPipeline, SeedScanResult
-from repro.scanner.records import ScanObservation
+from repro.scanner.records import ObservationBatch, ScanObservation
 
 Pair = Tuple[int, int]
 
@@ -199,8 +199,7 @@ class GPS:
 
         # Phase 2: probabilistic model.
         build_start = time.perf_counter()
-        host_features = extract_host_features(seed.observations, self._asn_db,
-                                              config.feature_config)
+        host_features = self._extract_features(seed)
         dataset = self._resident_dataset(host_features)
         try:
             model = self._build_model(host_features, dataset)
@@ -285,8 +284,7 @@ class GPS:
                         [obs.pair() for obs in seed.observations], discovered)
 
         build_start = time.perf_counter()
-        host_features = extract_host_features(seed.observations, self._asn_db,
-                                              config.feature_config)
+        host_features = self._extract_features(seed)
         dataset = self._resident_dataset(host_features)
         try:
             model = self._build_model(host_features, dataset)
@@ -327,6 +325,29 @@ class GPS:
         return result
 
     # -- helpers ------------------------------------------------------------------------
+
+    def _extract_features(self, seed: SeedScanResult):
+        """Extract the seed's host features on the configured ingest path.
+
+        The fused engine paths (``use_engine`` with ``engine_mode="fused"``)
+        ingest **columnar**: the seed's observation columns (carried by the
+        seed when it came from a columnar dataset split, rebuilt from the
+        object rows otherwise) fold straight into encoded
+        :class:`~repro.core.features.HostFeatureColumns`, which every
+        downstream build -- per-call fused, runtime-resident -- consumes
+        without an object pre-pass.  The legacy mode and the non-engine
+        reference path keep the object extraction, which remains the
+        equivalence oracle.
+        """
+        config = self.config
+        if config.use_engine and config.engine_mode == "fused":
+            batch = seed.batch
+            if batch is None:
+                batch = ObservationBatch.from_observations(seed.observations)
+            return extract_host_features_columns(batch, self._asn_db,
+                                                 config.feature_config)
+        return extract_host_features(seed.observations, self._asn_db,
+                                     config.feature_config)
 
     def _resident_dataset(self, host_features) -> Optional[ResidentHostGroups]:
         """Load the seed's host groups into the runtime's workers, if configured.

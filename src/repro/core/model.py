@@ -20,10 +20,10 @@ from __future__ import annotations
 
 from collections import Counter
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, List, Mapping, Optional, Tuple
+from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.core.config import ENGINE_MODES
-from repro.core.features import HostFeatures, PredictorTuple
+from repro.core.features import HostFeatureColumns, HostFeatures, PredictorTuple
 from repro.engine.encoding import DictionaryEncoder
 from repro.engine.fused import join_group_count
 from repro.engine.ops import group_count, hash_join
@@ -175,13 +175,51 @@ def host_features_to_tables(host_features: Mapping[int, HostFeatures]) -> Tuple[
     return features, ports
 
 
-def build_model_with_engine(host_features: Mapping[int, HostFeatures],
+def host_feature_columns_to_tables(columns: HostFeatureColumns) -> Tuple[Table, Table]:
+    """Flatten pre-encoded host-feature columns into the two join relations.
+
+    The columnar-ingest twin of :func:`host_features_to_tables`: the
+    ``predictor`` column already holds dense ids (the columns' own encoder
+    decodes them), so the fused query skips its per-tuple encode pass
+    entirely -- the expensive part of flattening from objects.
+    """
+    feature_ips: List[int] = []
+    feature_ports: List[int] = []
+    feature_pids: List[int] = []
+    port_ips: List[int] = []
+    port_ports: List[int] = []
+    member_starts, labels = columns.member_starts, columns.ports
+    value_starts, value_ids = columns.value_starts, columns.value_ids
+    for g, ip in enumerate(columns.ips):
+        for m in range(member_starts[g], member_starts[g + 1]):
+            port = labels[m]
+            port_ips.append(ip)
+            port_ports.append(port)
+            v_lo, v_hi = value_starts[m], value_starts[m + 1]
+            run = v_hi - v_lo
+            feature_ips.extend([ip] * run)
+            feature_ports.extend([port] * run)
+            feature_pids.extend(value_ids[v_lo:v_hi])
+    encoded = Table(columns={"ip": feature_ips, "port": feature_ports,
+                             "predictor": feature_pids})
+    ports = Table(columns={"ip": port_ips, "port": port_ports})
+    return encoded, ports
+
+
+def build_model_with_engine(host_features: Union[Mapping[int, HostFeatures],
+                                                 HostFeatureColumns],
                             executor: Optional[ExecutorConfig] = None,
                             mode: str = "fused",
                             runtime: Optional[EngineRuntime] = None,
                             dataset: Optional[ResidentHostGroups] = None,
                             ) -> CooccurrenceModel:
     """Model building expressed as engine operations (the BigQuery analogue).
+
+    ``host_features`` is either the per-host object mapping or the columnar
+    ingest's pre-encoded :class:`~repro.core.features.HostFeatureColumns`
+    (fused mode only): the columnar form skips both the object flatten and
+    the per-tuple dictionary encode, reusing the ids the feature extractor
+    already assigned.  Either form produces the identical model.
 
     The computation is: JOIN the feature relation with the port relation on
     the host address, drop self-pairs, GROUP BY (predictor, target port) to
@@ -214,6 +252,10 @@ def build_model_with_engine(host_features: Mapping[int, HostFeatures],
     """
     if mode not in ENGINE_MODES:
         raise ValueError(f"unknown engine mode: {mode!r} (expected one of {ENGINE_MODES})")
+    columnar = isinstance(host_features, HostFeatureColumns)
+    if columnar and mode != "fused":
+        raise ValueError("columnar host features serve only the fused mode "
+                         "(the legacy oracle ingests object rows)")
     if dataset is not None or runtime is not None:
         if mode != "fused":
             raise ValueError("the execution runtime serves only the fused mode")
@@ -224,17 +266,22 @@ def build_model_with_engine(host_features: Mapping[int, HostFeatures],
         return CooccurrenceModel(cooccurrence=cooccurrence,
                                  denominators=denominators)
     executor = executor or (ExecutorConfig() if runtime is None else None)
-    features, ports = host_features_to_tables(host_features)
+    if not columnar:
+        features, ports = host_features_to_tables(host_features)
     serial = (runtime is None and executor.backend == "serial"
               and executor.workers == 1)
 
     if mode == "fused":
-        encoder = DictionaryEncoder()
-        encoded = Table(columns={
-            "ip": features.columns["ip"],
-            "port": features.columns["port"],
-            "predictor": encoder.encode_column(features.columns["predictor"]),
-        })
+        if columnar:
+            encoder = host_features.encoder
+            encoded, ports = host_feature_columns_to_tables(host_features)
+        else:
+            encoder = DictionaryEncoder()
+            encoded = Table(columns={
+                "ip": features.columns["ip"],
+                "port": features.columns["port"],
+                "predictor": encoder.encode_column(features.columns["predictor"]),
+            })
         if serial:
             pair_counts = join_group_count(
                 encoded, ports, on=("ip",), keys=("b_predictor", "a_port"),

@@ -24,6 +24,7 @@ from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.config import ENGINE_MODES, FeatureConfig
 from repro.core.features import (
+    HostFeatureColumns,
     HostFeatures,
     PredictorTuple,
     network_feature_values,
@@ -295,21 +296,35 @@ def compile_prediction_index_query(
 
     Returns the plan together with the encoder that decodes winning ids back
     to predictor tuples.
+
+    Pre-encoded :class:`~repro.core.features.HostFeatureColumns` compile
+    verbatim -- single-service hosts stay in the columns because the argmax
+    fold skips sub-two-member groups itself, and the side tables cover the
+    ingest encoder's full id space (a superset of what an object compile
+    would encode; ranks over a superset preserve every pairwise tie-break,
+    so the winner list is identical).
     """
-    encoder = DictionaryEncoder()
-    member_starts: List[int] = [0]
-    labels: List[int] = []
-    value_starts: List[int] = [0]
-    value_ids: List[int] = []
-    for host in host_features.values():
-        open_ports = host.open_ports()
-        if len(open_ports) < 2:
-            continue
-        for port in open_ports:
-            labels.append(port)
-            value_ids.extend(encoder.encode_column(host.ports[port]))
-            value_starts.append(len(value_ids))
-        member_starts.append(len(labels))
+    if isinstance(host_features, HostFeatureColumns):
+        encoder = host_features.encoder
+        member_starts = host_features.member_starts
+        labels = host_features.ports
+        value_starts = host_features.value_starts
+        value_ids = host_features.value_ids
+    else:
+        encoder = DictionaryEncoder()
+        member_starts: List[int] = [0]
+        labels: List[int] = []
+        value_starts: List[int] = [0]
+        value_ids: List[int] = []
+        for host in host_features.values():
+            open_ports = host.open_ports()
+            if len(open_ports) < 2:
+                continue
+            for port in open_ports:
+                labels.append(port)
+                value_ids.extend(encoder.encode_column(host.ports[port]))
+                value_starts.append(len(value_ids))
+            member_starts.append(len(labels))
 
     model_denominators = model.denominators
     model_cooccurrence = model.cooccurrence
@@ -396,6 +411,9 @@ def build_prediction_index_with_engine(
     if (dataset is not None or runtime is not None) and mode != "fused":
         raise ValueError("the execution runtime serves only the fused mode")
     if mode == "legacy":
+        if isinstance(host_features, HostFeatureColumns):
+            raise ValueError("columnar host features serve only the fused mode "
+                             "(the legacy oracle ingests object rows)")
         return PredictiveFeatureIndex.from_seed(
             host_features, model,
             probability_cutoff=probability_cutoff,

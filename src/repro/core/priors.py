@@ -42,7 +42,7 @@ from dataclasses import dataclass
 from typing import Dict, List, Mapping, Optional, Sequence, Set, Tuple
 
 from repro.core.config import ENGINE_MODES
-from repro.core.features import HostFeatures
+from repro.core.features import HostFeatureColumns, HostFeatures
 from repro.core.model import CooccurrenceModel
 from repro.core.runtime_plans import ResidentHostGroups
 from repro.engine.encoding import DictionaryEncoder
@@ -159,30 +159,42 @@ def compile_priors_query(
 
     One- and two-service hosts need no predictor evaluation -- a single
     service is the one that must be found first, and a two-service host's
-    partner choice is forced either way -- so their predictor columns are
-    left empty and they skip encoding entirely.
+    partner choice is forced either way -- so when compiling from object
+    rows their predictor columns are left empty and they skip encoding
+    entirely.  Compiling from pre-encoded
+    :class:`~repro.core.features.HostFeatureColumns` reuses the ingest's
+    columns verbatim (the fold ignores the values of such hosts
+    structurally, so keeping them changes nothing).
     """
     if not 0 <= step_size <= 32:
         raise ValueError(f"step_size must be a prefix length 0-32: {step_size}")
-    encoder = DictionaryEncoder()
-    group_keys: List[int] = []
-    member_starts: List[int] = [0]
-    labels: List[int] = []
-    value_starts: List[int] = [0]
-    value_ids: List[int] = []
-    for host in host_features.values():
-        open_ports = host.open_ports()
-        group_keys.append(subnet_key(host.ip, step_size))
-        if len(open_ports) <= 2:
-            for port in open_ports:
-                labels.append(port)
-                value_starts.append(len(value_ids))
-        else:
-            for port in open_ports:
-                labels.append(port)
-                value_ids.extend(encoder.encode_column(host.ports[port]))
-                value_starts.append(len(value_ids))
-        member_starts.append(len(labels))
+    if isinstance(host_features, HostFeatureColumns):
+        encoder = host_features.encoder
+        group_keys = [subnet_key(ip, step_size) for ip in host_features.ips]
+        member_starts = host_features.member_starts
+        labels = host_features.ports
+        value_starts = host_features.value_starts
+        value_ids = host_features.value_ids
+    else:
+        encoder = DictionaryEncoder()
+        group_keys: List[int] = []
+        member_starts: List[int] = [0]
+        labels: List[int] = []
+        value_starts: List[int] = [0]
+        value_ids: List[int] = []
+        for host in host_features.values():
+            open_ports = host.open_ports()
+            group_keys.append(subnet_key(host.ip, step_size))
+            if len(open_ports) <= 2:
+                for port in open_ports:
+                    labels.append(port)
+                    value_starts.append(len(value_ids))
+            else:
+                for port in open_ports:
+                    labels.append(port)
+                    value_ids.extend(encoder.encode_column(host.ports[port]))
+                    value_starts.append(len(value_ids))
+            member_starts.append(len(labels))
 
     model_denominators = model.denominators
     model_cooccurrence = model.cooccurrence
@@ -255,6 +267,9 @@ def build_priors_plan_with_engine(
     if (dataset is not None or runtime is not None) and mode != "fused":
         raise ValueError("the execution runtime serves only the fused mode")
     if mode == "legacy":
+        if isinstance(host_features, HostFeatureColumns):
+            raise ValueError("columnar host features serve only the fused mode "
+                             "(the legacy oracle ingests object rows)")
         return build_priors_plan(host_features, model, step_size, port_domain)
     if dataset is not None:
         if dataset.step_size != step_size:

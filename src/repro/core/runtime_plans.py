@@ -30,7 +30,7 @@ models are used through their attribute surface only -- so
 from __future__ import annotations
 
 import itertools
-from typing import Any, Dict, FrozenSet, List, Mapping, Optional, Sequence, Tuple
+from typing import Any, Dict, FrozenSet, List, Optional, Sequence, Tuple
 
 from repro.engine.encoding import DictionaryEncoder
 from repro.engine.parallel import merge_counters
@@ -61,14 +61,21 @@ class ResidentHostGroups:
     for the next dataset.
     """
 
-    def __init__(self, runtime: EngineRuntime, host_features: Mapping[int, Any],
+    def __init__(self, runtime: EngineRuntime, host_features: Any,
                  step_size: int, key: Optional[str] = None) -> None:
-        """Flatten, shard and load the host features (ships the data once).
+        """Flatten (if needed), shard and load the host features.
 
         Args:
             runtime: the persistent runtime whose workers hold the shards.
-            host_features: per-host features (see
-                :class:`repro.core.features.HostFeatures`).
+            host_features: the host/service/predictor relation -- either a
+                per-host mapping (see
+                :class:`repro.core.features.HostFeatures`), which is
+                flattened and dictionary-encoded here, or pre-encoded flat
+                columns (:class:`repro.core.features.HostFeatureColumns`,
+                recognized structurally by their ``value_ids`` column),
+                which shard as-is: the columnar ingest already holds exactly
+                the layout the workers need, so no flatten-from-objects
+                pre-pass runs at all and the columns' encoder is shared.
             step_size: prefix length for the priors planner's subnet group
                 keys (0-32).
             key: resident-store key; auto-generated (unique per process)
@@ -79,25 +86,34 @@ class ResidentHostGroups:
         self.runtime = runtime
         self.step_size = step_size
         self.key = key if key is not None else f"host-groups-{next(_KEY_COUNTER)}"
-        self.encoder = DictionaryEncoder()
         self._sides_model: Optional[Any] = None
         self._released = False
 
-        assign_keys: List[int] = []
-        group_keys: List[int] = []
-        member_starts: List[int] = [0]
-        labels: List[int] = []
-        value_starts: List[int] = [0]
-        value_ids: List[int] = []
-        encode_column = self.encoder.encode_column
-        for host in host_features.values():
-            assign_keys.append(host.ip)
-            group_keys.append(subnet_key(host.ip, step_size))
-            for port in host.open_ports():
-                labels.append(port)
-                value_ids.extend(encode_column(host.ports[port]))
-                value_starts.append(len(value_ids))
-            member_starts.append(len(labels))
+        if hasattr(host_features, "value_ids"):
+            self.encoder = host_features.encoder
+            assign_keys = host_features.ips
+            group_keys = [subnet_key(ip, step_size) for ip in assign_keys]
+            member_starts = host_features.member_starts
+            labels = host_features.ports
+            value_starts = host_features.value_starts
+            value_ids = host_features.value_ids
+        else:
+            self.encoder = DictionaryEncoder()
+            assign_keys = []
+            group_keys = []
+            member_starts = [0]
+            labels = []
+            value_starts = [0]
+            value_ids = []
+            encode_column = self.encoder.encode_column
+            for host in host_features.values():
+                assign_keys.append(host.ip)
+                group_keys.append(subnet_key(host.ip, step_size))
+                for port in host.open_ports():
+                    labels.append(port)
+                    value_ids.extend(encode_column(host.ports[port]))
+                    value_starts.append(len(value_ids))
+                member_starts.append(len(labels))
         self.group_count = len(group_keys)
         sharded = shard_group_columns(assign_keys, group_keys, member_starts,
                                       labels, value_starts, value_ids,

@@ -39,12 +39,31 @@ class SeedTestSplit:
     seed_ips: List[int]
 
     def seed_scan_result(self) -> SeedScanResult:
-        """Package the seed half in the shape GPS's orchestrator accepts."""
+        """Package the seed half in the shape GPS's orchestrator accepts.
+
+        When the dataset is columnar-backed (every built dataset is), the
+        seed also ships in columnar form: the dataset's columns are sliced
+        by the seed addresses (rows in dataset order, exactly the rows
+        ``seed_observations`` holds) -- a cheap int-append pass -- so GPS's
+        fused feature ingest reads flat columns instead of re-deriving them
+        from object rows.  An object-backed dataset (loaded observation
+        sets) ships only rows; forcing its banners through the interner
+        here would charge every run for columns that only fused-engine
+        runs read.
+        """
+        batch = None
+        if self.dataset.has_columns():
+            columns = self.dataset.columns()
+            seed_ips = set(self.seed_ips)
+            ips = columns.ips
+            batch = columns.select(
+                i for i in range(len(ips)) if ips[i] in seed_ips)
         return SeedScanResult(
             observations=list(self.seed_observations),
             sampled_ips=list(self.seed_ips),
             removed_pseudo_services=0,
             ports_scanned=self.dataset.port_domain,
+            batch=batch,
         )
 
     def test_pairs(self) -> Set[Tuple[int, int]]:

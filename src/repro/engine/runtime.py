@@ -55,6 +55,7 @@ __all__ = [
     "WorkerCrashError",
     "WorkerTaskError",
     "default_worker_count",
+    "lpt_placement",
 ]
 
 #: Executor backends an :class:`EngineRuntime` can run plans on.
@@ -75,6 +76,45 @@ def default_worker_count() -> int:
     ``num_workers`` explicitly.
     """
     return max(1, min(4, os.cpu_count() or 1))
+
+
+def lpt_placement(sizes: Sequence[int], workers: int) -> List[int]:
+    """Greedy least-loaded (LPT) shard placement: ``sizes[s] -> worker id``.
+
+    Shards are visited largest first and each goes to the worker with the
+    smallest load so far -- the classic longest-processing-time heuristic,
+    within 4/3 of the optimal makespan.  Fully deterministic: equal sizes
+    visit in shard order and load ties resolve to the lowest worker id, so
+    the placement is a pure function of ``(sizes, workers)``.  With one
+    shard per worker and equal sizes it degenerates to the identity
+    (shard ``s`` on worker ``s``), the historical ``s % workers`` layout.
+
+    Placement only decides *where* a shard lives; results never depend on
+    it -- counter folds merge order-independently and order-sensitive
+    outputs are reassembled by original index
+    (:func:`repro.engine.shard.merge_ordered`).
+    """
+    if workers < 1:
+        raise ValueError("workers must be >= 1")
+    placement = [0] * len(sizes)
+    loads = [0] * workers
+    worker_range = range(workers)
+    for shard_idx in sorted(range(len(sizes)), key=lambda s: (-sizes[s], s)):
+        worker = min(worker_range, key=loads.__getitem__)
+        placement[shard_idx] = worker
+        loads[worker] += sizes[shard_idx]
+    return placement
+
+
+def _payload_rows(payload: dict) -> int:
+    """A shard payload's row count: total entries across its list columns.
+
+    The LPT placement's size measure.  Offset columns count too, but they
+    are proportional to the member count, so relative shard weights -- all
+    placement cares about -- are preserved.
+    """
+    return sum(len(column) for column in payload.values()
+               if isinstance(column, (list, tuple)))
 
 
 class WorkerTaskError(RuntimeError):
@@ -305,10 +345,12 @@ class Executor:
     ``load`` makes a payload resident (per-shard or, with ``shard_idx=None``,
     broadcast to every worker), ``run`` executes a batch of named tasks and
     returns their results in order, ``drop`` releases a key, ``close`` tears
-    the backend down.  Shard ``s`` is always served by worker
-    ``s % worker_count``, which is what makes residency meaningful.
-    ``broken`` reports an unrecoverable backend (a crashed pool): the only
-    valid next step is ``close`` and a fresh runtime.
+    the backend down.  A shard's tasks are always served by the worker
+    holding the shard resident -- the pool backend records a per-key
+    placement (least-loaded by shard row count, see :func:`lpt_placement`)
+    when the shards load, which is what makes residency meaningful under
+    skew.  ``broken`` reports an unrecoverable backend (a crashed pool):
+    the only valid next step is ``close`` and a fresh runtime.
     """
 
     broken = False
@@ -420,6 +462,11 @@ class PoolExecutor(Executor):
         self._next_task_id = 0
         self._started = False
         self._broken = False
+        # Per-key shard placement decided at load_shards time (greedy
+        # least-loaded by shard row count); shard tasks must route to the
+        # worker actually holding the shard, so the map lives for exactly
+        # as long as the resident data does.
+        self._placements: Dict[Any, List[int]] = {}
 
     @property
     def broken(self) -> bool:
@@ -447,6 +494,7 @@ class PoolExecutor(Executor):
     def _abandon(self) -> None:
         """Terminate everything after a crash; the pool is unusable."""
         self._broken = True
+        self._placements.clear()
         for process in self._processes:
             if process.is_alive():
                 process.terminate()
@@ -507,9 +555,16 @@ class PoolExecutor(Executor):
                 f"engine runtime task failed in worker:\n{errors[0]}")
         return results
 
-    def _worker_for(self, shard_idx: Optional[int], position: int) -> int:
+    def _worker_for(self, shard_idx: Optional[int], position: int,
+                    key: Any = None) -> int:
+        """The worker serving a task: stateless work round-robins by
+        position; shard tasks follow the key's recorded placement (falling
+        back to ``shard % workers`` for keys loaded shard-by-shard)."""
         if shard_idx is None:
             return position % self.workers
+        placement = self._placements.get(key) if key is not None else None
+        if placement is not None and shard_idx < len(placement):
+            return placement[shard_idx]
         return shard_idx % self.workers
 
     # -- Executor interface --------------------------------------------------------
@@ -525,7 +580,7 @@ class PoolExecutor(Executor):
                 expected[task_id] = worker_id
             self._collect(expected)
         else:
-            worker_id = self._worker_for(shard_idx, 0)
+            worker_id = self._worker_for(shard_idx, 0, key)
             task_id = self._next_task_id
             self._next_task_id += 1
             self._send(worker_id, ("load", task_id, key, shard_idx, payload))
@@ -533,11 +588,22 @@ class PoolExecutor(Executor):
 
     def load_shards(self, key: Any, payloads: Sequence[dict]) -> None:
         """Batched shard load: all sends first, one collect, so workers
-        deserialize their shards concurrently instead of one after another."""
+        deserialize their shards concurrently instead of one after another.
+
+        The first load of a key also decides its shard placement: greedy
+        least-loaded (LPT) over the payloads' row counts, so a skewed
+        universe's heavy shards spread across workers instead of landing
+        wherever ``shard % num_workers`` happens to point.  Re-loading an
+        already-placed key keeps the existing placement (the merge must
+        land on the workers already holding the shards).
+        """
         self._ensure_started()
+        if key not in self._placements:
+            self._placements[key] = lpt_placement(
+                [_payload_rows(payload) for payload in payloads], self.workers)
         expected: Dict[int, int] = {}
         for shard_idx, payload in enumerate(payloads):
-            worker_id = self._worker_for(shard_idx, 0)
+            worker_id = self._worker_for(shard_idx, 0, key)
             task_id = self._next_task_id
             self._next_task_id += 1
             self._send(worker_id, ("load", task_id, key, shard_idx, payload))
@@ -549,7 +615,7 @@ class PoolExecutor(Executor):
         expected: Dict[int, int] = {}
         order: List[int] = []
         for position, (fn_name, key, shard_idx, args) in enumerate(tasks):
-            worker_id = self._worker_for(shard_idx, position)
+            worker_id = self._worker_for(shard_idx, position, key)
             task_id = self._next_task_id
             self._next_task_id += 1
             self._send(worker_id, ("run", task_id, fn_name, key, shard_idx, args))
@@ -559,6 +625,7 @@ class PoolExecutor(Executor):
         return [results[task_id] for task_id in order]
 
     def drop(self, key: Any) -> None:
+        self._placements.pop(key, None)
         if not self._started or self._broken:
             return
         expected: Dict[int, int] = {}
@@ -586,6 +653,7 @@ class PoolExecutor(Executor):
                     process.terminate()
                     process.join(timeout=2.0)
         self._drain_queues()
+        self._placements.clear()
         self._started = False
 
 
@@ -624,7 +692,10 @@ class EngineRuntime:
             num_workers: pool size; ``0`` means :func:`default_worker_count`.
             shard_count: shards resident datasets are partitioned into;
                 ``0`` means one shard per worker.  More shards than workers
-                is valid (workers own several shards round-robin).
+                is valid (workers own several shards each, placed
+                least-loaded by row count at load time -- see
+                :func:`lpt_placement` -- which is what keeps skewed
+                universes balanced).
         """
         if executor not in RUNTIME_EXECUTORS:
             raise ValueError(
@@ -695,12 +766,15 @@ class EngineRuntime:
     def load_shards(self, key: Any, shard_payloads: Sequence[dict]) -> None:
         """Make per-shard payload dicts resident under ``key``.
 
-        ``shard_payloads`` must have exactly ``shard_count`` entries; shard
-        ``s`` lands on worker ``s % num_workers`` and stays resident there
-        until :meth:`unload` -- the "ship the data once" contract callers
-        like :class:`repro.core.runtime_plans.ResidentHostGroups` build on.
+        ``shard_payloads`` must have exactly ``shard_count`` entries.  The
+        pool backend places shards greedily least-loaded by row count
+        (:func:`lpt_placement`; balanced equal-size layouts reduce to the
+        round-robin ``s % num_workers``), and each shard stays resident on
+        its worker until :meth:`unload` -- the "ship the data once"
+        contract callers like
+        :class:`repro.core.runtime_plans.ResidentHostGroups` build on.
         Loading the same key again merges (and for colliding column names
-        replaces) payload entries.
+        replaces) payload entries on the workers already holding them.
         """
         if len(shard_payloads) != self.shard_count:
             raise ValueError(

@@ -12,8 +12,8 @@ nothing but the plan.
 assigned to shards by :func:`repro.engine.encoding.stable_hash`, which does
 not vary with ``PYTHONHASHSEED``, so the shard a row lands in is reproducible
 across interpreter invocations and independent of worker count (workers own
-shards round-robin; adding workers re-distributes whole shards, never splits
-them).
+whole shards -- placed least-loaded by row count at load time -- so changing
+the worker count re-distributes shards, never splits them).
 
 Two layouts are sharded:
 
@@ -54,8 +54,10 @@ class ShardedColumns:
 
     Attributes:
         shard_count: number of shards (every list below has this length).
-        shards: per-shard ``{column name -> list}`` payloads.  Shard ``s`` is
-            what runtime worker ``s % num_workers`` holds resident.
+        shards: per-shard ``{column name -> list}`` payloads, each held
+            resident by the runtime worker the pool's load-time placement
+            assigns it (least-loaded by row count; see
+            :func:`repro.engine.runtime.lpt_placement`).
     """
 
     shard_count: int

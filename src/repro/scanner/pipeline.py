@@ -61,12 +61,18 @@ class SeedScanResult:
             removed.
         ports_scanned: the ports each sampled address was probed on (``None``
             means all 65,535 ports).
+        batch: the same observations in columnar form, when the producer had
+            them as columns already (dataset-split seeds slice the dataset's
+            columns).  Row ``i`` of the batch materializes to
+            ``observations[i]``; consumers that can stay columnar (GPS's
+            fused feature ingest) read this and skip the object rows.
     """
 
     observations: List[ScanObservation]
     sampled_ips: List[int]
     removed_pseudo_services: int
     ports_scanned: Optional[Tuple[int, ...]] = None
+    batch: Optional[ObservationBatch] = None
 
 
 class ScanPipeline:

@@ -19,7 +19,7 @@ pipeline's API boundary.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Iterator, List, Mapping, Tuple
+from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
 from repro.engine.encoding import DictionaryEncoder
 from repro.internet.banners import BannerInterner
@@ -130,6 +130,53 @@ class ObservationBatch:
     def pairs(self) -> List[Tuple[int, int]]:
         """The (ip, port) identities of the batch's rows, in row order."""
         return list(zip(self.ips, self.ports))
+
+    def select(self, indices: Iterable[int]) -> "ObservationBatch":
+        """A new batch holding the given rows, in the given order.
+
+        A pure column slice: the interner, the status encoder and the
+        batch-local banner table are *shared* with this batch (banner and
+        status ids stay valid verbatim), so selecting rows never touches a
+        banner mapping.  This is what the columnar dataset layer uses for
+        port restrictions and seed/test splits.
+        """
+        out = ObservationBatch(banners=self.banners, statuses=self.statuses,
+                               local_banners=self.local_banners)
+        ips, ports, status = self.ips, self.ports, self.status
+        banner_ids, ttls = self.banner_ids, self.ttls
+        for i in indices:
+            out.ips.append(ips[i])
+            out.ports.append(ports[i])
+            out.status.append(status[i])
+            out.banner_ids.append(banner_ids[i])
+            out.ttls.append(ttls[i])
+        return out
+
+    @classmethod
+    def from_observations(cls, observations: Iterable[ScanObservation],
+                          banners: Optional[BannerInterner] = None,
+                          statuses: Optional[DictionaryEncoder] = None,
+                          ) -> "ObservationBatch":
+        """Fold object rows into columns (the inverse of :meth:`materialize`).
+
+        Banner mappings intern through :meth:`BannerInterner.intern`, which
+        identity-caches: rows previously materialized from an interner view
+        (dataset rows, columnar scan output) resolve their banner id with a
+        single dict lookup, while foreign dicts intern by content.  Used by
+        consumers that can stay columnar (GPS's fused feature ingest) when
+        handed an object-row API boundary.
+        """
+        batch = cls(banners=banners if banners is not None else BannerInterner(),
+                    statuses=statuses if statuses is not None else DictionaryEncoder())
+        intern = batch.banners.intern
+        encode = batch.statuses.encode
+        for obs in observations:
+            batch.ips.append(obs.ip)
+            batch.ports.append(obs.port)
+            batch.status.append(encode(obs.protocol))
+            batch.banner_ids.append(intern(obs.app_features))
+            batch.ttls.append(obs.ttl)
+        return batch
 
     def row(self, i: int) -> ScanObservation:
         """Materialize one row as a :class:`ScanObservation` (lazy view).

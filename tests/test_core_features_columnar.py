@@ -1,0 +1,177 @@
+"""Columnar feature extraction: equivalence with the object-path oracle.
+
+``extract_host_features_columns`` folds predictor tuples straight from
+``ObservationBatch`` columns into encoded ``HostFeatureColumns``; these tests
+pin it to ``extract_host_features`` (same hosts in the same order, same
+ports, same decoded predictor tuples in the same order) and pin the GPS
+orchestrator's fused columnar ingest to the legacy object-ingest path across
+every runtime executor.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.config import FeatureConfig, GPSConfig
+from repro.core.features import (
+    extract_host_features,
+    extract_host_features_columns,
+)
+from repro.core.gps import GPS
+from repro.core.model import build_model, build_model_with_engine
+from repro.core.predictions import (
+    PredictiveFeatureIndex,
+    build_prediction_index_with_engine,
+)
+from repro.core.priors import build_priors_plan, build_priors_plan_with_engine
+from repro.engine.runtime import RUNTIME_EXECUTORS
+from repro.scanner.pipeline import ScanPipeline
+from repro.scanner.records import ObservationBatch, ScanObservation
+
+
+def _assert_columns_match_oracle(columns, oracle):
+    """Structural equality of the columnar relation and the object mapping."""
+    assert columns.ips == list(oracle)
+    assert len(columns.member_starts) == len(columns.ips) + 1
+    assert columns.value_starts[-1] == len(columns.value_ids)
+    for g, ip in enumerate(columns.ips):
+        host = oracle[ip]
+        decoded = columns.predictors_for(g)
+        assert list(decoded) == host.open_ports()
+        for port, tuples in decoded.items():
+            assert tuples == host.ports[port]
+
+
+class TestColumnarExtractionEquivalence:
+    def test_matches_object_extraction(self, universe, censys_split):
+        config = FeatureConfig()
+        asn_db = universe.topology.asn_db
+        oracle = extract_host_features(censys_split.seed_observations, asn_db,
+                                       config)
+        batch = censys_split.seed_scan_result().batch
+        columns = extract_host_features_columns(batch, asn_db, config)
+        _assert_columns_match_oracle(columns, oracle)
+
+    def test_matches_without_asn_db(self, censys_split):
+        config = FeatureConfig(network_feature_kinds=("asn", "subnet16"))
+        oracle = extract_host_features(censys_split.seed_observations, None,
+                                       config)
+        batch = ObservationBatch.from_observations(censys_split.seed_observations)
+        columns = extract_host_features_columns(batch, None, config)
+        _assert_columns_match_oracle(columns, oracle)
+
+    def test_matches_for_transport_only_ablation(self, universe, censys_split):
+        config = FeatureConfig().transport_only()
+        asn_db = universe.topology.asn_db
+        oracle = extract_host_features(censys_split.seed_observations, asn_db,
+                                       config)
+        columns = extract_host_features_columns(
+            ObservationBatch.from_observations(censys_split.seed_observations),
+            asn_db, config)
+        _assert_columns_match_oracle(columns, oracle)
+
+    def test_empty_batch(self):
+        columns = extract_host_features_columns(
+            ObservationBatch.from_observations([]), None, FeatureConfig())
+        assert len(columns) == 0
+        assert columns.member_starts == [0]
+        assert columns.value_ids == []
+
+    def test_duplicate_host_port_rows_last_wins(self):
+        """Two observations of one (ip, port): the later row's banner wins,
+        exactly as the object path's dict insert resolves it."""
+        first = ScanObservation(ip=5, port=80, protocol="http",
+                                app_features={"protocol": "http",
+                                              "http_server": "old"})
+        second = ScanObservation(ip=5, port=80, protocol="http",
+                                 app_features={"protocol": "http",
+                                               "http_server": "new"})
+        config = FeatureConfig()
+        oracle = extract_host_features([first, second], None, config)
+        columns = extract_host_features_columns(
+            ObservationBatch.from_observations([first, second]), None, config)
+        _assert_columns_match_oracle(columns, oracle)
+        assert ("PA", 80, "http_server", "new") in columns.predictors_for(0)[80]
+
+    def test_fused_builds_accept_columns(self, universe, censys_split):
+        """Per-call fused builds ingest the columns and match the oracles."""
+        config = FeatureConfig()
+        asn_db = universe.topology.asn_db
+        oracle = extract_host_features(censys_split.seed_observations, asn_db,
+                                       config)
+        columns = extract_host_features_columns(
+            censys_split.seed_scan_result().batch, asn_db, config)
+        model = build_model(oracle)
+        built = build_model_with_engine(columns)
+        assert built.denominators == model.denominators
+        assert {k: v for k, v in built.cooccurrence.items() if v} == \
+            {k: v for k, v in model.cooccurrence.items() if v}
+        assert build_priors_plan_with_engine(columns, model, 16) == \
+            build_priors_plan(oracle, model, 16)
+        assert build_prediction_index_with_engine(columns, model).entries() == \
+            PredictiveFeatureIndex.from_seed(oracle, model).entries()
+
+    def test_legacy_mode_rejects_columns(self, universe, censys_split):
+        columns = extract_host_features_columns(
+            censys_split.seed_scan_result().batch,
+            universe.topology.asn_db, FeatureConfig())
+        model = build_model_with_engine(columns)
+        with pytest.raises(ValueError, match="fused"):
+            build_model_with_engine(columns, mode="legacy")
+        with pytest.raises(ValueError, match="fused"):
+            build_priors_plan_with_engine(columns, model, 16, mode="legacy")
+        with pytest.raises(ValueError, match="fused"):
+            build_prediction_index_with_engine(columns, model, mode="legacy")
+
+
+class TestGPSColumnarIngestEquivalence:
+    """Fused columnar GPS output == legacy object-ingest GPS output."""
+
+    @pytest.fixture(scope="class")
+    def legacy_run(self, universe, censys_dataset, censys_split):
+        pipeline = ScanPipeline(universe)
+        config = GPSConfig(seed_fraction=0.05, step_size=16,
+                           port_domain=censys_dataset.port_domain,
+                           use_engine=True, engine_mode="legacy")
+        with GPS(pipeline, config) as gps:
+            return gps.run(seed=censys_split.seed_scan_result(),
+                           seed_cost_probes=0)
+
+    @pytest.mark.parametrize("executor", RUNTIME_EXECUTORS)
+    def test_all_executors_match_legacy_ingest(self, universe, censys_dataset,
+                                               censys_split, legacy_run,
+                                               executor):
+        pipeline = ScanPipeline(universe)
+        config = GPSConfig(seed_fraction=0.05, step_size=16,
+                           port_domain=censys_dataset.port_domain,
+                           use_engine=True, executor=executor, num_workers=2,
+                           shard_count=3)
+        with GPS(pipeline, config) as gps:
+            run = gps.run(seed=censys_split.seed_scan_result(),
+                          seed_cost_probes=0)
+        assert run.model.denominators == legacy_run.model.denominators
+        assert {k: v for k, v in run.model.cooccurrence.items() if v} == \
+            {k: v for k, v in legacy_run.model.cooccurrence.items() if v}
+        assert run.priors_plan == legacy_run.priors_plan
+        assert run.feature_index.entries() == legacy_run.feature_index.entries()
+        assert [p.pair() for p in run.predictions] == \
+            [p.pair() for p in legacy_run.predictions]
+        assert run.discovered_pairs() == legacy_run.discovered_pairs()
+
+    def test_seed_without_batch_still_ingests_columnar(self, universe,
+                                                       censys_dataset,
+                                                       censys_split,
+                                                       legacy_run):
+        """A seed carrying only object rows (no columnar batch) rebuilds the
+        columns and produces the identical run."""
+        seed = censys_split.seed_scan_result()
+        seed.batch = None
+        pipeline = ScanPipeline(universe)
+        config = GPSConfig(seed_fraction=0.05, step_size=16,
+                           port_domain=censys_dataset.port_domain,
+                           use_engine=True)
+        with GPS(pipeline, config) as gps:
+            run = gps.run(seed=seed, seed_cost_probes=0)
+        assert run.priors_plan == legacy_run.priors_plan
+        assert run.feature_index.entries() == legacy_run.feature_index.entries()
+        assert run.discovered_pairs() == legacy_run.discovered_pairs()

@@ -1,0 +1,170 @@
+"""Columnar ground-truth datasets: batch edge cases and the object oracle.
+
+The dataset builders now fold the universe's service records straight into
+``ObservationBatch`` columns; the object-row API (``observations``) is a lazy
+view and the historical object builder remains the equivalence oracle.  These
+tests pin the batch's edge cases (empty, single row, slicing) and a
+round-trip property: under port restriction and min-responsive filtering, a
+columnar dataset and its object-backed twin stay row-for-row identical.
+"""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.datasets.builders import (
+    GroundTruthDataset,
+    _observation_from_record,
+    build_full_dataset,
+)
+from repro.internet.banners import BannerInterner
+from repro.scanner.records import ObservationBatch, ScanObservation
+
+
+def _observation(ip: int = 1, port: int = 80, protocol: str = "http",
+                 features=None, ttl: int = 64) -> ScanObservation:
+    return ScanObservation(ip=ip, port=port, protocol=protocol,
+                           app_features=features or {"protocol": protocol},
+                           ttl=ttl)
+
+
+class TestObservationBatchEdgeCases:
+    def test_empty_batch(self):
+        batch = ObservationBatch(banners=BannerInterner())
+        assert len(batch) == 0
+        assert batch.materialize() == []
+        assert batch.pairs() == []
+        assert list(batch.iter_rows()) == []
+
+    def test_empty_batch_from_observations(self):
+        batch = ObservationBatch.from_observations([])
+        assert len(batch) == 0
+        assert batch.materialize() == []
+
+    def test_empty_select(self):
+        batch = ObservationBatch.from_observations([_observation()])
+        empty = batch.select([])
+        assert len(empty) == 0
+        assert empty.materialize() == []
+        # The slice shares the parent's interner and status encoder.
+        assert empty.banners is batch.banners
+        assert empty.statuses is batch.statuses
+
+    def test_single_row_batch(self):
+        obs = _observation(ip=9, port=443, protocol="https",
+                           features={"protocol": "https", "tls_cert_org": "X"},
+                           ttl=128)
+        batch = ObservationBatch.from_observations([obs])
+        assert len(batch) == 1
+        assert batch.pairs() == [(9, 443)]
+        assert batch.row(0) == obs
+        assert batch.materialize() == [obs]
+
+    def test_select_reorders_and_repeats_rows(self):
+        rows = [_observation(ip=i, port=80 + i) for i in range(4)]
+        batch = ObservationBatch.from_observations(rows)
+        picked = batch.select([3, 1, 1])
+        assert picked.materialize() == [rows[3], rows[1], rows[1]]
+
+    def test_from_observations_interns_equal_banners_once(self):
+        features = {"protocol": "http", "http_server": "nginx"}
+        rows = [_observation(ip=i, features=dict(features)) for i in range(5)]
+        batch = ObservationBatch.from_observations(rows)
+        assert len(set(batch.banner_ids)) == 1
+        assert len(batch.banners) == 1
+
+    def test_dataset_requires_some_backing(self):
+        with pytest.raises(ValueError):
+            GroundTruthDataset(name="empty")
+
+
+class TestColumnarDatasetOracle:
+    def test_builder_rows_match_object_oracle(self, universe):
+        """Materialized columnar rows == what the object builder produced."""
+        dataset = build_full_dataset(universe)
+        oracle = [_observation_from_record(record)
+                  for record in universe.real_services()]
+        assert dataset.observations == oracle
+        assert dataset.pairs() == {obs.pair() for obs in oracle}
+        assert dataset.service_count() == len(oracle)
+        assert dataset.ips() == sorted({obs.ip for obs in oracle})
+
+    def test_derived_datasets_match_object_oracle(self, universe, censys_dataset):
+        """Port restriction and the min-responsive filter are column slices
+        that round-trip exactly to the object-backed implementations."""
+        oracle = GroundTruthDataset(
+            name=censys_dataset.name,
+            observations=list(censys_dataset.observations),
+            port_domain=censys_dataset.port_domain,
+            sample_fraction=censys_dataset.sample_fraction,
+            address_space_size=censys_dataset.address_space_size,
+        )
+        ports = list(censys_dataset.port_domain)[:7]
+        restricted = censys_dataset.restricted_to_ports(ports)
+        assert restricted.observations == \
+            oracle.restricted_to_ports(ports).observations
+        assert restricted.port_domain == \
+            oracle.restricted_to_ports(ports).port_domain
+        filtered = censys_dataset.filtered_min_responsive_ips(5)
+        assert filtered.observations == \
+            oracle.filtered_min_responsive_ips(5).observations
+        assert filtered.port_domain == censys_dataset.port_domain
+
+    def test_object_backed_dataset_builds_columns_lazily(self, censys_dataset):
+        rows = censys_dataset.observations[:20]
+        dataset = GroundTruthDataset(name="obj", observations=rows,
+                                     sample_fraction=1.0, address_space_size=100)
+        assert dataset.columns().materialize() == rows
+
+
+#: Small observation pools so duplicate (ip, port) pairs and shared banners
+#: actually occur in generated examples.
+_observations_strategy = st.lists(
+    st.builds(
+        ScanObservation,
+        ip=st.integers(0, 7),
+        port=st.integers(1, 6),
+        protocol=st.sampled_from(["http", "ssh"]),
+        app_features=st.fixed_dictionaries(
+            {"protocol": st.sampled_from(["http", "ssh"])},
+            optional={"http_server": st.sampled_from(["a", "b"])},
+        ),
+        ttl=st.sampled_from([32, 64]),
+    ),
+    max_size=40,
+)
+
+
+class TestColumnarRoundTripProperty:
+    @settings(deadline=None, max_examples=60)
+    @given(observations=_observations_strategy,
+           allowed=st.sets(st.integers(1, 6), max_size=4),
+           minimum=st.integers(1, 4))
+    def test_column_slices_round_trip_to_object_oracle(self, observations,
+                                                       allowed, minimum):
+        columnar = GroundTruthDataset(
+            name="c", columns=ObservationBatch.from_observations(observations),
+            sample_fraction=1.0, address_space_size=64,
+        )
+        oracle = GroundTruthDataset(
+            name="c", observations=list(observations),
+            sample_fraction=1.0, address_space_size=64,
+        )
+        assert columnar.observations == oracle.observations
+        assert columnar.pairs() == oracle.pairs()
+
+        restricted = columnar.restricted_to_ports(sorted(allowed))
+        restricted_oracle = oracle.restricted_to_ports(sorted(allowed))
+        assert restricted.observations == restricted_oracle.observations
+        assert restricted.port_domain == restricted_oracle.port_domain
+
+        filtered = columnar.filtered_min_responsive_ips(minimum)
+        filtered_oracle = oracle.filtered_min_responsive_ips(minimum)
+        assert filtered.observations == filtered_oracle.observations
+        assert filtered.pairs() == filtered_oracle.pairs()
+
+        # Chaining both derivations stays identical too.
+        chained = restricted.filtered_min_responsive_ips(minimum)
+        chained_oracle = restricted_oracle.filtered_min_responsive_ips(minimum)
+        assert chained.observations == chained_oracle.observations

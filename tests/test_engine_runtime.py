@@ -31,7 +31,9 @@ from repro.engine.runtime import (
     PoolExecutor,
     WorkerCrashError,
     WorkerTaskError,
+    _payload_rows,
     default_worker_count,
+    lpt_placement,
 )
 from repro.engine.shard import (
     merge_ordered,
@@ -239,6 +241,70 @@ class TestShardingLayer:
     def test_merge_ordered_restores_global_order(self):
         assert merge_ordered([[(3, "d"), (0, "a")], [(2, "c")], [(1, "b")]]) == \
             ["a", "b", "c", "d"]
+
+
+class TestLptPlacement:
+    def test_balanced_layout_is_round_robin(self):
+        """Equal sizes reduce to the historical shard % workers layout."""
+        assert lpt_placement([5, 5, 5, 5], 2) == [0, 1, 0, 1]
+        assert lpt_placement([1, 1, 1], 3) == [0, 1, 2]
+
+    def test_skewed_shards_spread_across_workers(self):
+        # One giant shard: it gets a worker to itself, the rest share.
+        placement = lpt_placement([100, 1, 1, 1], 2)
+        assert placement[0] == 0
+        assert placement[1:] == [1, 1, 1]
+
+    def test_deterministic_and_tie_broken_to_lowest_worker(self):
+        sizes = [3, 3, 2, 2, 1]
+        assert lpt_placement(sizes, 3) == lpt_placement(sizes, 3)
+        # Largest-first with load ties resolved to the lowest worker id.
+        assert lpt_placement(sizes, 3) == [0, 1, 2, 2, 0]
+
+    def test_empty_and_invalid(self):
+        assert lpt_placement([], 4) == []
+        with pytest.raises(ValueError):
+            lpt_placement([1], 0)
+
+    def test_payload_rows_counts_list_columns(self):
+        payload = {"labels": [1, 2, 3], "value_ids": (4, 5), "group_order": [0],
+                   "_derived": "not-a-column"}
+        assert _payload_rows(payload) == 6
+
+    def test_pool_routes_shards_by_placement(self):
+        """The worker holding a shard is the one LPT assigned it to."""
+        payloads = [{"value_ids": list(range(100))}, {"value_ids": [1]},
+                    {"value_ids": [2]}, {"value_ids": [3]}]
+        placement = lpt_placement([_payload_rows(p) for p in payloads], 2)
+        with EngineRuntime(executor="pool", num_workers=2,
+                           shard_count=4) as runtime:
+            runtime.load_shards("k", payloads)
+            pids = [pid for pid, _ in runtime.execute("_probe", "k")]
+            # Shards placed on the same worker answer from the same process,
+            # shards placed on different workers from different processes.
+            for a in range(4):
+                for b in range(4):
+                    same = placement[a] == placement[b]
+                    assert (pids[a] == pids[b]) == same
+            # The heavy shard's worker serves no other shard.
+            heavy = placement[0]
+            assert placement.count(heavy) == 1
+
+    def test_skewed_resident_results_unchanged(self, seed_inputs):
+        """Skewed shard counts (placement != shard % workers) stay
+        bit-identical to the serial oracles."""
+        host_features, model, priors, index = seed_inputs
+        with EngineRuntime(executor="pool", num_workers=2,
+                           shard_count=5) as runtime:
+            dataset = ResidentHostGroups(runtime, host_features, 16)
+            built = build_model_with_engine(host_features, dataset=dataset)
+            assert built.denominators == model.denominators
+            assert build_priors_plan_with_engine(host_features, built, 16,
+                                                 dataset=dataset) == priors
+            rebuilt = build_prediction_index_with_engine(host_features, built,
+                                                         dataset=dataset)
+            assert rebuilt.entries() == index.entries()
+            dataset.release()
 
 
 class TestStatelessRuntimeDispatch:
