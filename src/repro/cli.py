@@ -16,6 +16,7 @@ Every command is deterministic for a given ``--seed``.
 from __future__ import annotations
 
 import argparse
+import logging
 import sys
 from typing import Optional, Sequence
 
@@ -66,12 +67,38 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
                              "workers lets the least-loaded placement balance "
                              "skewed universes; only meaningful with "
                              "--executor)")
+    parser.add_argument("--verbose-runtime", action="store_true",
+                        help="print the engine runtime's structured "
+                             "supervision events (task errors with worker "
+                             "tracebacks, worker crashes with exit codes, "
+                             "respawn/reload/redispatch recovery steps) to "
+                             "stderr")
+
+
+def _configure_runtime_logging(args: argparse.Namespace) -> None:
+    """Attach a stderr handler to the runtime's event logger on opt-in.
+
+    The ``repro.engine.runtime`` logger is silent by default (events are
+    emitted but no handler listens); ``--verbose-runtime`` is the operator's
+    way in.  Idempotent: repeated CLI invocations in one process attach one
+    handler.
+    """
+    if not getattr(args, "verbose_runtime", False):
+        return
+    logger = logging.getLogger("repro.engine.runtime")
+    logger.setLevel(logging.INFO)
+    if not logger.handlers:
+        handler = logging.StreamHandler(sys.stderr)
+        handler.setFormatter(
+            logging.Formatter("[%(name)s] %(message)s"))
+        logger.addHandler(handler)
 
 
 def cmd_quickstart(args: argparse.Namespace) -> int:
     """Run GPS end to end on a fresh synthetic universe and print a summary."""
     universe = make_universe(_scale(args.scale), seed=args.seed)
     pipeline = ScanPipeline(universe)
+    _configure_runtime_logging(args)
     engine_kwargs = {}
     if args.executor is not None:
         engine_kwargs = {"use_engine": True, "executor": args.executor,
@@ -107,6 +134,7 @@ def cmd_coverage(args: argparse.Namespace) -> int:
     """Run the Figure 2-style coverage experiment and print the summary rows."""
     scale = _scale(args.scale)
     universe = make_universe(scale, seed=args.seed)
+    _configure_runtime_logging(args)
     if args.dataset == "censys":
         dataset = make_censys_dataset(universe, scale)
         seed_fraction = args.seed_fraction or scale.default_seed_fraction

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple, Union
 
+from repro.engine.faults import FaultPlan
 from repro.engine.parallel import ExecutorConfig
 from repro.engine.runtime import RUNTIME_EXECUTORS
 from repro.internet.banners import APP_FEATURE_KEYS
@@ -166,6 +167,21 @@ class GPSConfig:
             :class:`~repro.engine.parallel.ExecutorConfig`.
         shard_count: how many shards resident datasets are partitioned into
             (``0`` means one per worker); ignored for per-call executors.
+        max_task_retries: recovery rounds the persistent pool may spend
+            respawning dead workers (and re-loading their shards) per
+            dispatch before a crash surfaces as
+            :class:`~repro.engine.runtime.WorkerCrashError`; ``0`` restores
+            the old fail-fast behaviour.
+        task_deadline_s: seconds the runtime waits without *any* worker
+            reply before raising
+            :class:`~repro.engine.runtime.WorkerTimeoutError` with a process
+            dump (``None`` disables; a wedged worker then blocks forever).
+        execution_deadline_s: wall-clock budget for one whole runtime
+            dispatch (``None`` disables).
+        fault_plan: deterministic chaos plan
+            (:class:`~repro.engine.faults.FaultPlan`) injected into the
+            runtime's workers and the scan pipeline; testing and drills
+            only -- leave ``None`` in production.
     """
 
     seed_fraction: float = 0.01
@@ -182,6 +198,10 @@ class GPSConfig:
     executor: Union[str, ExecutorConfig] = field(default_factory=ExecutorConfig)
     num_workers: int = 0
     shard_count: int = 0
+    max_task_retries: int = 2
+    task_deadline_s: Optional[float] = None
+    execution_deadline_s: Optional[float] = None
+    fault_plan: Optional[FaultPlan] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.seed_fraction <= 1.0:
@@ -221,6 +241,14 @@ class GPSConfig:
             raise ValueError("num_workers must be >= 0 (0 selects the default)")
         if self.shard_count < 0:
             raise ValueError("shard_count must be >= 0 (0 selects one per worker)")
+        if self.max_task_retries < 0:
+            raise ValueError("max_task_retries must be >= 0")
+        for name, deadline in (("task_deadline_s", self.task_deadline_s),
+                               ("execution_deadline_s", self.execution_deadline_s)):
+            if deadline is not None and deadline <= 0:
+                raise ValueError(f"{name} must be positive when set")
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise TypeError("fault_plan must be a FaultPlan or None")
         if self.port_domain is not None:
             for port in self.port_domain:
                 if not 1 <= port <= 65535:

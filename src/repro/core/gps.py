@@ -141,9 +141,14 @@ class GPS:
         if self._runtime is None or self._runtime.closed or self._runtime.broken:
             if self._runtime is not None:
                 self._runtime.close()
-            self._runtime = EngineRuntime(executor=config.executor,
-                                          num_workers=config.num_workers,
-                                          shard_count=config.shard_count)
+            self._runtime = EngineRuntime(
+                executor=config.executor,
+                num_workers=config.num_workers,
+                shard_count=config.shard_count,
+                max_task_retries=config.max_task_retries,
+                task_deadline_s=config.task_deadline_s,
+                execution_deadline_s=config.execution_deadline_s,
+                fault_plan=config.fault_plan)
         return self._runtime
 
     def close(self) -> None:

@@ -59,6 +59,14 @@ class ResidentHostGroups:
     The dataset must be :meth:`release`-d when the run is done (the GPS
     orchestrator does this in a ``finally``); the runtime itself stays up
     for the next dataset.
+
+    Worker crashes are transparent at this layer: the pool backend keeps a
+    coordinator-side copy of every payload shipped through
+    ``runtime.load_shards`` / ``load_broadcast``, so a worker that dies
+    mid-build is respawned with exactly its shards re-loaded and the
+    interrupted folds re-dispatched -- results stay bit-identical (pure
+    tasks, order-independent counter merges, ``merge_ordered`` re-ordering).
+    :attr:`recovery_stats` exposes what the supervisor had to do.
     """
 
     def __init__(self, runtime: EngineRuntime, host_features: Any,
@@ -128,6 +136,12 @@ class ResidentHostGroups:
             raise
 
     # -- lifecycle -----------------------------------------------------------------
+
+    @property
+    def recovery_stats(self):
+        """The owning runtime's supervision counters (crash-recovery tests
+        read these to prove recovery touched only the dead worker's shards)."""
+        return self.runtime.recovery_stats
 
     def release(self) -> None:
         """Drop the resident shards from every worker; idempotent."""

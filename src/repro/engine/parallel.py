@@ -64,7 +64,7 @@ from repro.engine.fused import (
     select_argmax_chunk,
     unpack_counts,
 )
-from repro.engine.runtime import EngineRuntime
+from repro.engine.runtime import EngineRuntime, WorkerCrashError
 from repro.engine.table import Table
 
 
@@ -140,7 +140,13 @@ class ThreadPoolExecutorBackend(ParallelExecutor):
 
 
 class ProcessPoolExecutorBackend(ParallelExecutor):
-    """Runs partitions on a process pool (func and partitions must pickle)."""
+    """Runs partitions on a process pool (func and partitions must pickle).
+
+    Unlike the persistent runtime's supervised pool, this per-call pool has
+    nothing to recover into -- it dies with the call -- so a worker crash is
+    translated to the engine's uniform :class:`WorkerCrashError` instead of
+    leaking :class:`concurrent.futures.process.BrokenProcessPool`.
+    """
 
     def __init__(self, workers: int) -> None:
         if workers < 1:
@@ -149,7 +155,13 @@ class ProcessPoolExecutorBackend(ParallelExecutor):
 
     def map(self, func: Callable[[Any], Any], partitions: Sequence[Any]) -> List[Any]:
         with concurrent.futures.ProcessPoolExecutor(max_workers=self.workers) as pool:
-            return list(pool.map(func, partitions))
+            try:
+                return list(pool.map(func, partitions))
+            except concurrent.futures.process.BrokenProcessPool as exc:
+                raise WorkerCrashError(
+                    "a process-pool worker died mid-partition; per-call pools "
+                    "are not supervised (use the persistent 'pool' runtime "
+                    f"executor for crash recovery): {exc}") from exc
 
 
 def make_executor(config: ExecutorConfig) -> ParallelExecutor:

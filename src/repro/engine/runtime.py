@@ -26,23 +26,44 @@ plans:
 Workers are plain interpreter processes started with the ``spawn`` method
 (fork-safety on 3.12+, identical behaviour on 3.10-3.12); each owns a
 dedicated inbox queue so shard ``s`` tasks always route to the worker holding
-shard ``s``.  Tasks are named entries in a module-level registry -- messages
-carry names and plain data, never pickled callables.
+shard ``s``, and a dedicated single-writer reply pipe back to the
+coordinator.  Per-worker reply pipes (rather than one shared reply queue)
+are what makes crashes *containable*: a queue shared by every worker is
+guarded by a cross-process write lock, and a worker that dies while its
+feeder thread holds that lock leaves it locked forever -- silently wedging
+every survivor's replies.  A single-writer pipe needs no lock and no feeder
+thread, so a dying worker can only ever poison its own channel, which
+recovery discards and replaces along with the process.  Tasks are named
+entries in a module-level registry -- messages carry names and plain data,
+never pickled callables.
 
 Lifecycle is explicit: :meth:`EngineRuntime.close` (idempotent) terminates
-the pool, the runtime is a context manager, and a worker that dies mid-task
-surfaces as a :class:`WorkerCrashError` instead of a hang.
+the pool and the runtime is a context manager.  The pool is *self-healing*:
+the coordinator keeps a copy of every resident payload, so when liveness
+polling finds a dead worker mid-request the supervisor respawns the process,
+re-loads exactly the shards that worker's placement owned, re-dispatches only
+the outstanding tasks (tasks are pure and loads are idempotent), and retries
+under a bounded budget with exponential backoff.  Only an exhausted budget
+surfaces as :class:`WorkerCrashError`; a wedged-but-alive worker is caught by
+the optional per-task / per-execution deadlines as :class:`WorkerTimeoutError`
+with a process dump.  Every supervision step emits a structured
+:class:`RuntimeEvent` on the ``repro.engine.runtime`` logger (silent unless a
+handler is attached -- ``--verbose-runtime`` in the CLI attaches one).
 """
 
 from __future__ import annotations
 
+import logging
 import multiprocessing
+import multiprocessing.connection
 import os
-import queue as queue_module
+import time
 import traceback
 from collections import Counter
-from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+from dataclasses import dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.engine.faults import FaultPlan, WorkerFaultState
 from repro.engine.fused import (
     count_join_chunk,
     count_partner_chunk,
@@ -52,11 +73,18 @@ from repro.engine.fused import (
 __all__ = [
     "EngineRuntime",
     "RUNTIME_EXECUTORS",
+    "RecoveryStats",
+    "RuntimeEvent",
     "WorkerCrashError",
     "WorkerTaskError",
+    "WorkerTimeoutError",
     "default_worker_count",
     "lpt_placement",
 ]
+
+#: Structured supervision events land here; no handler is attached by
+#: default, so production runs stay silent unless an operator opts in.
+_LOGGER = logging.getLogger("repro.engine.runtime")
 
 #: Executor backends an :class:`EngineRuntime` can run plans on.
 RUNTIME_EXECUTORS = ("serial", "thread", "pool")
@@ -122,7 +150,54 @@ class WorkerTaskError(RuntimeError):
 
 
 class WorkerCrashError(RuntimeError):
-    """A worker process died (signal, ``os._exit``, OOM kill) mid-request."""
+    """Worker death(s) exhausted the recovery budget; the pool is gone."""
+
+
+class WorkerTimeoutError(RuntimeError):
+    """A deadline expired while replies were outstanding; carries a dump."""
+
+
+@dataclass(frozen=True)
+class RuntimeEvent:
+    """One structured supervision event (logged, never raised).
+
+    Everything an operator needs to see *which* shard/task/worker failed:
+    the event kind (``task_error``, ``worker_crash``, ``respawn``,
+    ``reload``, ``redispatch``, ``retry_backoff``, ``timeout``), the worker
+    involved, the task name plus resident ``(key, shard_idx)`` routing when
+    the event concerns a task, the process exit code for crashes, and a
+    free-form detail string (worker-side tracebacks travel here).
+    """
+
+    kind: str
+    worker_id: Optional[int] = None
+    task: Optional[str] = None
+    key: Any = None
+    shard_idx: Optional[int] = None
+    exit_code: Optional[int] = None
+    attempt: Optional[int] = None
+    detail: str = ""
+
+
+def _emit(event: RuntimeEvent) -> None:
+    _LOGGER.info("%s", event)
+
+
+@dataclass
+class RecoveryStats:
+    """Counters the supervisor increments; tests assert recovery was surgical.
+
+    ``reloaded_shards`` counting only the dead worker's shards (never the
+    whole key) is the observable difference between in-place recovery and a
+    full pool rebuild.
+    """
+
+    crashes_detected: int = 0
+    respawns: int = 0
+    reloaded_shards: int = 0
+    reloaded_broadcasts: int = 0
+    redispatched_tasks: int = 0
+    retry_rounds: int = 0
 
 
 # -- task registry -----------------------------------------------------------------------
@@ -294,16 +369,31 @@ _TASKS: Dict[str, Callable[[Optional[dict], Optional[dict], Any], Any]] = {
 # -- worker process ----------------------------------------------------------------------
 
 
-def _worker_main(worker_id: int, inbox: Any, outbox: Any) -> None:
+def _worker_main(worker_id: int, inbox: Any, outbox: Any,
+                 fault_plan: Optional[FaultPlan] = None,
+                 generation: int = 0) -> None:
     """Worker loop: hold resident payloads, execute named tasks against them.
 
-    Messages are plain tuples.  Requests: ``("load", task_id, key, shard_idx,
-    payload)`` merges ``payload`` into the resident store (``shard_idx`` is
-    ``None`` for broadcast payloads), ``("run", task_id, fn, key, shard_idx,
-    args)`` executes a registered task, ``("drop", task_id, key)`` releases a
-    key's payloads, ``("close",)`` exits.  Replies: ``("ok", worker_id,
-    task_id, result)`` or ``("err", worker_id, task_id, description)``.
+    Messages are plain tuples.  Requests arrive on the ``inbox`` queue:
+    ``("load", task_id, key, shard_idx, payload)`` merges ``payload`` into
+    the resident store (``shard_idx`` is ``None`` for broadcast payloads),
+    ``("run", task_id, fn, key, shard_idx, args)`` executes a registered
+    task, ``("drop", task_id, key)`` releases a key's payloads,
+    ``("close",)`` exits.  Replies -- ``("ok", worker_id, task_id, result)``
+    or ``("err", worker_id, task_id, description)`` -- go back over
+    ``outbox``, this worker's *private* pipe connection to the coordinator.
+    A single-writer pipe needs no cross-process lock and no feeder thread,
+    so a worker hard-killed at any instant cannot leave a lock abandoned
+    that other workers' replies would block on.
+
+    ``fault_plan``/``generation`` drive deterministic chaos testing: the
+    :class:`~repro.engine.faults.WorkerFaultState` may hard-kill the process,
+    inject an exception, swallow a reply, or delay one, at exactly the
+    occurrence the plan names.  Respawned workers run at a higher generation,
+    which generation-scoped plans leave alone -- that is what makes
+    "crash once, recover cleanly" reproducible.
     """
+    faults = WorkerFaultState(fault_plan, worker_id, generation)
     store: Dict[Tuple[Any, Optional[int]], dict] = {}
     while True:
         message = inbox.get()
@@ -314,26 +404,39 @@ def _worker_main(worker_id: int, inbox: Any, outbox: Any) -> None:
         try:
             if kind == "load":
                 _, _, key, shard_idx, payload = message
+                faults.on_task("load")
+                if faults.should_error("load"):
+                    raise RuntimeError("injected fault: load")
                 store.setdefault((key, shard_idx), {}).update(payload)
-                outbox.put(("ok", worker_id, task_id, None))
+                if faults.should_drop_reply("load"):
+                    continue
+                outbox.send(("ok", worker_id, task_id, None))
             elif kind == "run":
                 _, _, fn_name, key, shard_idx, args = message
+                faults.on_task(fn_name)
+                if faults.should_error(fn_name):
+                    raise RuntimeError(f"injected fault: {fn_name}")
                 shard = store.get((key, shard_idx)) if key is not None else None
                 broadcast = store.get((key, None)) if key is not None else None
                 if key is not None and shard is None and broadcast is None:
                     raise KeyError(f"no resident payload for key {key!r}")
                 result = _TASKS[fn_name](shard, broadcast, args)
-                outbox.put(("ok", worker_id, task_id, result))
+                if faults.should_drop_reply(fn_name):
+                    continue
+                outbox.send(("ok", worker_id, task_id, result))
             elif kind == "drop":
                 _, _, key = message
                 for resident_key in [k for k in store if k[0] == key]:
                     del store[resident_key]
-                outbox.put(("ok", worker_id, task_id, None))
+                outbox.send(("ok", worker_id, task_id, None))
             else:
                 raise ValueError(f"unknown message kind: {kind!r}")
         except BaseException as exc:  # noqa: BLE001 - reported to the driver
             detail = f"{type(exc).__name__}: {exc}\n{traceback.format_exc()}"
-            outbox.put(("err", worker_id, task_id, detail))
+            try:
+                outbox.send(("err", worker_id, task_id, detail))
+            except OSError:
+                break  # coordinator is gone; nothing left to report to
 
 
 # -- executors ---------------------------------------------------------------------------
@@ -440,25 +543,46 @@ class PoolExecutor(Executor):
     """Runs tasks on a persistent pool of spawned worker processes.
 
     Each worker owns a dedicated inbox queue, so tasks for shard ``s`` always
-    land on the worker whose store holds shard ``s``; replies come back on
-    one shared outbox.  Workers start with the ``spawn`` method (stable
+    land on the worker whose store holds shard ``s``; replies come back on a
+    per-worker single-writer pipe.  One shared reply queue would be guarded
+    by a cross-process write lock, and a worker hard-killed while holding it
+    would leave the lock abandoned forever, silently wedging every
+    survivor's replies -- per-worker pipes make a crash poison at most the
+    dead worker's own channel, which recovery replaces along with the
+    process.  Workers start with the ``spawn`` method (stable
     across Python 3.10-3.12, immune to the 3.12+ fork-in-threads
-    deprecation) and live until :meth:`close`.  A worker that dies
-    mid-request is detected by liveness polling and surfaces as
-    :class:`WorkerCrashError`; the pool is then torn down so no queue is
-    left blocking interpreter exit.
+    deprecation) and live until :meth:`close`.
+
+    The pool supervises its workers: a coordinator-side copy of every
+    resident payload (``_resident``) makes a dead worker recoverable in
+    place -- respawn the process at the next generation, re-load exactly the
+    shards its placement owned, re-dispatch only the still-outstanding tasks.
+    Recovery runs under a bounded retry budget with exponential backoff;
+    exhausting it abandons the pool with :class:`WorkerCrashError`.  Optional
+    deadlines turn a wedged-but-alive worker into :class:`WorkerTimeoutError`
+    with a process dump instead of a silent hang.
     """
 
     _POLL_SECONDS = 0.05
+    _RETRY_BACKOFF_S = 0.05
+    _MAX_BACKOFF_S = 1.0
 
-    def __init__(self, workers: int) -> None:
+    def __init__(self, workers: int, *, max_task_retries: int = 2,
+                 task_deadline_s: Optional[float] = None,
+                 execution_deadline_s: Optional[float] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         if workers < 1:
             raise ValueError("workers must be >= 1")
         self.workers = workers
+        self.max_task_retries = max_task_retries
+        self.task_deadline_s = task_deadline_s
+        self.execution_deadline_s = execution_deadline_s
+        self.fault_plan = fault_plan
         self._context = multiprocessing.get_context("spawn")
         self._processes: List[Any] = []
         self._inboxes: List[Any] = []
-        self._outbox: Optional[Any] = None
+        # Receive end of each worker's private reply pipe, by worker slot.
+        self._readers: List[Any] = []
         self._next_task_id = 0
         self._started = False
         self._broken = False
@@ -467,6 +591,15 @@ class PoolExecutor(Executor):
         # worker actually holding the shard, so the map lives for exactly
         # as long as the resident data does.
         self._placements: Dict[Any, List[int]] = {}
+        # Coordinator-side copy of every resident payload, keyed like the
+        # worker stores: (key, shard_idx) with shard_idx=None for broadcast.
+        # This is what makes a dead worker recoverable without asking the
+        # caller to re-ship anything.
+        self._resident: Dict[Tuple[Any, Optional[int]], dict] = {}
+        # Spawn generation per worker slot; respawns bump it so
+        # generation-scoped fault plans leave recovered workers alone.
+        self._generations: List[int] = []
+        self.recovery_stats = RecoveryStats()
 
     @property
     def broken(self) -> bool:
@@ -474,82 +607,319 @@ class PoolExecutor(Executor):
 
     # -- pool management -----------------------------------------------------------
 
+    def _spawn_worker(self, worker_id: int) -> None:
+        """Start (or restart) the process serving ``worker_id``'s inbox.
+
+        Every (re)spawn gets a fresh inbox queue *and* a fresh reply pipe:
+        the coordinator closes its copy of the write end immediately after
+        the fork, so the worker process is the pipe's only writer and its
+        death shows up as EOF on the read end instead of a silent stall.
+        """
+        inbox = self._context.Queue()
+        reader, writer = self._context.Pipe(duplex=False)
+        process = self._context.Process(
+            target=_worker_main,
+            args=(worker_id, inbox, writer, self.fault_plan,
+                  self._generations[worker_id]),
+            daemon=True, name=f"engine-runtime-{worker_id}",
+        )
+        process.start()
+        writer.close()
+        if worker_id < len(self._inboxes):
+            self._inboxes[worker_id] = inbox
+            self._readers[worker_id] = reader
+            self._processes[worker_id] = process
+        else:
+            self._inboxes.append(inbox)
+            self._readers.append(reader)
+            self._processes.append(process)
+
     def _ensure_started(self) -> None:
         if self._broken:
             raise WorkerCrashError("runtime pool is broken after a worker crash")
         if self._started:
             return
-        self._outbox = self._context.Queue()
+        self._generations = [0] * self.workers
         for worker_id in range(self.workers):
-            inbox = self._context.Queue()
-            process = self._context.Process(
-                target=_worker_main, args=(worker_id, inbox, self._outbox),
-                daemon=True, name=f"engine-runtime-{worker_id}",
-            )
-            process.start()
-            self._inboxes.append(inbox)
-            self._processes.append(process)
+            self._spawn_worker(worker_id)
         self._started = True
 
-    def _abandon(self) -> None:
-        """Terminate everything after a crash; the pool is unusable."""
-        self._broken = True
-        self._placements.clear()
+    def _terminate_processes(self) -> None:
+        """Terminate every live worker, escalating to ``kill`` when needed.
+
+        ``terminate`` sends SIGTERM, which a wedged worker (stuck in C code,
+        or with the signal masked) can outlive; anything still alive after
+        the join grace gets SIGKILL so no process can leak past interpreter
+        exit.
+        """
         for process in self._processes:
             if process.is_alive():
                 process.terminate()
         for process in self._processes:
             process.join(timeout=2.0)
+        for process in self._processes:
+            if process.is_alive():
+                process.kill()
+                process.join(timeout=2.0)
+
+    def _abandon(self) -> None:
+        """Terminate everything after an unrecoverable failure."""
+        self._broken = True
+        self._placements.clear()
+        self._resident.clear()
+        self._terminate_processes()
         self._drain_queues()
+
+    def _process_dump(self) -> str:
+        """One line per worker slot: pid, liveness, exit code, generation."""
+        lines = []
+        for worker_id, process in enumerate(self._processes):
+            lines.append(
+                f"  worker {worker_id}: pid={process.pid} "
+                f"alive={process.is_alive()} exitcode={process.exitcode} "
+                f"generation={self._generations[worker_id]}")
+        return "\n".join(lines)
 
     def _drain_queues(self) -> None:
         for inbox in self._inboxes:
             inbox.close()
             inbox.cancel_join_thread()
-        if self._outbox is not None:
-            self._outbox.close()
-            self._outbox.cancel_join_thread()
+        for reader in self._readers:
+            reader.close()
         self._inboxes = []
+        self._readers = []
         self._processes = []
-        self._outbox = None
 
     def _send(self, worker_id: int, message: Tuple[Any, ...]) -> None:
         self._inboxes[worker_id].put(message)
 
-    def _collect(self, expected: Dict[int, int]) -> Dict[int, Any]:
-        """Await one reply per expected task id; crash -> clean error.
+    def _new_task_id(self) -> int:
+        task_id = self._next_task_id
+        self._next_task_id += 1
+        return task_id
 
-        ``expected`` maps task id to the worker it was sent to, so a dead
-        process can be reported by name instead of hanging on the queue.  A
-        task that *raises* is not pool-fatal: the worker loop survives, so
-        every outstanding reply is drained first (no stale messages can leak
-        into the next request) and then one :class:`WorkerTaskError` is
-        raised.  Only a worker that *dies* abandons the pool.
+    @staticmethod
+    def _describe(message: Tuple[Any, ...]) -> Tuple[str, Any, Optional[int]]:
+        """``(task, key, shard_idx)`` routing info for event reporting."""
+        kind = message[0]
+        if kind == "run":
+            return message[2], message[3], message[4]
+        if kind == "load":
+            return "load", message[2], message[3]
+        if kind == "drop":
+            return "drop", message[2], None
+        return kind, None, None
+
+    def _recover(self, dead: Sequence[int],
+                 inflight: Dict[int, Tuple[int, Tuple[Any, ...]]],
+                 alias: Dict[int, int], internal: Set[int],
+                 attempt: int) -> None:
+        """Respawn dead workers, re-load their shards, re-dispatch their tasks.
+
+        The outstanding messages are snapshotted *before* respawning because
+        recovered workers reuse their slot's worker id.  Reload messages for
+        the dead worker's resident payloads are enqueued first and the
+        re-dispatched tasks after them -- the inbox is FIFO, so residency is
+        guaranteed restored before any task runs; no separate ack round is
+        needed.  Loads are ``update()``-idempotent, so a load that was
+        in flight when the worker died may harmlessly apply twice.
         """
+        stale = {tid: entry for tid, entry in inflight.items()
+                 if entry[0] in dead}
+        for worker_id in dead:
+            process = self._processes[worker_id]
+            _emit(RuntimeEvent(kind="worker_crash", worker_id=worker_id,
+                               exit_code=process.exitcode, attempt=attempt))
+            self.recovery_stats.crashes_detected += 1
+            old_inbox = self._inboxes[worker_id]
+            old_inbox.close()
+            old_inbox.cancel_join_thread()
+            # Abandon the dead worker's reply pipe along with the process:
+            # anything still buffered in it is a reply for a task that is
+            # about to be re-dispatched, and the fresh copy is authoritative.
+            self._readers[worker_id].close()
+            self._generations[worker_id] += 1
+            self._spawn_worker(worker_id)
+            self.recovery_stats.respawns += 1
+            _emit(RuntimeEvent(kind="respawn", worker_id=worker_id,
+                               attempt=attempt))
+            for (key, shard_idx), payload in self._resident.items():
+                if shard_idx is None:
+                    owned = True  # broadcast payloads live on every worker
+                else:
+                    owned = self._worker_for(shard_idx, 0, key) == worker_id
+                if not owned:
+                    continue
+                task_id = self._new_task_id()
+                message = ("load", task_id, key, shard_idx, payload)
+                self._send(worker_id, message)
+                inflight[task_id] = (worker_id, message)
+                internal.add(task_id)
+                if shard_idx is None:
+                    self.recovery_stats.reloaded_broadcasts += 1
+                else:
+                    self.recovery_stats.reloaded_shards += 1
+                _emit(RuntimeEvent(kind="reload", worker_id=worker_id,
+                                   key=key, shard_idx=shard_idx,
+                                   attempt=attempt))
+        for old_tid, (worker_id, message) in stale.items():
+            del inflight[old_tid]
+            original = alias.pop(old_tid, old_tid)
+            was_internal = old_tid in internal
+            internal.discard(old_tid)
+            task_id = self._new_task_id()
+            fresh = (message[0], task_id) + message[2:]
+            self._send(worker_id, fresh)
+            inflight[task_id] = (worker_id, fresh)
+            if was_internal:
+                internal.add(task_id)
+            else:
+                alias[task_id] = original
+            self.recovery_stats.redispatched_tasks += 1
+            task, key, shard_idx = self._describe(message)
+            _emit(RuntimeEvent(kind="redispatch", worker_id=worker_id,
+                               task=task, key=key, shard_idx=shard_idx,
+                               attempt=attempt))
+
+    def _poll_replies(self) -> List[Tuple[Any, ...]]:
+        """Drain every reply currently readable from the per-worker pipes.
+
+        Blocks up to ``_POLL_SECONDS`` waiting for the first ready pipe.  A
+        pipe at EOF (its worker died with nothing buffered) is closed and
+        never polled again; the liveness checks in :meth:`_collect` -- not
+        this method -- decide what the death means.
+        """
+        readers = [reader for reader in self._readers if not reader.closed]
+        if not readers:
+            time.sleep(self._POLL_SECONDS)
+            return []
+        replies: List[Tuple[Any, ...]] = []
+        for reader in multiprocessing.connection.wait(
+                readers, timeout=self._POLL_SECONDS):
+            try:
+                replies.append(reader.recv())
+            except (EOFError, OSError):
+                reader.close()
+        return replies
+
+    def _collect(self, inflight: Dict[int, Tuple[int, Tuple[Any, ...]]],
+                 ) -> Dict[int, Any]:
+        """Await one reply per dispatched task, healing the pool as needed.
+
+        ``inflight`` maps each outstanding task id to ``(worker_id,
+        message)`` -- keeping the full message is what lets the supervisor
+        re-dispatch after a crash and report *which* task failed.  Outcomes:
+
+        * a task that **raises** is not pool-fatal: the worker loop
+          survives, every outstanding reply is drained first (no stale
+          messages can leak into the next request), and one
+          :class:`WorkerTaskError` is raised;
+        * a worker that **dies** with tasks outstanding triggers in-place
+          recovery (:meth:`_recover`) under exponential backoff, up to
+          ``max_task_retries`` rounds; an exhausted budget abandons the
+          pool with :class:`WorkerCrashError`;
+        * **deadlines** (when configured) turn replies that stop arriving
+          into :class:`WorkerTimeoutError` with a process dump.
+
+        Returns results keyed by the *original* task id -- re-dispatched
+        tasks map back through their alias, so callers never observe
+        recovery.  Replies a worker buffered before dying are drained from
+        its pipe ahead of death detection and count normally; recovery then
+        closes the dead worker's channel, so a reply whose task id is no
+        longer in flight (the task was re-dispatched) can no longer arrive
+        by construction -- the guard that ignores one stays as a
+        belt-and-suspenders invariant, and the re-dispatched copy is
+        authoritative (tasks being pure, bit-identical).
+        """
+        alias: Dict[int, int] = {}
+        internal: Set[int] = set()
+        needed: Set[int] = set(inflight)
         results: Dict[int, Any] = {}
         errors: List[str] = []
-        while len(results) < len(expected):
-            try:
-                reply = self._outbox.get(timeout=self._POLL_SECONDS)
-            except queue_module.Empty:
-                dead = [i for i, p in enumerate(self._processes) if not p.is_alive()]
-                pending_on_dead = [tid for tid, wid in expected.items()
-                                   if wid in dead and tid not in results]
+        retries_left = self.max_task_retries
+        attempt = 0
+        start = time.monotonic()
+        last_progress = start
+        while len(results) < len(needed):
+            replies = self._poll_replies()
+            if not replies:
+                dead = [i for i, p in enumerate(self._processes)
+                        if not p.is_alive()]
+                pending_on_dead = [tid for tid, (wid, _) in inflight.items()
+                                   if wid in dead]
                 if pending_on_dead:
                     codes = {i: self._processes[i].exitcode for i in dead}
+                    if retries_left <= 0:
+                        self._abandon()
+                        raise WorkerCrashError(
+                            f"engine runtime worker(s) {sorted(set(dead))} died "
+                            f"(exit codes {codes}) while "
+                            f"{len(pending_on_dead)} task(s) were outstanding "
+                            f"and the recovery budget "
+                            f"({self.max_task_retries} retr"
+                            f"{'y' if self.max_task_retries == 1 else 'ies'}) "
+                            f"is exhausted; the pool has been shut down"
+                        ) from None
+                    retries_left -= 1
+                    attempt += 1
+                    self.recovery_stats.retry_rounds += 1
+                    backoff = min(self._MAX_BACKOFF_S,
+                                  self._RETRY_BACKOFF_S * (2 ** (attempt - 1)))
+                    _emit(RuntimeEvent(kind="retry_backoff", attempt=attempt,
+                                       detail=f"sleeping {backoff:.3f}s before "
+                                              f"recovering workers "
+                                              f"{sorted(set(dead))} "
+                                              f"(exit codes {codes})"))
+                    time.sleep(backoff)
+                    self._recover(dead, inflight, alias, internal, attempt)
+                    last_progress = time.monotonic()
+                    continue
+                now = time.monotonic()
+                if (self.task_deadline_s is not None and inflight
+                        and now - last_progress > self.task_deadline_s):
+                    dump = self._process_dump()
+                    stuck = sorted({wid for wid, _ in inflight.values()})
                     self._abandon()
-                    raise WorkerCrashError(
-                        f"engine runtime worker(s) {sorted(set(dead))} died "
-                        f"(exit codes {codes}) while {len(pending_on_dead)} "
-                        f"task(s) were outstanding; the pool has been shut down"
-                    ) from None
+                    _emit(RuntimeEvent(kind="timeout", detail=dump))
+                    raise WorkerTimeoutError(
+                        f"no reply for {self.task_deadline_s}s with "
+                        f"{len(inflight)} task(s) outstanding on worker(s) "
+                        f"{stuck}; process dump:\n{dump}") from None
+                if (self.execution_deadline_s is not None
+                        and now - start > self.execution_deadline_s):
+                    dump = self._process_dump()
+                    self._abandon()
+                    _emit(RuntimeEvent(kind="timeout", detail=dump))
+                    raise WorkerTimeoutError(
+                        f"execution exceeded its {self.execution_deadline_s}s "
+                        f"deadline with {len(inflight)} task(s) outstanding; "
+                        f"process dump:\n{dump}") from None
                 continue
-            status, _, task_id, payload = reply
-            if status == "err":
-                errors.append(payload)
-                results[task_id] = None
-            else:
-                results[task_id] = payload
+            last_progress = time.monotonic()
+            for reply in replies:
+                status, _, task_id, payload = reply
+                entry = inflight.pop(task_id, None)
+                if entry is None:
+                    continue  # stale duplicate: this task was re-dispatched
+                if task_id in internal:
+                    internal.discard(task_id)
+                    if status == "err":
+                        self._abandon()
+                        raise WorkerCrashError(
+                            "engine runtime failed to re-load resident "
+                            f"payloads during recovery:\n{payload}")
+                    continue
+                original = alias.pop(task_id, task_id)
+                if status == "err":
+                    worker_id, message = entry
+                    task, key, shard_idx = self._describe(message)
+                    _emit(RuntimeEvent(kind="task_error", worker_id=worker_id,
+                                       task=task, key=key,
+                                       shard_idx=shard_idx, detail=payload))
+                    errors.append(payload)
+                    results[original] = None
+                else:
+                    results[original] = payload
         if errors:
             raise WorkerTaskError(
                 f"engine runtime task failed in worker:\n{errors[0]}")
@@ -571,20 +941,23 @@ class PoolExecutor(Executor):
 
     def load(self, key: Any, shard_idx: Optional[int], payload: dict) -> None:
         self._ensure_started()
+        # Record the coordinator-side copy before dispatch so a worker that
+        # dies mid-load is recoverable from the same source of truth.
+        self._resident.setdefault((key, shard_idx), {}).update(payload)
+        inflight: Dict[int, Tuple[int, Tuple[Any, ...]]] = {}
         if shard_idx is None:
-            expected: Dict[int, int] = {}
             for worker_id in range(self.workers):
-                task_id = self._next_task_id
-                self._next_task_id += 1
-                self._send(worker_id, ("load", task_id, key, None, payload))
-                expected[task_id] = worker_id
-            self._collect(expected)
+                task_id = self._new_task_id()
+                message = ("load", task_id, key, None, payload)
+                self._send(worker_id, message)
+                inflight[task_id] = (worker_id, message)
         else:
             worker_id = self._worker_for(shard_idx, 0, key)
-            task_id = self._next_task_id
-            self._next_task_id += 1
-            self._send(worker_id, ("load", task_id, key, shard_idx, payload))
-            self._collect({task_id: worker_id})
+            task_id = self._new_task_id()
+            message = ("load", task_id, key, shard_idx, payload)
+            self._send(worker_id, message)
+            inflight[task_id] = (worker_id, message)
+        self._collect(inflight)
 
     def load_shards(self, key: Any, payloads: Sequence[dict]) -> None:
         """Batched shard load: all sends first, one collect, so workers
@@ -601,40 +974,45 @@ class PoolExecutor(Executor):
         if key not in self._placements:
             self._placements[key] = lpt_placement(
                 [_payload_rows(payload) for payload in payloads], self.workers)
-        expected: Dict[int, int] = {}
+        inflight: Dict[int, Tuple[int, Tuple[Any, ...]]] = {}
         for shard_idx, payload in enumerate(payloads):
+            # Coordinator copy first: a worker dying mid-load must be
+            # recoverable from exactly what was being shipped.
+            self._resident.setdefault((key, shard_idx), {}).update(payload)
             worker_id = self._worker_for(shard_idx, 0, key)
-            task_id = self._next_task_id
-            self._next_task_id += 1
-            self._send(worker_id, ("load", task_id, key, shard_idx, payload))
-            expected[task_id] = worker_id
-        self._collect(expected)
+            task_id = self._new_task_id()
+            message = ("load", task_id, key, shard_idx, payload)
+            self._send(worker_id, message)
+            inflight[task_id] = (worker_id, message)
+        self._collect(inflight)
 
     def run(self, tasks: Sequence[Tuple[str, Any, Optional[int], Any]]) -> List[Any]:
         self._ensure_started()
-        expected: Dict[int, int] = {}
+        inflight: Dict[int, Tuple[int, Tuple[Any, ...]]] = {}
         order: List[int] = []
         for position, (fn_name, key, shard_idx, args) in enumerate(tasks):
             worker_id = self._worker_for(shard_idx, position, key)
-            task_id = self._next_task_id
-            self._next_task_id += 1
-            self._send(worker_id, ("run", task_id, fn_name, key, shard_idx, args))
-            expected[task_id] = worker_id
+            task_id = self._new_task_id()
+            message = ("run", task_id, fn_name, key, shard_idx, args)
+            self._send(worker_id, message)
+            inflight[task_id] = (worker_id, message)
             order.append(task_id)
-        results = self._collect(expected)
+        results = self._collect(inflight)
         return [results[task_id] for task_id in order]
 
     def drop(self, key: Any) -> None:
         self._placements.pop(key, None)
+        for resident_key in [k for k in self._resident if k[0] == key]:
+            del self._resident[resident_key]
         if not self._started or self._broken:
             return
-        expected: Dict[int, int] = {}
+        inflight: Dict[int, Tuple[int, Tuple[Any, ...]]] = {}
         for worker_id in range(self.workers):
-            task_id = self._next_task_id
-            self._next_task_id += 1
-            self._send(worker_id, ("drop", task_id, key))
-            expected[task_id] = worker_id
-        self._collect(expected)
+            task_id = self._new_task_id()
+            message = ("drop", task_id, key)
+            self._send(worker_id, message)
+            inflight[task_id] = (worker_id, message)
+        self._collect(inflight)
 
     def close(self) -> None:
         if not self._started:
@@ -648,12 +1026,13 @@ class PoolExecutor(Executor):
                         pass
             for process in self._processes:
                 process.join(timeout=2.0)
-            for process in self._processes:
-                if process.is_alive():
-                    process.terminate()
-                    process.join(timeout=2.0)
+            # Escalate: anything that survived the polite close gets SIGTERM,
+            # and anything that survives *that* gets SIGKILL (a worker wedged
+            # in C code or ignoring SIGTERM must not leak past exit).
+            self._terminate_processes()
         self._drain_queues()
         self._placements.clear()
+        self._resident.clear()
         self._started = False
 
 
@@ -684,7 +1063,10 @@ class EngineRuntime:
     """
 
     def __init__(self, executor: str = "serial", num_workers: int = 0,
-                 shard_count: int = 0) -> None:
+                 shard_count: int = 0, *, max_task_retries: int = 2,
+                 task_deadline_s: Optional[float] = None,
+                 execution_deadline_s: Optional[float] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         """Configure the runtime (workers start lazily on first use).
 
         Args:
@@ -696,6 +1078,15 @@ class EngineRuntime:
                 least-loaded by row count at load time -- see
                 :func:`lpt_placement` -- which is what keeps skewed
                 universes balanced).
+            max_task_retries: recovery rounds the pool backend may spend
+                respawning dead workers per dispatch before surfacing
+                :class:`WorkerCrashError`; ``0`` restores fail-fast.
+            task_deadline_s: seconds without *any* reply before a dispatch
+                raises :class:`WorkerTimeoutError` (``None`` disables).
+            execution_deadline_s: wall-clock budget for one whole dispatch
+                (``None`` disables).
+            fault_plan: deterministic chaos plan shipped into every worker
+                (tests and drills only; ``None`` in production).
         """
         if executor not in RUNTIME_EXECUTORS:
             raise ValueError(
@@ -704,10 +1095,22 @@ class EngineRuntime:
             raise ValueError("num_workers must be >= 0 (0 selects the default)")
         if shard_count < 0:
             raise ValueError("shard_count must be >= 0 (0 selects one per worker)")
+        if max_task_retries < 0:
+            raise ValueError("max_task_retries must be >= 0")
+        for name, deadline in (("task_deadline_s", task_deadline_s),
+                               ("execution_deadline_s", execution_deadline_s)):
+            if deadline is not None and deadline <= 0:
+                raise ValueError(f"{name} must be positive when set")
+        if fault_plan is not None and not isinstance(fault_plan, FaultPlan):
+            raise TypeError("fault_plan must be a FaultPlan or None")
         self.executor = executor
         self.num_workers = num_workers or (1 if executor == "serial"
                                            else default_worker_count())
         self.shard_count = shard_count or self.num_workers
+        self.max_task_retries = max_task_retries
+        self.task_deadline_s = task_deadline_s
+        self.execution_deadline_s = execution_deadline_s
+        self.fault_plan = fault_plan
         self._backend: Optional[Executor] = None
         self._closed = False
 
@@ -734,6 +1137,13 @@ class EngineRuntime:
         """True when payloads cross a process boundary (encode before shipping)."""
         return self.executor == "pool"
 
+    @property
+    def recovery_stats(self) -> RecoveryStats:
+        """Supervision counters (all zero for in-process backends)."""
+        if isinstance(self._backend, PoolExecutor):
+            return self._backend.recovery_stats
+        return RecoveryStats()
+
     def _ensure_backend(self) -> Executor:
         if self._closed:
             raise RuntimeError("engine runtime is closed")
@@ -743,7 +1153,12 @@ class EngineRuntime:
             elif self.executor == "thread":
                 self._backend = ThreadExecutor(self.num_workers)
             else:
-                self._backend = PoolExecutor(self.num_workers)
+                self._backend = PoolExecutor(
+                    self.num_workers,
+                    max_task_retries=self.max_task_retries,
+                    task_deadline_s=self.task_deadline_s,
+                    execution_deadline_s=self.execution_deadline_s,
+                    fault_plan=self.fault_plan)
         return self._backend
 
     def close(self) -> None:

@@ -180,6 +180,13 @@ def merge_ordered(per_shard_results: Sequence[Sequence[Tuple[int, Any]]]) -> Lis
     reports its items tagged with the original index recorded in
     ``group_order``, and the merged list is identical to what a serial pass
     over the unsharded data would have produced.
+
+    This is also what makes crash recovery invisible to results: when the
+    pool respawns a dead worker and re-runs its shard's fold, the re-run
+    reports the same ``(original_index, item)`` pairs the first attempt
+    would have (tasks are pure functions of the resident shard), so the
+    merged order -- and therefore every downstream artifact -- is
+    bit-identical whether or not a crash happened mid-build.
     """
     tagged: List[Tuple[int, Any]] = []
     for results in per_shard_results:

@@ -28,7 +28,7 @@ from __future__ import annotations
 import hashlib
 import random
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple
+from typing import Any, Dict, Iterator, List, Optional, Sequence, Set, Tuple
 
 from bisect import bisect_left, bisect_right
 
@@ -323,6 +323,21 @@ class Universe:
         if port in host.services:
             return True
         return self.is_pseudo_responsive(ip, port)
+
+    def syn_ack_observed(self, ip: int, port: int, loss: Any,
+                         attempt: int = 0) -> bool:
+        """:meth:`syn_ack` as *observed* through a lossy network.
+
+        ``loss`` is a :class:`~repro.engine.faults.ProbeLossModel` (or
+        ``None`` for a perfect network): a target only counts as responsive
+        when it would answer *and* the model does not drop this attempt's
+        reply.  The decision is a pure function of ``(seed, ip, port,
+        attempt)``, so every scanner layer observing the same attempt agrees
+        on what was lost -- the property the retry-equivalence tests pin.
+        """
+        if not self.syn_ack(ip, port):
+            return False
+        return loss is None or not loss.lost("zmap", ip, port, attempt)
 
     def syn_ack_many(self, ips: Sequence[int], port: int) -> List[int]:
         """Batched :meth:`syn_ack`: the subset of ``ips`` answering on ``port``.

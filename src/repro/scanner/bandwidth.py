@@ -41,24 +41,45 @@ class BandwidthLedger:
         probes: per-category probe counts.
         responses: per-category count of responsive probes (used for
             precision: responsive probes / probes sent).
+        retransmits: per-category count of probes that were *re*-sent because
+            an earlier attempt went unanswered (simulated packet loss).
+            Retransmits are charged -- they are real bandwidth, so they are
+            included in ``probes`` too -- but the retry loops in the scanner
+            layers only retransmit unanswered targets, so a response is
+            never double-counted (duplicate responses are deduplicated at
+            the layer that retries, and ``responses <= probes`` stays an
+            invariant under loss).
     """
 
     address_space_size: int
     probes: Dict[ScanCategory, int] = field(default_factory=dict)
     responses: Dict[ScanCategory, int] = field(default_factory=dict)
+    retransmits: Dict[ScanCategory, int] = field(default_factory=dict)
 
     def __post_init__(self) -> None:
         if self.address_space_size <= 0:
             raise ValueError("address_space_size must be positive")
 
-    def record(self, category: ScanCategory, probes: int, responses: int = 0) -> None:
-        """Record ``probes`` sent (and ``responses`` received) in a category."""
-        if probes < 0 or responses < 0:
+    def record(self, category: ScanCategory, probes: int, responses: int = 0,
+               retransmits: int = 0) -> None:
+        """Record ``probes`` sent (and ``responses`` received) in a category.
+
+        ``retransmits`` says how many of the ``probes`` were re-sends of
+        earlier unanswered attempts; they are part of the probe count (the
+        bandwidth is spent either way) and additionally tracked so loss-rate
+        experiments can report the retry overhead separately.
+        """
+        if probes < 0 or responses < 0 or retransmits < 0:
             raise ValueError("probe/response counts must be non-negative")
         if responses > probes:
             raise ValueError("cannot receive more responses than probes sent")
+        if retransmits > probes:
+            raise ValueError("retransmits cannot exceed probes sent")
         self.probes[category] = self.probes.get(category, 0) + probes
         self.responses[category] = self.responses.get(category, 0) + responses
+        if retransmits:
+            self.retransmits[category] = (
+                self.retransmits.get(category, 0) + retransmits)
 
     def total_probes(self, category: ScanCategory | None = None) -> int:
         """Total probes sent (optionally restricted to one category)."""
@@ -71,6 +92,12 @@ class BandwidthLedger:
         if category is not None:
             return self.responses.get(category, 0)
         return sum(self.responses.values())
+
+    def total_retransmits(self, category: ScanCategory | None = None) -> int:
+        """Total retransmitted probes (optionally restricted to one category)."""
+        if category is not None:
+            return self.retransmits.get(category, 0)
+        return sum(self.retransmits.values())
 
     def full_scans(self, category: ScanCategory | None = None) -> float:
         """Bandwidth in the paper's unit of "number of 100 % scans"."""
@@ -95,6 +122,7 @@ class BandwidthLedger:
         return {
             "total_probes": float(self.total_probes()),
             "total_responses": float(self.total_responses()),
+            "total_retransmits": float(self.total_retransmits()),
             "full_scans": self.full_scans(),
             "precision": self.precision(),
             **{
@@ -111,5 +139,6 @@ class BandwidthLedger:
         merged = BandwidthLedger(address_space_size=self.address_space_size)
         for source in (self, other):
             for category, count in source.probes.items():
-                merged.record(category, count, source.responses.get(category, 0))
+                merged.record(category, count, source.responses.get(category, 0),
+                              source.retransmits.get(category, 0))
         return merged

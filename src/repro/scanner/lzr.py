@@ -21,15 +21,20 @@ charged to the same ledger category as the scan that discovered the target.
 
 from __future__ import annotations
 
+import time
 from dataclasses import dataclass, field
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.encoding import DictionaryEncoder
+from repro.engine.faults import ProbeLossModel
 from repro.internet.universe import Universe
 from repro.scanner.bandwidth import BandwidthLedger, ScanCategory
 
 #: Extra packets LZR exchanges per responsive target (ACK + data / RST).
 PROBES_PER_FINGERPRINT = 2
+
+#: Loss-model layer tag (independent draws from the SYN and ZGrab layers).
+LOSS_LAYER = "lzr"
 
 
 @dataclass(frozen=True)
@@ -77,23 +82,54 @@ class FingerprintBatch:
 
 
 class LZRSimulator:
-    """Fingerprints SYN-ACKing targets against the ground-truth universe."""
+    """Fingerprints SYN-ACKing targets against the ground-truth universe.
 
-    def __init__(self, universe: Universe, ledger: BandwidthLedger) -> None:
+    With a seeded ``loss`` model, the data reply of a *responsive* target can
+    be dropped; LZR then re-runs the handshake (charged as a retransmit) up
+    to ``max_retries`` times.  A no-data target (middlebox, dead socket) is
+    never retried: its silence is a definitive answer, not a timeout.  The
+    default (``loss=None``) path is byte-identical to the pre-loss simulator.
+    """
+
+    def __init__(self, universe: Universe, ledger: BandwidthLedger,
+                 loss: Optional[ProbeLossModel] = None, max_retries: int = 0,
+                 retry_backoff_s: float = 0.0) -> None:
         self.universe = universe
         self.ledger = ledger
+        self.loss = loss
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+
+    def _handshake_attempts(self, ip: int, port: int) -> Tuple[int, bool]:
+        """(attempts spent, response observed) for one responsive target."""
+        if self.loss is None:
+            return 1, True
+        for attempt in range(self.max_retries + 1):
+            if not self.loss.lost(LOSS_LAYER, ip, port, attempt):
+                return attempt + 1, True
+            if attempt < self.max_retries and self.retry_backoff_s > 0:
+                time.sleep(self.retry_backoff_s)
+        return self.max_retries + 1, False
 
     def fingerprint(self, ip: int, port: int,
                     category: ScanCategory = ScanCategory.OTHER) -> FingerprintResult:
         """Fingerprint a single target, charging the ledger for the handshake."""
         record = self.universe.lookup(ip, port)
         responded = record is not None or self.universe.is_pseudo_responsive(ip, port)
-        self.ledger.record(category, probes=PROBES_PER_FINGERPRINT,
-                           responses=PROBES_PER_FINGERPRINT if responded else 0)
+        attempts, observed = (self._handshake_attempts(ip, port)
+                              if responded else (1, False))
+        if not observed:
+            # Every attempt's reply was lost: indistinguishable on the wire
+            # from a dead socket, so the target reports no protocol (cannot
+            # happen when the retry budget covers the loss model's bound).
+            record, responded = None, False
+        self.ledger.record(category, probes=PROBES_PER_FINGERPRINT * attempts,
+                           responses=PROBES_PER_FINGERPRINT if responded else 0,
+                           retransmits=PROBES_PER_FINGERPRINT * (attempts - 1))
         if record is not None:
             return FingerprintResult(ip=ip, port=port, protocol=record.protocol,
                                      is_real_service=True, ttl=record.ttl)
-        if self.universe.is_pseudo_responsive(ip, port):
+        if responded and self.universe.is_pseudo_responsive(ip, port):
             host = self.universe.host(ip)
             ttl = host.base_ttl if host is not None else 64
             return FingerprintResult(ip=ip, port=port, protocol="http",
@@ -133,8 +169,10 @@ class LZRSimulator:
         """
         results: List[FingerprintResult] = []
         hosts_get = self.universe.hosts.get
+        lossy = self.loss is not None
         sent = 0
         responded = 0
+        retried = 0
         for ip, port in targets:
             sent += 1
             host = hosts_get(ip)
@@ -142,6 +180,11 @@ class LZRSimulator:
                 continue
             record = host.services.get(port)
             if record is not None:
+                if lossy:
+                    attempts, observed = self._handshake_attempts(ip, port)
+                    retried += attempts - 1
+                    if not observed:
+                        continue
                 responded += 1
                 results.append(FingerprintResult(ip=ip, port=port,
                                                  protocol=record.protocol,
@@ -149,12 +192,19 @@ class LZRSimulator:
                                                  ttl=record.ttl))
                 continue
             if host.is_pseudo_responsive_on(port):
+                if lossy:
+                    attempts, observed = self._handshake_attempts(ip, port)
+                    retried += attempts - 1
+                    if not observed:
+                        continue
                 responded += 1
                 results.append(FingerprintResult(ip=ip, port=port, protocol="http",
                                                  is_real_service=False,
                                                  ttl=host.base_ttl))
-        self.ledger.record(category, probes=PROBES_PER_FINGERPRINT * sent,
-                           responses=PROBES_PER_FINGERPRINT * responded)
+        self.ledger.record(category,
+                           probes=PROBES_PER_FINGERPRINT * (sent + retried),
+                           responses=PROBES_PER_FINGERPRINT * responded,
+                           retransmits=PROBES_PER_FINGERPRINT * retried)
         return results
 
     def fingerprint_batch_columns(self, ips: Sequence[int], ports: Sequence[int],
@@ -178,13 +228,20 @@ class LZRSimulator:
         b_ips, b_ports = batch.ips, batch.ports
         b_status, b_ttls = batch.status, batch.ttls
         hosts_get = self.universe.hosts.get
+        lossy = self.loss is not None
         responded = 0
+        retried = 0
         for ip, port in zip(ips, ports):
             host = hosts_get(ip)
             if host is None:
                 continue
             record = host.services.get(port)
             if record is not None:
+                if lossy:
+                    attempts, observed = self._handshake_attempts(ip, port)
+                    retried += attempts - 1
+                    if not observed:
+                        continue
                 responded += 1
                 b_ips.append(ip)
                 b_ports.append(port)
@@ -192,11 +249,18 @@ class LZRSimulator:
                 b_ttls.append(record.ttl)
                 continue
             if host.is_pseudo_responsive_on(port):
+                if lossy:
+                    attempts, observed = self._handshake_attempts(ip, port)
+                    retried += attempts - 1
+                    if not observed:
+                        continue
                 responded += 1
                 b_ips.append(ip)
                 b_ports.append(port)
                 b_status.append(pseudo_status)
                 b_ttls.append(host.base_ttl)
-        self.ledger.record(category, probes=PROBES_PER_FINGERPRINT * len(ips),
-                           responses=PROBES_PER_FINGERPRINT * responded)
+        self.ledger.record(category,
+                           probes=PROBES_PER_FINGERPRINT * (len(ips) + retried),
+                           responses=PROBES_PER_FINGERPRINT * responded,
+                           retransmits=PROBES_PER_FINGERPRINT * retried)
         return batch

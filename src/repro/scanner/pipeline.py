@@ -28,6 +28,7 @@ from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
 from repro.engine.encoding import DictionaryEncoder
+from repro.engine.faults import FaultPlan
 from repro.internet.banners import BannerFactory
 from repro.internet.universe import Universe
 from repro.net.ipv4 import prefix_size, subnet_key_parts
@@ -80,7 +81,8 @@ class ScanPipeline:
 
     def __init__(self, universe: Universe,
                  ledger: Optional[BandwidthLedger] = None,
-                 pseudo_filter: Optional[PseudoServiceFilter] = None) -> None:
+                 pseudo_filter: Optional[PseudoServiceFilter] = None,
+                 fault_plan: Optional[FaultPlan] = None) -> None:
         self.universe = universe
         self.ledger = ledger or BandwidthLedger(
             address_space_size=universe.address_space_size()
@@ -88,9 +90,22 @@ class ScanPipeline:
         banner_factory = BannerFactory(
             unique_body_fraction=universe.config.unique_body_fraction
         )
-        self.zmap = ZMapSimulator(universe, self.ledger)
-        self.lzr = LZRSimulator(universe, self.ledger)
-        self.zgrab = ZGrabSimulator(universe, self.ledger, banner_factory)
+        # A fault plan turns the pipeline lossy: each layer draws seeded,
+        # independent loss decisions and retries unanswered targets with
+        # backoff.  The loss model bounds consecutive losses below the retry
+        # budget (FaultPlan validates this), so scan results stay identical
+        # to the lossless run -- only the ledger shows the retransmits.
+        self.fault_plan = fault_plan
+        loss = fault_plan.loss_model() if fault_plan is not None else None
+        retries = fault_plan.max_probe_retries if loss is not None else 0
+        backoff = fault_plan.retry_backoff_s if loss is not None else 0.0
+        self.zmap = ZMapSimulator(universe, self.ledger, loss=loss,
+                                  max_retries=retries, retry_backoff_s=backoff)
+        self.lzr = LZRSimulator(universe, self.ledger, loss=loss,
+                                max_retries=retries, retry_backoff_s=backoff)
+        self.zgrab = ZGrabSimulator(universe, self.ledger, banner_factory,
+                                    loss=loss, max_retries=retries,
+                                    retry_backoff_s=backoff)
         self.pseudo_filter = pseudo_filter or PseudoServiceFilter()
         # One protocol-status id space per pipeline, so status ids stay
         # stable across every columnar batch this pipeline produces.

@@ -11,9 +11,11 @@ packets.
 
 from __future__ import annotations
 
+import time
 from types import MappingProxyType
-from typing import Iterable, List, Optional
+from typing import Iterable, List, Optional, Tuple
 
+from repro.engine.faults import ProbeLossModel
 from repro.internet.banners import BannerFactory
 from repro.internet.universe import Universe
 from repro.scanner.bandwidth import BandwidthLedger, ScanCategory
@@ -23,17 +25,43 @@ from repro.scanner.records import ObservationBatch, ScanObservation
 #: Packets exchanged to complete a typical application handshake and banner grab.
 PROBES_PER_HANDSHAKE = 4
 
+#: Loss-model layer tag (independent draws from the SYN and LZR layers).
+LOSS_LAYER = "zgrab"
+
 
 class ZGrabSimulator:
-    """Collects application-layer features for fingerprinted services."""
+    """Collects application-layer features for fingerprinted services.
+
+    With a seeded ``loss`` model, a handshake whose banner reply is dropped
+    is re-run (charged as a retransmit) up to ``max_retries`` times; LZR
+    already proved a service is listening, so retrying is always correct.
+    The default (``loss=None``) path is byte-identical to the pre-loss
+    simulator.
+    """
 
     def __init__(self, universe: Universe, ledger: BandwidthLedger,
-                 banner_factory: Optional[BannerFactory] = None) -> None:
+                 banner_factory: Optional[BannerFactory] = None,
+                 loss: Optional[ProbeLossModel] = None, max_retries: int = 0,
+                 retry_backoff_s: float = 0.0) -> None:
         self.universe = universe
         self.ledger = ledger
         self.banner_factory = banner_factory or BannerFactory(
             unique_body_fraction=universe.config.unique_body_fraction
         )
+        self.loss = loss
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+
+    def _handshake_attempts(self, ip: int, port: int) -> Tuple[int, bool]:
+        """(attempts spent, banner observed) for one fingerprinted target."""
+        if self.loss is None:
+            return 1, True
+        for attempt in range(self.max_retries + 1):
+            if not self.loss.lost(LOSS_LAYER, ip, port, attempt):
+                return attempt + 1, True
+            if attempt < self.max_retries and self.retry_backoff_s > 0:
+                time.sleep(self.retry_backoff_s)
+        return self.max_retries + 1, False
 
     def grab(self, fingerprint: FingerprintResult,
              category: ScanCategory = ScanCategory.OTHER) -> Optional[ScanObservation]:
@@ -46,8 +74,15 @@ class ZGrabSimulator:
         """
         if fingerprint.protocol is None:
             return None
-        self.ledger.record(category, probes=PROBES_PER_HANDSHAKE,
-                           responses=PROBES_PER_HANDSHAKE)
+        attempts, observed = self._handshake_attempts(fingerprint.ip,
+                                                      fingerprint.port)
+        self.ledger.record(category, probes=PROBES_PER_HANDSHAKE * attempts,
+                           responses=PROBES_PER_HANDSHAKE if observed else 0,
+                           retransmits=PROBES_PER_HANDSHAKE * (attempts - 1))
+        if not observed:
+            # Every attempt's banner was lost (impossible when the retry
+            # budget covers the loss model's consecutive-loss bound).
+            return None
         record = self.universe.lookup(fingerprint.ip, fingerprint.port)
         if record is not None:
             return ScanObservation(ip=record.ip, port=record.port,
@@ -87,12 +122,21 @@ class ZGrabSimulator:
         """
         observations: List[ScanObservation] = []
         hosts_get = self.universe.hosts.get
+        lossy = self.loss is not None
         handshakes = 0
+        answered = 0
+        retried = 0
         for fingerprint in fingerprints:
             if fingerprint.protocol is None:
                 continue
             handshakes += 1
             ip, port = fingerprint.ip, fingerprint.port
+            if lossy:
+                attempts, observed = self._handshake_attempts(ip, port)
+                retried += attempts - 1
+                if not observed:
+                    continue
+            answered += 1
             host = hosts_get(ip)
             if host is None:
                 continue
@@ -110,8 +154,10 @@ class ZGrabSimulator:
                                                     protocol="http",
                                                     app_features=features,
                                                     ttl=host.base_ttl))
-        self.ledger.record(category, probes=PROBES_PER_HANDSHAKE * handshakes,
-                           responses=PROBES_PER_HANDSHAKE * handshakes)
+        self.ledger.record(
+            category, probes=PROBES_PER_HANDSHAKE * (handshakes + retried),
+            responses=PROBES_PER_HANDSHAKE * (answered if lossy else handshakes),
+            retransmits=PROBES_PER_HANDSHAKE * retried)
         return observations
 
     def grab_batch_columns(self, fingerprints: FingerprintBatch,
@@ -141,8 +187,17 @@ class ZGrabSimulator:
         # Every fingerprint row bears a protocol, so every row is handshaked
         # (and charged) even if the target stopped resolving since.
         handshakes = len(fingerprints)
+        lossy = self.loss is not None
+        answered = 0
+        retried = 0
         for ip, port, status_id, ttl in zip(fingerprints.ips, fingerprints.ports,
                                             fingerprints.status, fingerprints.ttls):
+            if lossy:
+                attempts, observed = self._handshake_attempts(ip, port)
+                retried += attempts - 1
+                if not observed:
+                    continue
+                answered += 1
             host = hosts_get(ip)
             if host is None:
                 continue
@@ -163,6 +218,8 @@ class ZGrabSimulator:
             b_status.append(status_id)
             b_banners.append(banner_id)
             b_ttls.append(ttl)
-        self.ledger.record(category, probes=PROBES_PER_HANDSHAKE * handshakes,
-                           responses=PROBES_PER_HANDSHAKE * handshakes)
+        self.ledger.record(
+            category, probes=PROBES_PER_HANDSHAKE * (handshakes + retried),
+            responses=PROBES_PER_HANDSHAKE * (answered if lossy else handshakes),
+            retransmits=PROBES_PER_HANDSHAKE * retried)
         return batch

@@ -16,9 +16,11 @@ documentation and tests.
 
 from __future__ import annotations
 
+import time
 from itertools import repeat
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Optional, Sequence, Tuple
 
+from repro.engine.faults import ProbeLossModel
 from repro.internet.universe import Universe
 from repro.net.ports import MAX_PORT, is_valid_port
 from repro.scanner.bandwidth import BandwidthLedger, ScanCategory
@@ -27,14 +29,64 @@ from repro.scanner.records import ProbeBatch
 #: The IP-ID value ZMap stamps on every probe, allowing operators to filter it.
 ZMAP_IP_ID_FINGERPRINT = 54321
 
+#: Loss-model layer tag: decisions are per (layer, ip, port, attempt), so the
+#: SYN sweep, LZR and ZGrab draw independent losses for the same target.
+LOSS_LAYER = "zmap"
+
 
 class ZMapSimulator:
-    """Layer-4 SYN scanning against a :class:`~repro.internet.universe.Universe`."""
+    """Layer-4 SYN scanning against a :class:`~repro.internet.universe.Universe`.
 
-    def __init__(self, universe: Universe, ledger: BandwidthLedger) -> None:
+    ``loss`` plugs in a seeded :class:`~repro.engine.faults.ProbeLossModel`;
+    every scan shape then runs bounded retry rounds -- each round retransmits
+    exactly the probes that went unanswered (true responders whose reply was
+    dropped *and* dark space, which can never be told apart on the wire) and
+    charges the ledger for them as retransmits.  Because the loss model bounds
+    consecutive losses per target, a retry budget of at least that depth
+    makes every scan's responder set identical to the lossless run; the
+    default (``loss=None``) is byte-identical to the pre-loss simulator.
+    """
+
+    def __init__(self, universe: Universe, ledger: BandwidthLedger,
+                 loss: Optional[ProbeLossModel] = None, max_retries: int = 0,
+                 retry_backoff_s: float = 0.0) -> None:
         self.universe = universe
         self.ledger = ledger
         self.ip_id = ZMAP_IP_ID_FINGERPRINT
+        self.loss = loss
+        self.max_retries = max_retries
+        self.retry_backoff_s = retry_backoff_s
+
+    def _backoff(self) -> None:
+        if self.retry_backoff_s > 0:
+            time.sleep(self.retry_backoff_s)
+
+    def _sweep_with_loss(self, responders: Sequence[int], port: int,
+                         probes: int, category: ScanCategory) -> List[int]:
+        """Retry rounds over one port's sweep: ``responders`` are the ground
+        truth, ``probes`` the round-0 probe count (responders + dark space).
+
+        Returns the observed responders in their original order, charging one
+        ledger record per round.  Only unanswered probes retransmit, so no
+        response is ever counted twice.
+        """
+        loss = self.loss
+        observed: set = set()
+        missing: Sequence[int] = responders
+        outstanding = probes
+        for attempt in range(self.max_retries + 1):
+            got = [ip for ip in missing
+                   if not loss.lost(LOSS_LAYER, ip, port, attempt)]
+            self.ledger.record(category, probes=outstanding,
+                               responses=len(got),
+                               retransmits=outstanding if attempt else 0)
+            observed.update(got)
+            outstanding -= len(got)
+            missing = [ip for ip in missing if ip not in observed]
+            if not missing:
+                break
+            self._backoff()
+        return [ip for ip in responders if ip in observed]
 
     # -- scan shapes -----------------------------------------------------------------
 
@@ -51,6 +103,8 @@ class ZMapSimulator:
             raise ValueError(f"invalid port: {port}")
         responders = self.universe.responders_in_prefix(port, base, prefix_len)
         probes = self.universe.announced_overlap(base, prefix_len)
+        if self.loss is not None:
+            return self._sweep_with_loss(responders, port, probes, category)
         self.ledger.record(category, probes=probes, responses=len(responders))
         return responders
 
@@ -78,6 +132,26 @@ class ZMapSimulator:
                     raise ValueError(f"invalid port: {port}")
             probes_sent = len(ports)
             responsive = [port for port in ports if self.universe.syn_ack(ip, port)]
+        if self.loss is not None:
+            # One host, many ports: the per-round loss decision keys on the
+            # port (the address is fixed), mirroring _sweep_with_loss.
+            loss = self.loss
+            observed: set = set()
+            missing: Sequence[int] = responsive
+            outstanding = probes_sent
+            for attempt in range(self.max_retries + 1):
+                got = [port for port in missing
+                       if not loss.lost(LOSS_LAYER, ip, port, attempt)]
+                self.ledger.record(category, probes=outstanding,
+                                   responses=len(got),
+                                   retransmits=outstanding if attempt else 0)
+                observed.update(got)
+                outstanding -= len(got)
+                missing = [port for port in missing if port not in observed]
+                if not missing:
+                    break
+                self._backoff()
+            return [port for port in responsive if port in observed]
         self.ledger.record(category, probes=probes_sent, responses=len(responsive))
         return responsive
 
@@ -86,13 +160,32 @@ class ZMapSimulator:
         """Probe specific (ip, port) pairs (the prediction scan shape)."""
         sent = 0
         hits: List[Tuple[int, int]] = []
+        observed = self.universe.syn_ack_observed if self.loss is not None else None
+        retransmits = 0
         for ip, port in pairs:
             if not is_valid_port(port):
                 raise ValueError(f"invalid port: {port}")
             sent += 1
-            if self.universe.syn_ack(ip, port):
+            if observed is not None:
+                # Per-target retry: retransmit until the SYN-ACK gets through
+                # or the budget runs out; a non-responder is never retried
+                # (no reply is indistinguishable from loss only for targets
+                # that would answer -- dark targets time out either way and
+                # the pair scan gives up after the first timeout window).
+                for attempt in range(self.max_retries + 1):
+                    if not self.universe.syn_ack(ip, port):
+                        break
+                    if observed(ip, port, self.loss, attempt):
+                        hits.append((ip, port))
+                        break
+                    if attempt < self.max_retries:
+                        sent += 1
+                        retransmits += 1
+                        self._backoff()
+            elif self.universe.syn_ack(ip, port):
                 hits.append((ip, port))
-        self.ledger.record(category, probes=sent, responses=len(hits))
+        self.ledger.record(category, probes=sent, responses=len(hits),
+                           retransmits=retransmits)
         return hits
 
     def scan_pair_batches(self, batches: Iterable[ProbeBatch],
@@ -109,15 +202,21 @@ class ZMapSimulator:
         probe is amortized across each batch.
         """
         sent = 0
+        retransmits = 0
         hits: List[Tuple[int, int]] = []
         for batch in batches:
             port = batch.port
             if not is_valid_port(port):
                 raise ValueError(f"invalid port: {port}")
             sent += len(batch.ips)
-            hits.extend((ip, port)
-                        for ip in self.universe.syn_ack_many(batch.ips, port))
-        self.ledger.record(category, probes=sent, responses=len(hits))
+            responders = self.universe.syn_ack_many(batch.ips, port)
+            if self.loss is not None:
+                responders, extra = self._retry_responders(responders, port)
+                sent += extra
+                retransmits += extra
+            hits.extend((ip, port) for ip in responders)
+        self.ledger.record(category, probes=sent, responses=len(hits),
+                           retransmits=retransmits)
         return hits
 
     def scan_pair_batch_columns(self, batches: Iterable[ProbeBatch],
@@ -131,6 +230,7 @@ class ZMapSimulator:
         (:class:`~repro.scanner.records.ObservationBatch` downstream).
         """
         sent = 0
+        retransmits = 0
         hit_ips: List[int] = []
         hit_ports: List[int] = []
         syn_ack_many = self.universe.syn_ack_many
@@ -140,11 +240,39 @@ class ZMapSimulator:
                 raise ValueError(f"invalid port: {port}")
             sent += len(batch.ips)
             responders = syn_ack_many(batch.ips, port)
+            if self.loss is not None:
+                responders, extra = self._retry_responders(responders, port)
+                sent += extra
+                retransmits += extra
             if responders:
                 hit_ips.extend(responders)
                 hit_ports.extend(repeat(port, len(responders)))
-        self.ledger.record(category, probes=sent, responses=len(hit_ips))
+        self.ledger.record(category, probes=sent, responses=len(hit_ips),
+                           retransmits=retransmits)
         return hit_ips, hit_ports
+
+    def _retry_responders(self, responders: Sequence[int], port: int,
+                          ) -> Tuple[List[int], int]:
+        """Per-responder retry loop for the batched shapes.
+
+        Each true responder whose SYN-ACK the loss model drops is re-probed
+        (up to the budget); the return value is the observed responders in
+        input order plus the number of retransmitted probes.  With the loss
+        model's bounded consecutive losses and an adequate budget the
+        observed list always equals ``responders``.
+        """
+        loss = self.loss
+        kept: List[int] = []
+        extra = 0
+        for ip in responders:
+            for attempt in range(self.max_retries + 1):
+                if not loss.lost(LOSS_LAYER, ip, port, attempt):
+                    kept.append(ip)
+                    break
+                if attempt < self.max_retries:
+                    extra += 1
+                    self._backoff()
+        return kept, extra
 
     # -- helpers ----------------------------------------------------------------------
 

@@ -10,6 +10,7 @@ resident-dataset paths.
 
 from __future__ import annotations
 
+import logging
 from collections import Counter
 
 import pytest
@@ -24,6 +25,7 @@ from repro.core.predictions import (
 )
 from repro.core.priors import build_priors_plan, build_priors_plan_with_engine
 from repro.core.runtime_plans import ResidentHostGroups
+from repro.engine.faults import FaultPlan
 from repro.engine.parallel import ExecutorConfig, partitioned_group_count
 from repro.engine.runtime import (
     RUNTIME_EXECUTORS,
@@ -31,6 +33,7 @@ from repro.engine.runtime import (
     PoolExecutor,
     WorkerCrashError,
     WorkerTaskError,
+    WorkerTimeoutError,
     _payload_rows,
     default_worker_count,
     lpt_placement,
@@ -175,6 +178,189 @@ class TestPoolLifecycle:
             runtime.unload("k")
             with pytest.raises(RuntimeError):
                 runtime.execute("model_denominators", "k")
+
+
+def _denominator_fold(runtime, key):
+    merged = Counter()
+    for counts in runtime.execute("model_denominators", key):
+        merged.update(counts)
+    return merged
+
+
+class TestSelfHealing:
+    """Supervision: every crash timing window recovers in place, surgically."""
+
+    def test_worker_killed_while_idle_recovers_on_next_dispatch(self):
+        """Death with zero outstanding tasks: the next execution heals it."""
+        with EngineRuntime(executor="pool", num_workers=2,
+                           shard_count=2) as runtime:
+            runtime.load_shards("k", [{"value_ids": [0]}, {"value_ids": [1]}])
+            before = [pid for pid, _ in runtime.execute("_probe", "k")]
+            backend = runtime._backend
+            victim = backend._placements["k"][0]
+            process = backend._processes[victim]
+            process.kill()
+            process.join()
+            assert _denominator_fold(runtime, "k") == Counter({0: 1, 1: 1})
+            stats = runtime.recovery_stats
+            assert stats.crashes_detected == 1 and stats.respawns == 1
+            assert stats.reloaded_shards == 1
+            after = [pid for pid, _ in runtime.execute("_probe", "k")]
+            # The victim's shard answers from a fresh process, the
+            # survivor's from the same one -- no full pool rebuild.
+            assert after[0] != before[0]
+            assert after[1] == before[1]
+            assert not runtime.broken
+
+    def test_crash_during_load_shards_recovers(self, monkeypatch):
+        """Death mid-load: the coordinator copy re-ships the lost shards."""
+        monkeypatch.setenv("REPRO_RUNTIME_CRASH_TEST", "1")
+        plan = FaultPlan(crash_task="load", crash_workers=(0,))
+        with EngineRuntime(executor="pool", num_workers=2, shard_count=4,
+                           fault_plan=plan) as runtime:
+            runtime.load_shards("k", [{"value_ids": [s]} for s in range(4)])
+            stats = runtime.recovery_stats
+            assert stats.crashes_detected == 1 and stats.respawns == 1
+            assert _denominator_fold(runtime, "k") == Counter(range(4))
+            assert not runtime.broken
+
+    def test_two_workers_dying_in_one_execution(self, monkeypatch):
+        """Both workers die mid-dispatch; both respawn, results intact."""
+        monkeypatch.setenv("REPRO_RUNTIME_CRASH_TEST", "1")
+        plan = FaultPlan(crash_task="model_denominators", crash_workers=(0, 1))
+        with EngineRuntime(executor="pool", num_workers=2, shard_count=4,
+                           fault_plan=plan) as runtime:
+            runtime.load_shards("k", [{"value_ids": [s]} for s in range(4)])
+            assert _denominator_fold(runtime, "k") == Counter(range(4))
+            stats = runtime.recovery_stats
+            assert stats.crashes_detected == 2 and stats.respawns == 2
+            # Each worker owned two of the four equal shards.
+            assert stats.reloaded_shards == 4
+            assert not runtime.broken
+
+    def test_recovery_is_bit_identical_and_surgical(self, seed_inputs,
+                                                    monkeypatch):
+        """A seeded crash mid-model-build: all three Table 2 builds stay
+        bit-identical to the serial oracles, and only the dead worker's
+        shards are re-loaded (the survivor keeps its process and shards)."""
+        monkeypatch.setenv("REPRO_RUNTIME_CRASH_TEST", "1")
+        host_features, model, priors, index = seed_inputs
+        plan = FaultPlan(crash_task="model_pairs", crash_workers=(1,))
+        with EngineRuntime(executor="pool", num_workers=2, shard_count=5,
+                           fault_plan=plan) as runtime:
+            dataset = ResidentHostGroups(runtime, host_features, 16)
+            before = [pid for pid, _ in runtime.execute("_probe", dataset.key)]
+            placement = runtime._backend._placements[dataset.key]
+            built = build_model_with_engine(host_features, dataset=dataset)
+            assert built.denominators == model.denominators
+            assert {k: v for k, v in built.cooccurrence.items() if v} == \
+                {k: v for k, v in model.cooccurrence.items() if v}
+            assert build_priors_plan_with_engine(host_features, built, 16,
+                                                 dataset=dataset) == priors
+            rebuilt = build_prediction_index_with_engine(host_features, built,
+                                                         dataset=dataset)
+            assert rebuilt.entries() == index.entries()
+            stats = dataset.recovery_stats
+            assert stats.crashes_detected == 1 and stats.respawns == 1
+            # Surgical recovery: exactly the dead worker's shards were
+            # re-shipped, nothing else (the model sides had not broadcast
+            # yet when the crash fired, so no broadcast reload either).
+            assert stats.reloaded_shards == placement.count(1)
+            assert stats.reloaded_broadcasts == 0
+            after = [pid for pid, _ in runtime.execute("_probe", dataset.key)]
+            for shard_idx, worker in enumerate(placement):
+                assert (after[shard_idx] == before[shard_idx]) == (worker != 1)
+            dataset.release()
+
+    def test_exit_after_crash_is_idempotent(self, monkeypatch):
+        """__exit__ after an unrecovered crash closes cleanly, repeatedly."""
+        monkeypatch.setenv("REPRO_RUNTIME_CRASH_TEST", "1")
+        with pytest.raises(WorkerCrashError, match="died"):
+            with EngineRuntime(executor="pool", num_workers=2,
+                               max_task_retries=0) as runtime:
+                runtime.map_stateless("_crash", [None, None])
+        assert runtime.closed
+        runtime.close()
+        with pytest.raises(RuntimeError):
+            runtime.map_stateless("count_rows", [[1]])
+
+    def test_zero_retries_restores_fail_fast(self, monkeypatch):
+        monkeypatch.setenv("REPRO_RUNTIME_CRASH_TEST", "1")
+        runtime = EngineRuntime(executor="pool", num_workers=2,
+                                max_task_retries=0)
+        with pytest.raises(WorkerCrashError, match="recovery budget"):
+            runtime.map_stateless("_crash", [None, None])
+        assert runtime.recovery_stats.respawns == 0
+        runtime.close()
+
+    def test_task_deadline_flags_wedged_worker(self):
+        """A live worker that swallows its reply trips the task deadline."""
+        plan = FaultPlan(drop_reply_task="_probe", drop_reply_workers=(0,))
+        with EngineRuntime(executor="pool", num_workers=2,
+                           task_deadline_s=0.3, fault_plan=plan) as runtime:
+            with pytest.raises(WorkerTimeoutError, match="process dump"):
+                runtime.map_stateless("_probe", [None, None])
+            assert runtime.broken
+
+    def test_execution_deadline_bounds_a_dispatch(self):
+        plan = FaultPlan(slow_task="count_rows", slow_workers=(0,),
+                         slow_seconds=30.0)
+        with EngineRuntime(executor="pool", num_workers=2,
+                           execution_deadline_s=0.3,
+                           fault_plan=plan) as runtime:
+            with pytest.raises(WorkerTimeoutError, match="deadline"):
+                runtime.map_stateless("count_rows", [[1], [2]])
+            assert runtime.broken
+
+    def test_injected_task_error_does_not_break_the_pool(self):
+        plan = FaultPlan(error_task="count_rows", error_workers=(1,))
+        with EngineRuntime(executor="pool", num_workers=2,
+                           fault_plan=plan) as runtime:
+            with pytest.raises(WorkerTaskError, match="injected fault"):
+                runtime.map_stateless("count_rows", [[1], [2]])
+            assert not runtime.broken
+            # The planned occurrence has passed; the next dispatch is clean.
+            assert runtime.map_stateless("count_rows", [[1], [2]]) == \
+                [Counter({1: 1}), Counter({2: 1})]
+
+    def test_fault_crash_requires_env_gate(self, monkeypatch):
+        """A crash plan without the opt-in is an ordinary task error."""
+        monkeypatch.delenv("REPRO_RUNTIME_CRASH_TEST", raising=False)
+        plan = FaultPlan(crash_task="count_rows")
+        with EngineRuntime(executor="pool", num_workers=1,
+                           fault_plan=plan) as runtime:
+            with pytest.raises(WorkerTaskError,
+                               match="REPRO_RUNTIME_CRASH_TEST"):
+                runtime.map_stateless("count_rows", [[1]])
+            assert not runtime.broken
+
+    def test_supervision_events_are_logged(self, monkeypatch, caplog):
+        """Recovery narrates itself on the runtime logger, off by default."""
+        monkeypatch.setenv("REPRO_RUNTIME_CRASH_TEST", "1")
+        plan = FaultPlan(crash_task="count_rows")
+        with caplog.at_level(logging.INFO, logger="repro.engine.runtime"):
+            with EngineRuntime(executor="pool", num_workers=1,
+                               fault_plan=plan) as runtime:
+                assert runtime.map_stateless("count_rows", [[1]]) == \
+                    [Counter({1: 1})]
+        text = "\n".join(record.getMessage() for record in caplog.records)
+        for kind in ("worker_crash", "respawn", "redispatch", "retry_backoff"):
+            assert f"kind='{kind}'" in text
+
+    def test_runtime_validates_supervision_knobs(self):
+        with pytest.raises(ValueError):
+            EngineRuntime(max_task_retries=-1)
+        with pytest.raises(ValueError):
+            EngineRuntime(task_deadline_s=0)
+        with pytest.raises(ValueError):
+            EngineRuntime(execution_deadline_s=-1.0)
+        with pytest.raises(TypeError):
+            EngineRuntime(fault_plan="chaos")
+
+    def test_in_process_backends_report_zero_stats(self):
+        with EngineRuntime(executor="serial") as runtime:
+            runtime.map_stateless("count_rows", [[1]])
+            assert runtime.recovery_stats.respawns == 0
 
 
 class TestShardingLayer:
@@ -409,6 +595,56 @@ class TestGPSRuntimeIntegration:
         with pytest.raises(ValueError, match="fused"):
             GPSConfig(use_engine=True, engine_mode="legacy", executor="pool")
         assert GPSConfig(use_engine=True, executor="pool").executor == "pool"
+
+    def test_config_validates_supervision_knobs(self):
+        with pytest.raises(ValueError):
+            GPSConfig(max_task_retries=-1)
+        with pytest.raises(ValueError):
+            GPSConfig(task_deadline_s=0.0)
+        with pytest.raises(ValueError):
+            GPSConfig(execution_deadline_s=-2.0)
+        with pytest.raises(TypeError):
+            GPSConfig(fault_plan=object())
+        plan = FaultPlan(probe_loss_rate=0.1)
+        assert GPSConfig(fault_plan=plan).fault_plan is plan
+
+    def test_config_knobs_reach_the_runtime(self, universe):
+        plan = FaultPlan(seed=5)
+        config = GPSConfig(use_engine=True, executor="pool", num_workers=2,
+                           max_task_retries=4, task_deadline_s=30.0,
+                           execution_deadline_s=120.0, fault_plan=plan)
+        with GPS(ScanPipeline(universe), config) as gps:
+            runtime = gps.runtime()
+            assert runtime.max_task_retries == 4
+            assert runtime.task_deadline_s == 30.0
+            assert runtime.execution_deadline_s == 120.0
+            assert runtime.fault_plan is plan
+
+    def test_end_to_end_run_survives_seeded_crash(self, universe,
+                                                  censys_dataset, censys_split,
+                                                  monkeypatch):
+        """A FaultPlan killing one worker mid-model-build leaves the whole
+        GPS run bit-identical to the per-call engine reference."""
+        monkeypatch.setenv("REPRO_RUNTIME_CRASH_TEST", "1")
+
+        def run(**extra):
+            pipeline = ScanPipeline(universe)
+            config = GPSConfig(seed_fraction=0.05, step_size=16,
+                               port_domain=censys_dataset.port_domain,
+                               use_engine=True, **extra)
+            with GPS(pipeline, config) as gps:
+                return gps.run(seed=censys_split.seed_scan_result(),
+                               seed_cost_probes=0)
+
+        reference = run()
+        plan = FaultPlan(crash_task="model_pairs", crash_workers=(1,))
+        chaotic = run(executor="pool", num_workers=2, shard_count=3,
+                      fault_plan=plan)
+        assert chaotic.priors_plan == reference.priors_plan
+        assert [p.pair() for p in chaotic.predictions] == \
+            [p.pair() for p in reference.predictions]
+        assert chaotic.discovered_pairs() == reference.discovered_pairs()
+        assert chaotic.model.denominators == reference.model.denominators
 
     def test_broken_runtime_is_recreated(self, universe, monkeypatch):
         """After a worker crash, the next runtime() call yields a fresh pool."""
