@@ -9,6 +9,7 @@ and the churn measurement.  Install the package and run::
     gps-repro coverage --dataset lzr --scale medium
     gps-repro compare-xgboost --ports 8
     gps-repro churn --days 10
+    gps-repro serve --port 8080
 
 Every command is deterministic for a given ``--seed``.
 """
@@ -204,6 +205,43 @@ def cmd_churn(args: argparse.Namespace) -> int:
     return 0
 
 
+def cmd_serve(args: argparse.Namespace) -> int:
+    """Serve GPS predictions over HTTP on a warm engine runtime.
+
+    Builds one model named ``default`` from a synthetic universe's seed scan,
+    keeps its shards resident, and answers lookups until interrupted.
+    Imports live here so the asyncio serving stack is only paid for by this
+    command.
+    """
+    from repro.serving.http import ServiceHost, serve_forever
+    from repro.serving.service import ServingConfig
+
+    _configure_runtime_logging(args)
+    universe = make_universe(_scale(args.scale), seed=args.seed)
+    pipeline = ScanPipeline(universe)
+    seed = pipeline.seed_scan(args.seed_fraction, seed=args.seed)
+
+    executor = args.executor or "serial"
+    config = ServingConfig(executor=executor, num_workers=args.workers,
+                           shard_count=args.shard_count)
+    host = ServiceHost(config)
+    gps_config = GPSConfig(seed_fraction=args.seed_fraction,
+                           use_engine=True, executor=executor,
+                           num_workers=args.workers,
+                           shard_count=args.shard_count)
+    info = host.call(host.service.load_model("default", pipeline, seed,
+                                             gps_config))
+    print(f"model 'default' ready: {info.seed_services} seed services, "
+          f"{info.index_entries} index entries, "
+          f"built in {info.build_seconds:.2f}s "
+          f"(resident shards: {info.resident_shards})")
+    print(f"serving on http://{args.address}:{args.port} "
+          "(GET /healthz /models /stats /lookup, POST /predict /scan); "
+          "Ctrl-C to drain and stop")
+    serve_forever(host, args.address, args.port)
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     """Construct the argument parser (exposed for tests and docs)."""
     parser = argparse.ArgumentParser(
@@ -245,6 +283,18 @@ def build_parser() -> argparse.ArgumentParser:
     _add_common_arguments(churn)
     churn.add_argument("--days", type=int, default=10)
     churn.set_defaults(func=cmd_churn)
+
+    serve = subparsers.add_parser("serve",
+                                  help="serve GPS predictions over HTTP")
+    _add_common_arguments(serve)
+    _add_executor_arguments(serve)
+    serve.add_argument("--address", default="127.0.0.1",
+                       help="interface to bind")
+    serve.add_argument("--port", type=int, default=8080,
+                       help="TCP port to listen on")
+    serve.add_argument("--seed-fraction", type=float, default=0.05,
+                       help="seed-scan size the default model is built from")
+    serve.set_defaults(func=cmd_serve)
 
     return parser
 

@@ -18,6 +18,7 @@ GPS uses the features of those services to predict every remaining service:
 
 from __future__ import annotations
 
+import threading
 from collections import OrderedDict
 from dataclasses import dataclass
 from typing import Dict, Iterable, List, Mapping, Optional, Sequence, Set, Tuple
@@ -92,9 +93,14 @@ class PredictiveFeatureIndex:
         # Bounded LRU memo for network_feature_values, shared across predict
         # calls; keyed per (asn_db, feature kinds) identity so an index
         # reused against a different universe never serves stale features.
+        # One index is read by many serving threads concurrently, so every
+        # structural cache operation (lookup+refresh, insert+evict, rekey)
+        # holds the lock: an unguarded get/move_to_end pair races with
+        # another thread's eviction and dies with KeyError.
         self._net_cache: "OrderedDict[int, List[Tuple[str, int]]]" = OrderedDict()
         self._net_cache_db: Optional[AsnDatabase] = None
         self._net_cache_kinds: Optional[Tuple[str, ...]] = None
+        self._net_cache_lock = threading.Lock()
 
     # -- construction -----------------------------------------------------------------
 
@@ -174,12 +180,19 @@ class PredictiveFeatureIndex:
     def _net_values_cache(self, asn_db: Optional[AsnDatabase],
                           kinds: Tuple[str, ...],
                           ) -> "OrderedDict[int, List[Tuple[str, int]]]":
-        """The bounded per-(asn_db, kinds) network-feature memo, reset on rekey."""
-        if self._net_cache_db is not asn_db or self._net_cache_kinds != kinds:
-            self._net_cache = OrderedDict()
-            self._net_cache_db = asn_db
-            self._net_cache_kinds = kinds
-        return self._net_cache
+        """The bounded per-(asn_db, kinds) network-feature memo, reset on rekey.
+
+        Callers must only touch the returned dict under
+        ``self._net_cache_lock``; the rekey check itself takes the lock so a
+        concurrent predict against a different universe cannot interleave
+        with the swap and resurrect the stale dict.
+        """
+        with self._net_cache_lock:
+            if self._net_cache_db is not asn_db or self._net_cache_kinds != kinds:
+                self._net_cache = OrderedDict()
+                self._net_cache_db = asn_db
+                self._net_cache_kinds = kinds
+            return self._net_cache
 
     def predict(
         self,
@@ -213,22 +226,28 @@ class PredictiveFeatureIndex:
         # entry, the stalest entry goes first) so long-running multi-round
         # deployments cannot grow it without limit while hot hosts stay
         # memoized, and it is keyed per (asn_db, kinds) so reuse against
-        # another universe resets it.
+        # another universe resets it.  The serving layer calls predict from
+        # many threads against one shared index, so the lookup+refresh and
+        # evict+insert pairs each run atomically under the cache lock; the
+        # feature derivation itself runs outside it (a concurrent duplicate
+        # derivation wastes a little work but last-write-wins on identical
+        # values, so nothing is lost or duplicated).
         net_cache = self._net_values_cache(
             asn_db, feature_config.network_feature_kinds)
-        net_cache_get = net_cache.get
-        net_cache_refresh = net_cache.move_to_end
+        net_cache_lock = self._net_cache_lock
         limit = NET_FEATURE_CACHE_MAX
         for observation in observations:
-            net_values = net_cache_get(observation.ip)
+            with net_cache_lock:
+                net_values = net_cache.get(observation.ip)
+                if net_values is not None:
+                    net_cache.move_to_end(observation.ip)
             if net_values is None:
                 net_values = network_feature_values(
                     observation.ip, asn_db, feature_config.network_feature_kinds)
-                if len(net_cache) >= limit:
-                    net_cache.popitem(last=False)
-                net_cache[observation.ip] = net_values
-            else:
-                net_cache_refresh(observation.ip)
+                with net_cache_lock:
+                    while len(net_cache) >= limit:
+                        net_cache.popitem(last=False)
+                    net_cache[observation.ip] = net_values
             predictors = predictor_tuples_for_observation(observation, net_values,
                                                           feature_config)
             for predictor in predictors:

@@ -1,0 +1,596 @@
+"""The asyncio serving core: one warm runtime, many concurrent callers.
+
+:class:`GPSService` turns the persistent sharded
+:class:`~repro.engine.runtime.EngineRuntime` into a long-lived serving layer.
+One service owns:
+
+* **one engine runtime** (serial/thread/pool, the PR 4-6 machinery) that
+  every model build folds on -- worker processes spawn once and hold each
+  loaded model's seed columns resident until the model is evicted; a worker
+  crash mid-build heals through the runtime's own supervision without
+  corrupting in-flight responses;
+* **a model registry** (:mod:`repro.serving.registry`) with load/swap/evict
+  of named models;
+* **a request router** with per-model micro-batching: concurrent point
+  lookups coalesce into one worker-thread flush (flushed when the batch
+  reaches ``max_batch`` *or* the oldest waiter has waited
+  ``batch_window_s``, whichever first), sharing one executor dispatch and
+  one hot net-feature memo instead of paying per-request scheduling;
+* **bounded admission**: at most ``max_pending`` requests are in flight;
+  request number ``max_pending + 1`` is shed *immediately* with
+  :class:`~repro.serving.schemas.ServiceOverloaded` -- the queue never grows
+  without bound, so overload degrades into fast typed rejections rather
+  than collapse;
+* **graceful drain**: :meth:`close` stops admission (typed
+  :class:`~repro.serving.schemas.ServiceClosed` for late arrivals), flushes
+  every batcher, waits for outstanding requests to complete (bounded by
+  ``drain_timeout_s``), then tears down the thread pool, the registry and
+  the engine runtime.  Idempotent; double-close is a no-op.
+
+Everything is framework-free: plain asyncio plus a small
+``ThreadPoolExecutor`` for the CPU-bound prediction folds (which is why the
+index's net-feature memo is lock-protected).  The service is loop-affine --
+construct and use it from one running event loop (the in-process client does;
+the HTTP adapter hosts a dedicated loop thread).
+"""
+
+from __future__ import annotations
+
+import asyncio
+import itertools
+from concurrent.futures import ThreadPoolExecutor
+from dataclasses import dataclass
+from typing import AsyncIterator, Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.core.config import GPSConfig
+from repro.engine.faults import FaultPlan
+from repro.engine.runtime import RUNTIME_EXECUTORS, EngineRuntime
+from repro.scanner.bandwidth import ScanCategory
+from repro.scanner.pipeline import ScanPipeline, SeedScanResult
+from repro.scanner.records import group_pairs
+from repro.serving.registry import ModelRegistry, PreparedModel, build_prepared_model
+from repro.serving.schemas import (
+    BulkPredict,
+    BulkReply,
+    LookupReply,
+    ModelInfo,
+    PointLookup,
+    RequestTimeout,
+    ScanJobFailed,
+    ScanJobNotFound,
+    ScanJobRequest,
+    ScanUpdate,
+    ServiceClosed,
+    ServiceError,
+    ServiceOverloaded,
+    ServingStats,
+)
+
+_OPEN, _DRAINING, _CLOSED = "open", "draining", "closed"
+
+
+@dataclass(frozen=True)
+class ServingConfig:
+    """Knobs of the serving layer (validated on construction).
+
+    Attributes:
+        max_pending: bound on concurrently admitted requests; the next one
+            is shed with :class:`ServiceOverloaded`.
+        max_batch: micro-batch size that triggers an immediate flush.
+        batch_window_s: longest a coalesced lookup waits for company before
+            the batch flushes anyway (the deadline flush).
+        request_timeout_s: per-request deadline; ``None`` disables.  Scan
+            streams apply it per awaited update.
+        drain_timeout_s: how long :meth:`GPSService.close` waits for
+            outstanding requests before tearing down regardless.
+        lookup_threads: worker threads serving prediction folds.
+        executor / num_workers / shard_count / max_task_retries /
+        task_deadline_s / execution_deadline_s / fault_plan: the engine
+            runtime's knobs, passed through verbatim (see
+            :class:`~repro.engine.runtime.EngineRuntime`).
+    """
+
+    max_pending: int = 256
+    max_batch: int = 32
+    batch_window_s: float = 0.002
+    request_timeout_s: Optional[float] = 30.0
+    drain_timeout_s: float = 10.0
+    lookup_threads: int = 4
+    executor: str = "serial"
+    num_workers: int = 0
+    shard_count: int = 0
+    max_task_retries: int = 2
+    task_deadline_s: Optional[float] = None
+    execution_deadline_s: Optional[float] = None
+    fault_plan: Optional[FaultPlan] = None
+
+    def __post_init__(self) -> None:
+        if self.max_pending < 1:
+            raise ValueError("max_pending must be >= 1")
+        if self.max_batch < 1:
+            raise ValueError("max_batch must be >= 1")
+        if self.batch_window_s < 0:
+            raise ValueError("batch_window_s must be non-negative")
+        for name, value in (("request_timeout_s", self.request_timeout_s),
+                            ("task_deadline_s", self.task_deadline_s),
+                            ("execution_deadline_s", self.execution_deadline_s)):
+            if value is not None and value <= 0:
+                raise ValueError(f"{name} must be positive when set")
+        if self.drain_timeout_s < 0:
+            raise ValueError("drain_timeout_s must be non-negative")
+        if self.lookup_threads < 1:
+            raise ValueError("lookup_threads must be >= 1")
+        if self.executor not in RUNTIME_EXECUTORS:
+            raise ValueError(f"unknown executor: {self.executor!r} "
+                             f"(expected one of {RUNTIME_EXECUTORS})")
+        if self.num_workers < 0 or self.shard_count < 0:
+            raise ValueError("num_workers and shard_count must be >= 0")
+        if self.max_task_retries < 0:
+            raise ValueError("max_task_retries must be >= 0")
+        if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
+            raise TypeError("fault_plan must be a FaultPlan or None")
+
+
+class _MicroBatcher:
+    """Coalesces one model's concurrent point lookups into shared flushes.
+
+    Waiters append onto the open batch; the batch flushes when it reaches
+    ``max_batch`` or when the *oldest* waiter has waited ``batch_window_s``
+    (one timer armed by the first arrival -- later arrivals never extend the
+    deadline).  All state is touched from the event loop only.
+    """
+
+    def __init__(self, service: "GPSService") -> None:
+        self._service = service
+        self._items: List[Tuple[PointLookup, asyncio.Future]] = []
+        self._timer: Optional[asyncio.TimerHandle] = None
+
+    async def submit(self, request: PointLookup) -> LookupReply:
+        loop = asyncio.get_running_loop()
+        future: asyncio.Future = loop.create_future()
+        self._items.append((request, future))
+        config = self._service.config
+        # An admitted request can land here *after* close() swept the
+        # batchers (wait_for schedules this coroutine as its own task);
+        # waiting out the window would deadlock the drain, so a draining
+        # service flushes every arrival immediately.
+        if len(self._items) >= config.max_batch or self._service.closed:
+            self.flush()
+        elif self._timer is None:
+            self._timer = loop.call_later(config.batch_window_s, self.flush)
+        return await future
+
+    def flush(self) -> None:
+        """Close the open batch and hand it to a worker thread (loop-side)."""
+        if self._timer is not None:
+            self._timer.cancel()
+            self._timer = None
+        if not self._items:
+            return
+        items, self._items = self._items, []
+        self._service._spawn_flush(items)
+
+
+class GPSService:
+    """The long-lived GPS serving core.  See the module docstring."""
+
+    def __init__(self, config: Optional[ServingConfig] = None) -> None:
+        self.config = config or ServingConfig()
+        self.stats = ServingStats()
+        self._registry = ModelRegistry()
+        self._state = _OPEN
+        self._pending = 0
+        self._drained: Optional[asyncio.Event] = None
+        self._runtime: Optional[EngineRuntime] = None
+        self._build_lock: Optional[asyncio.Lock] = None
+        self._loop: Optional[asyncio.AbstractEventLoop] = None
+        self._batchers: Dict[str, _MicroBatcher] = {}
+        self._jobs: Dict[str, "_ScanJob"] = {}
+        self._job_ids = itertools.count()
+        self._flush_tasks: Set[asyncio.Task] = set()
+        self._threads = ThreadPoolExecutor(
+            max_workers=self.config.lookup_threads,
+            thread_name_prefix="gps-serve")
+
+    # -- lifecycle ---------------------------------------------------------------------
+
+    @property
+    def closed(self) -> bool:
+        """Whether the service has stopped admitting requests."""
+        return self._state != _OPEN
+
+    def runtime(self) -> EngineRuntime:
+        """The service's engine runtime, created lazily on first build.
+
+        Recreated transparently if a previous one was closed or broken past
+        recovery, mirroring the orchestrator's own policy.
+        """
+        if self._runtime is None or self._runtime.closed or self._runtime.broken:
+            if self._runtime is not None:
+                self._runtime.close()
+            config = self.config
+            self._runtime = EngineRuntime(
+                executor=config.executor,
+                num_workers=config.num_workers,
+                shard_count=config.shard_count,
+                max_task_retries=config.max_task_retries,
+                task_deadline_s=config.task_deadline_s,
+                execution_deadline_s=config.execution_deadline_s,
+                fault_plan=config.fault_plan)
+        return self._runtime
+
+    async def close(self, drain: bool = True) -> None:
+        """Stop admission, drain outstanding requests, tear everything down.
+
+        Late submissions observe a typed :class:`ServiceClosed` immediately.
+        With ``drain=True`` (the default) outstanding requests -- including
+        open micro-batches, which are flushed right away rather than waiting
+        out their window -- run to completion, bounded by
+        ``drain_timeout_s``.  Idempotent: every call after the first returns
+        once the first teardown is done.
+        """
+        if self._state == _CLOSED:
+            return
+        first = self._state == _OPEN
+        self._state = _DRAINING
+        if first:
+            for batcher in self._batchers.values():
+                batcher.flush()
+        if drain and self._pending > 0:
+            self._ensure_loop_state()
+            assert self._drained is not None
+            try:
+                await asyncio.wait_for(self._drained.wait(),
+                                       self.config.drain_timeout_s)
+            except asyncio.TimeoutError:
+                pass
+        self._state = _CLOSED
+        self._threads.shutdown(wait=drain, cancel_futures=not drain)
+        self._registry.close()
+        if self._runtime is not None:
+            self._runtime.close()
+
+    async def __aenter__(self) -> "GPSService":
+        return self
+
+    async def __aexit__(self, *exc_info) -> None:
+        await self.close()
+
+    # -- model registry ----------------------------------------------------------------
+
+    async def load_model(self, name: str, pipeline: ScanPipeline,
+                         seed: SeedScanResult,
+                         gps_config: Optional[GPSConfig] = None) -> ModelInfo:
+        """Build a model on the warm runtime and register it under ``name``.
+
+        Loading an already-taken name builds the replacement first and swaps
+        atomically (readers keep hitting the old model until the new one is
+        complete), then releases the displaced model's resident shards.
+        Builds are serialized -- the engine runtime executes one dispatch at
+        a time -- but lookups against already-loaded models proceed
+        concurrently with a build.
+        """
+        self._ensure_loop_state()
+        self._admit()
+        try:
+            assert self._build_lock is not None
+            async with self._build_lock:
+                config = gps_config or GPSConfig(use_engine=True)
+                runtime = None
+                if config.use_engine and config.engine_mode == "fused":
+                    runtime = self.runtime()
+                loop = asyncio.get_running_loop()
+                prepared = await loop.run_in_executor(
+                    self._threads, build_prepared_model, name, pipeline, seed,
+                    config, runtime)
+            self._registry.register(prepared)
+            return prepared.info()
+        finally:
+            self._release()
+
+    async def evict_model(self, name: str) -> None:
+        """Release a model's resident shards and forget its name."""
+        self._ensure_loop_state()
+        self._registry.evict(name)
+
+    def models(self) -> List[ModelInfo]:
+        """Summaries of every loaded model."""
+        return self._registry.infos()
+
+    def model(self, name: str) -> PreparedModel:
+        """Resolve one loaded model (raises :class:`ModelNotFound`)."""
+        return self._registry.get(name)
+
+    # -- point lookups (micro-batched) -------------------------------------------------
+
+    async def lookup(self, request: PointLookup) -> LookupReply:
+        """One host's "what services does it likely run?" lookup.
+
+        Coalesces with concurrent lookups against the same model; the reply
+        is bit-identical to calling the one-shot
+        ``PredictiveFeatureIndex.predict`` with this request's observations
+        and known pairs alone.
+        """
+        self._ensure_loop_state()
+        self._check_open()
+        self._registry.get(request.model)
+        self._admit()
+        self.stats.lookups += 1
+        try:
+            batcher = self._batchers.get(request.model)
+            if batcher is None:
+                batcher = self._batchers[request.model] = _MicroBatcher(self)
+            return await self._await_with_deadline(batcher.submit(request))
+        finally:
+            self._release()
+
+    async def lookup_ip(self, model: str, ip: int) -> LookupReply:
+        """Point lookup for an address the model already knows.
+
+        Convenience form (the HTTP adapter's ``GET /lookup``): the evidence
+        is the model's own seed observations for ``ip`` and those pairs are
+        suppressed from the reply.  Unknown addresses yield an empty reply
+        rather than an error -- "we have no evidence" is a valid answer.
+        """
+        self._ensure_loop_state()
+        self._check_open()
+        prepared = self._registry.get(model)
+        observations = prepared.known_observations(ip)
+        if not observations:
+            return LookupReply(model=model, predictions=())
+        request = PointLookup(model=model,
+                              observations=tuple(observations),
+                              known_pairs=frozenset(prepared.known_pairs_for(ip)))
+        return await self.lookup(request)
+
+    # -- bulk prediction ---------------------------------------------------------------
+
+    async def bulk_predict(self, request: BulkPredict) -> BulkReply:
+        """Predict for many hosts at once, grouped like the scan path."""
+        self._ensure_loop_state()
+        self._check_open()
+        self._registry.get(request.model)
+        self._admit()
+        self.stats.bulk_predictions += 1
+        try:
+            loop = asyncio.get_running_loop()
+            return await self._await_with_deadline(loop.run_in_executor(
+                self._threads, self._process_bulk, request))
+        finally:
+            self._release()
+
+    def _process_bulk(self, request: BulkPredict) -> BulkReply:
+        """Worker-thread body of a bulk prediction."""
+        prepared = self._registry.get(request.model)
+        predictions = prepared.predict(request.observations,
+                                       known_pairs=set(request.known_pairs))
+        batches = group_pairs((p.pair() for p in predictions), request.prefix_len)
+        return BulkReply(model=request.model,
+                         predictions=tuple(predictions),
+                         batches=tuple(batches))
+
+    # -- scan jobs ---------------------------------------------------------------------
+
+    async def submit_scan(self, request: ScanJobRequest) -> str:
+        """Start a prediction scan; results stream via :meth:`scan_updates`.
+
+        The job predicts from the request's observations (the model's own
+        seed when empty), probes the predictions through the model's
+        pipeline in ``batch_size`` increments, and pushes one
+        :class:`ScanUpdate` per increment.  Admission capacity is held for
+        the job's whole life, so scan jobs participate in backpressure.
+        """
+        self._ensure_loop_state()
+        self._check_open()
+        prepared = self._registry.get(request.model)
+        self._admit()
+        self.stats.scan_jobs += 1
+        job_id = f"scan-{next(self._job_ids)}"
+        job = _ScanJob(job_id=job_id, queue=asyncio.Queue())
+        self._jobs[job_id] = job
+        loop = asyncio.get_running_loop()
+
+        def _finished(_future) -> None:
+            self._release()
+
+        # run_in_executor returns an asyncio.Future whose callbacks run on
+        # this loop, so the release lands loop-side like every other one.
+        future = loop.run_in_executor(self._threads, self._run_scan_job,
+                                      loop, job, prepared, request)
+        future.add_done_callback(_finished)
+        return job_id
+
+    async def scan_updates(self, job_id: str,
+                           timeout_s: Optional[float] = None,
+                           ) -> AsyncIterator[ScanUpdate]:
+        """Stream a scan job's updates until (and including) the final one.
+
+        Each awaited update is bounded by ``timeout_s`` (default: the
+        service's ``request_timeout_s``); a stall past the deadline raises
+        :class:`RequestTimeout` instead of hanging.  A failed job raises its
+        typed error; the job is forgotten once its stream finishes.
+        """
+        job = self._jobs.get(job_id)
+        if job is None:
+            raise ScanJobNotFound(f"no scan job {job_id!r}")
+        deadline = timeout_s if timeout_s is not None \
+            else self.config.request_timeout_s
+        try:
+            while True:
+                try:
+                    if deadline is None:
+                        item = await job.queue.get()
+                    else:
+                        item = await asyncio.wait_for(job.queue.get(), deadline)
+                except asyncio.TimeoutError:
+                    self.stats.timeouts += 1
+                    raise RequestTimeout(
+                        f"scan job {job_id!r} produced no update within "
+                        f"{deadline}s") from None
+                if isinstance(item, BaseException):
+                    if isinstance(item, ServiceError):
+                        raise item
+                    raise ScanJobFailed(f"scan job {job_id!r} failed: "
+                                        f"{item!r}") from item
+                self.stats.scan_updates += 1
+                yield item
+                if item.final:
+                    return
+        finally:
+            self._jobs.pop(job_id, None)
+
+    def _run_scan_job(self, loop: asyncio.AbstractEventLoop, job: "_ScanJob",
+                      prepared: PreparedModel, request: ScanJobRequest) -> None:
+        """Worker-thread body of a scan job: predict, probe, stream."""
+
+        def push(item) -> None:
+            loop.call_soon_threadsafe(job.queue.put_nowait, item)
+
+        try:
+            observations = request.observations or tuple(prepared.seed_observations)
+            known = prepared.seed_pairs() | set(request.known_pairs)
+            predictions = prepared.predict(observations, known_pairs=known)
+            with prepared.scan_lock:
+                ledger = prepared.pipeline.ledger
+                total = len(predictions)
+                seq = 0
+                for start in range(0, total, request.batch_size):
+                    chunk = predictions[start:start + request.batch_size]
+                    found = prepared.pipeline.scan_pairs(
+                        (p.pair() for p in chunk),
+                        category=ScanCategory.PREDICTION,
+                        batch_prefix_len=request.prefix_len)
+                    push(ScanUpdate(job_id=job.job_id, seq=seq,
+                                    pairs_probed=len(chunk),
+                                    observations=tuple(found),
+                                    cumulative_probes=ledger.total_probes(),
+                                    final=start + request.batch_size >= total))
+                    seq += 1
+                if total == 0:
+                    push(ScanUpdate(job_id=job.job_id, seq=0, pairs_probed=0,
+                                    observations=(),
+                                    cumulative_probes=ledger.total_probes(),
+                                    final=True))
+        except BaseException as exc:  # streamed to the consumer, typed
+            push(exc)
+
+    # -- internals ---------------------------------------------------------------------
+
+    def _ensure_loop_state(self) -> None:
+        """Bind loop-affine state (event, lock) to the running loop once."""
+        loop = asyncio.get_running_loop()
+        if self._loop is None:
+            self._loop = loop
+            self._drained = asyncio.Event()
+            self._build_lock = asyncio.Lock()
+        elif self._loop is not loop:
+            raise RuntimeError("GPSService is bound to a different event loop")
+
+    def _check_open(self) -> None:
+        """Typed rejection for requests arriving at a draining/closed service.
+
+        Runs *before* model resolution so late callers see
+        :class:`ServiceClosed`, not the :class:`ModelNotFound` of an
+        already-emptied registry.
+        """
+        if self._state != _OPEN:
+            self.stats.rejected_closed += 1
+            raise ServiceClosed("service is draining or closed")
+
+    def _admit(self) -> None:
+        """Admission control: typed rejection beats unbounded queueing."""
+        self._check_open()
+        if self._pending >= self.config.max_pending:
+            self.stats.shed += 1
+            raise ServiceOverloaded(
+                f"{self._pending} requests already pending "
+                f"(max_pending={self.config.max_pending})")
+        self._pending += 1
+        self.stats.admitted += 1
+        # A stale "drained" signal from an earlier quiet period must not let
+        # close() tear down under this request's feet.
+        if self._drained is not None:
+            self._drained.clear()
+
+    def _release(self) -> None:
+        self._pending -= 1
+        self.stats.completed += 1
+        if self._pending == 0 and self._drained is not None:
+            self._drained.set()
+
+    async def _await_with_deadline(self, awaitable):
+        """Apply the per-request deadline, converting to the typed error."""
+        timeout = self.config.request_timeout_s
+        try:
+            if timeout is None:
+                return await awaitable
+            return await asyncio.wait_for(awaitable, timeout)
+        except asyncio.TimeoutError:
+            self.stats.timeouts += 1
+            raise RequestTimeout(
+                f"request exceeded request_timeout_s={timeout}") from None
+
+    def _spawn_flush(self, items: Sequence[Tuple[PointLookup, asyncio.Future]]) -> None:
+        """Run one micro-batch flush as a tracked loop task."""
+        assert self._loop is not None
+        task = self._loop.create_task(self._run_flush(list(items)))
+        self._flush_tasks.add(task)
+        task.add_done_callback(self._flush_tasks.discard)
+
+    async def _run_flush(self, items: List[Tuple[PointLookup, asyncio.Future]]) -> None:
+        self.stats.flushes += 1
+        self.stats.max_coalesced = max(self.stats.max_coalesced, len(items))
+        loop = asyncio.get_running_loop()
+        try:
+            results = await loop.run_in_executor(
+                self._threads, self._process_lookups, items)
+        except BaseException as exc:
+            for _, future in items:
+                if not future.done():
+                    future.set_exception(exc)
+            return
+        for (_, future), result in zip(items, results):
+            if future.done():
+                continue
+            if isinstance(result, BaseException):
+                future.set_exception(result)
+            else:
+                future.set_result(result)
+
+    def _process_lookups(self, items: Sequence[Tuple[PointLookup, asyncio.Future]],
+                         ) -> List[Union[LookupReply, BaseException]]:
+        """Worker-thread body of one flush: per-request oracle-identical folds.
+
+        Each request runs its *own* ``predict`` with its own known-pair
+        suppression (coalescing shares the thread dispatch and the index's
+        hot net-feature memo, never request state), so replies cannot drift
+        from the serial one-shot oracle -- two coalesced lookups about the
+        same address with different evidence stay independent.
+        """
+        coalesced = len(items)
+        out: List[Union[LookupReply, BaseException]] = []
+        for request, _ in items:
+            try:
+                prepared = self._registry.get(request.model)
+                predictions = prepared.predict(
+                    request.observations, known_pairs=set(request.known_pairs))
+                out.append(LookupReply(model=request.model,
+                                       predictions=tuple(predictions),
+                                       coalesced=coalesced))
+            except BaseException as exc:
+                out.append(exc)
+        return out
+
+
+@dataclass
+class _ScanJob:
+    """Loop-side handle of one streaming scan job."""
+
+    job_id: str
+    queue: "asyncio.Queue"
+
+
+__all__ = [
+    "GPSService",
+    "ServingConfig",
+]

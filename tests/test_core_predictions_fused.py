@@ -305,3 +305,66 @@ class TestBoundedNetFeatureCache:
 
     def test_default_bound_is_large(self):
         assert NET_FEATURE_CACHE_MAX >= 1024
+
+
+class TestNetFeatureCacheThreadSafety:
+    """The memo must survive concurrent predict() calls (the serving layer
+    folds lookups on a thread pool; pre-lock, a get/move_to_end racing a
+    concurrent eviction raised KeyError and could corrupt the OrderedDict)."""
+
+    def _index(self):
+        return PredictiveFeatureIndex([
+            predictions_module.PredictiveFeature(("P", 554), 37777, 0.9),
+        ])
+
+    @staticmethod
+    def _observations(ips):
+        return [ScanObservation(ip=ip, port=554, protocol="rtsp",
+                                app_features={"protocol": "rtsp"})
+                for ip in ips]
+
+    def test_concurrent_predicts_under_eviction_pressure(self, monkeypatch):
+        """Hammer: many threads, overlapping keys, cache far smaller than the
+        working set, so hits, inserts and evictions interleave constantly."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        monkeypatch.setattr(predictions_module, "NET_FEATURE_CACHE_MAX", 8)
+        index = self._index()
+        config = FeatureConfig()
+        # Overlapping slices: every thread shares keys with its neighbours.
+        slices = [list(range(start, start + 48)) for start in range(0, 128, 16)]
+        expected = {}
+        for ips in slices:
+            key = tuple(ips)
+            if key not in expected:
+                expected[key] = self._index().predict(
+                    self._observations(ips), None, config)
+
+        def hammer(ips):
+            rows = []
+            for _ in range(25):
+                rows.append(index.predict(self._observations(ips), None, config))
+            return ips, rows
+
+        with ThreadPoolExecutor(max_workers=8) as pool:
+            for ips, rows in pool.map(hammer, slices * 2):
+                for row in rows:
+                    assert row == expected[tuple(ips)]
+        assert len(index._net_cache) <= 8
+
+    def test_concurrent_predicts_correct_at_large_capacity(self):
+        """With room for everything, concurrency must not change results or
+        lose cache entries."""
+        from concurrent.futures import ThreadPoolExecutor
+
+        index = self._index()
+        config = FeatureConfig()
+        ips = list(range(200))
+        expected = self._index().predict(self._observations(ips), None, config)
+
+        with ThreadPoolExecutor(max_workers=6) as pool:
+            results = list(pool.map(
+                lambda _: index.predict(self._observations(ips), None, config),
+                range(12)))
+        assert all(result == expected for result in results)
+        assert len(index._net_cache) == len(ips)

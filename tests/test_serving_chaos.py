@@ -1,0 +1,158 @@
+"""Chaos-under-load: the serving layer on a runtime with injected faults.
+
+The PR 6 fault plans are seeded and deterministic, so these are repeatable
+experiments, not flaky stress tests.  The claims pinned here:
+
+* a worker crash mid-build heals through the runtime's own supervision and
+  the served predictions stay bit-identical to the serial oracle;
+* while a faulted build is in flight, requests against already-loaded models
+  keep completing (the service serves through the incident);
+* wedged or slow workers surface as *typed* errors bounded by the configured
+  deadlines -- the service never hangs and never leaks a generic exception;
+* after a failed build the service remains usable: the next build runs on a
+  fresh runtime and subsequent requests succeed.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import time
+
+import pytest
+
+from repro.core.config import GPSConfig
+from repro.engine.faults import FaultPlan
+from repro.engine.runtime import WorkerTaskError, WorkerTimeoutError
+from repro.scanner.pipeline import ScanPipeline
+from repro.serving import GPSService, InProcessClient, ServingConfig
+from repro.serving.registry import build_prepared_model
+
+
+@pytest.fixture(scope="module")
+def seed(universe):
+    return ScanPipeline(universe).seed_scan(0.05, seed=23)
+
+
+@pytest.fixture(scope="module")
+def oracle(universe, seed):
+    return build_prepared_model("oracle", ScanPipeline(universe), seed,
+                                GPSConfig())
+
+
+def _host_groups(seed, count):
+    by_ip = {}
+    for obs in seed.observations:
+        by_ip.setdefault(obs.ip, []).append(obs)
+    return [tuple(rows) for _, rows in sorted(by_ip.items())[:count]]
+
+
+def test_worker_crash_mid_build_heals_bit_identically(universe, seed, oracle,
+                                                      monkeypatch):
+    """A seeded crash during the model build: supervision respawns the dead
+    worker, reloads its shards, and the finished model serves predictions
+    identical to the serial oracle."""
+    monkeypatch.setenv("REPRO_RUNTIME_CRASH_TEST", "1")
+    config = ServingConfig(
+        executor="pool", num_workers=2, shard_count=4,
+        request_timeout_s=60.0,
+        fault_plan=FaultPlan(crash_task="model_pairs", crash_workers=(0,)))
+
+    async def scenario():
+        async with GPSService(config) as service:
+            client = InProcessClient(service)
+            # "steady" is built on the non-engine path: it never touches the
+            # runtime, so it keeps serving while the chaos build runs.
+            await client.load_model("steady", ScanPipeline(universe), seed,
+                                    GPSConfig())
+
+            chaos_build = asyncio.ensure_future(client.load_model(
+                "chaos", ScanPipeline(universe), seed,
+                GPSConfig(use_engine=True, executor="pool",
+                          num_workers=2, shard_count=4)))
+            during = []
+            groups = _host_groups(seed, 6)
+            while not chaos_build.done():
+                for rows in groups:
+                    during.append((rows, await client.lookup("steady", rows)))
+                await asyncio.sleep(0)
+            await chaos_build
+
+            runtime = service.runtime()
+            assert runtime.recovery_stats.crashes_detected >= 1
+            assert runtime.recovery_stats.respawns >= 1
+            assert not runtime.broken
+
+            after = [(rows, await client.lookup("chaos", rows))
+                     for rows in groups]
+            return during, after
+
+    during, after = asyncio.run(scenario())
+    assert during, "no requests completed while the chaos build ran"
+    for rows, reply in during + after:
+        assert tuple(oracle.predict(rows)) == reply.predictions
+
+
+def test_wedged_worker_is_a_typed_error_within_deadline(universe, seed,
+                                                        monkeypatch):
+    """A worker that swallows its reply trips task_deadline_s: the build
+    fails with WorkerTimeoutError (typed, bounded), the service survives."""
+    monkeypatch.setenv("REPRO_RUNTIME_CRASH_TEST", "1")
+    deadline = 0.5
+    config = ServingConfig(
+        executor="pool", num_workers=2, task_deadline_s=deadline,
+        request_timeout_s=60.0,
+        fault_plan=FaultPlan(drop_reply_task="model_denominators",
+                             drop_reply_workers=(0,)))
+
+    async def scenario():
+        async with GPSService(config) as service:
+            client = InProcessClient(service)
+            await client.load_model("steady", ScanPipeline(universe), seed,
+                                    GPSConfig())
+            start = time.monotonic()
+            with pytest.raises(WorkerTimeoutError):
+                await client.load_model(
+                    "chaos", ScanPipeline(universe), seed,
+                    GPSConfig(use_engine=True, executor="pool", num_workers=2))
+            elapsed = time.monotonic() - start
+            # Bounded: deadline plus supervision/teardown slack, not a hang.
+            assert elapsed < deadline + 30.0
+            # The failed build left no half-registered model behind...
+            assert [i.name for i in client.models()] == ["steady"]
+            # ...and the service keeps answering.
+            (rows,) = _host_groups(seed, 1)
+            reply = await client.lookup("steady", rows)
+            assert reply.model == "steady"
+            return elapsed
+
+    asyncio.run(scenario())
+
+
+def test_injected_error_fails_one_build_not_the_service(universe, seed,
+                                                        oracle, monkeypatch):
+    """An injected task exception fails that build with WorkerTaskError; the
+    pool is not broken and the retried build serves oracle-identical
+    replies."""
+    monkeypatch.setenv("REPRO_RUNTIME_CRASH_TEST", "1")
+    config = ServingConfig(
+        executor="pool", num_workers=2, request_timeout_s=60.0,
+        fault_plan=FaultPlan(error_task="model_pairs", error_workers=(1,)))
+    gps_config = GPSConfig(use_engine=True, executor="pool", num_workers=2)
+
+    async def scenario():
+        async with GPSService(config) as service:
+            client = InProcessClient(service)
+            with pytest.raises(WorkerTaskError, match="injected fault"):
+                await client.load_model("chaos", ScanPipeline(universe),
+                                        seed, gps_config)
+            assert not service.runtime().broken
+            # The planned occurrence has fired; the retry builds cleanly on
+            # the *same* warm pool (no respawn needed for a task error).
+            await client.load_model("chaos", ScanPipeline(universe), seed,
+                                    gps_config)
+            groups = _host_groups(seed, 4)
+            return [(rows, await client.lookup("chaos", rows))
+                    for rows in groups]
+
+    for rows, reply in asyncio.run(scenario()):
+        assert tuple(oracle.predict(rows)) == reply.predictions

@@ -1,0 +1,184 @@
+"""The stdlib HTTP adapter and the ``serve`` CLI surface.
+
+A real localhost round-trip (ephemeral port, threaded server) over every
+endpoint: the JSON payloads must carry exactly what the in-process service
+returns, typed errors must map to their HTTP status codes, and the scan
+stream must arrive as NDJSON lines.  The CLI tests only exercise the parser
+wiring -- ``serve`` blocks forever by design, so its handler is covered via
+the adapter it delegates to.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import urllib.error
+import urllib.request
+
+import pytest
+
+from repro.cli import build_parser
+from repro.core.config import GPSConfig
+from repro.net.ipv4 import format_ip
+from repro.scanner.pipeline import ScanPipeline
+from repro.serving import ServingConfig
+from repro.serving.http import ServiceHost, make_http_server
+
+
+@pytest.fixture(scope="module")
+def seed(universe):
+    return ScanPipeline(universe).seed_scan(0.05, seed=31)
+
+
+@pytest.fixture(scope="module")
+def server(universe, seed):
+    """One warm host + bound HTTP server shared by the whole module."""
+    host = ServiceHost(ServingConfig(executor="serial", request_timeout_s=60.0))
+    host.call(host.service.load_model(
+        "default", ScanPipeline(universe), seed,
+        GPSConfig(use_engine=True, executor="serial")))
+    httpd = make_http_server(host)
+    thread = threading.Thread(target=httpd.serve_forever, daemon=True)
+    thread.start()
+    yield f"http://127.0.0.1:{httpd.server_address[1]}", host, seed
+    httpd.shutdown()
+    httpd.server_close()
+    host.close()
+
+
+def _get(url):
+    with urllib.request.urlopen(url, timeout=30) as resp:
+        return resp.status, json.load(resp)
+
+
+def _post(url, payload):
+    request = urllib.request.Request(
+        url, data=json.dumps(payload).encode(),
+        headers={"Content-Type": "application/json"})
+    return urllib.request.urlopen(request, timeout=60)
+
+
+class TestEndpoints:
+    def test_healthz_and_models(self, server):
+        base, _, _ = server
+        status, body = _get(base + "/healthz")
+        assert status == 200
+        assert body == {"status": "ok", "models": ["default"]}
+        status, body = _get(base + "/models")
+        assert status == 200
+        (row,) = body["models"]
+        assert row["name"] == "default"
+        assert row["seed_services"] > 0 and row["resident_shards"] is True
+
+    def test_lookup_matches_in_process_reply(self, server):
+        base, host, seed = server
+        ip = seed.observations[0].ip
+        expected = host.call(host.service.lookup_ip("default", ip))
+        status, body = _get(f"{base}/lookup?model=default&ip={format_ip(ip)}")
+        assert status == 200
+        assert body["model"] == "default"
+        assert body["predictions"] == [
+            {"ip": format_ip(p.ip), "port": p.port,
+             "probability": p.probability, "predictor": list(p.predictor)}
+            for p in expected.predictions]
+
+    def test_lookup_accepts_integer_addresses(self, server):
+        base, _, seed = server
+        ip = seed.observations[0].ip
+        _, dotted = _get(f"{base}/lookup?model=default&ip={format_ip(ip)}")
+        _, raw = _get(f"{base}/lookup?model=default&ip={ip}")
+        assert dotted == raw
+
+    def test_predict_bulk(self, server):
+        base, _, seed = server
+        ips = sorted({obs.ip for obs in seed.observations})[:5]
+        with _post(base + "/predict",
+                   {"model": "default",
+                    "ips": [format_ip(ip) for ip in ips]}) as resp:
+            assert resp.status == 200
+            body = json.load(resp)
+        assert body["model"] == "default"
+        assert isinstance(body["predictions"], list)
+        assert body["batches"] >= 0
+
+    def test_scan_streams_ndjson(self, server):
+        base, _, _ = server
+        with _post(base + "/scan",
+                   {"model": "default", "batch_size": 50}) as resp:
+            assert resp.status == 200
+            assert resp.headers["Content-Type"] == "application/x-ndjson"
+            rows = [json.loads(line) for line in resp if line.strip()]
+        assert rows, "scan stream produced no updates"
+        assert rows[-1]["final"] is True
+        assert [row["seq"] for row in rows] == list(range(len(rows)))
+        for row in rows:
+            assert set(row) == {"job_id", "seq", "pairs_probed", "discovered",
+                                "cumulative_probes", "final"}
+
+    def test_stats_counts_served_requests(self, server):
+        base, _, _ = server
+        status, body = _get(base + "/stats")
+        assert status == 200
+        assert body["admitted"] >= 1
+        assert body["shed"] == 0
+
+
+class TestErrorMapping:
+    def test_unknown_model_is_404(self, server):
+        base, _, seed = server
+        ip = format_ip(seed.observations[0].ip)
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{base}/lookup?model=nope&ip={ip}")
+        assert excinfo.value.code == 404
+        assert json.load(excinfo.value)["error"] == "model_not_found"
+
+    def test_bad_address_is_400(self, server):
+        base, _, _ = server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(f"{base}/lookup?model=default&ip=not-an-ip")
+        assert excinfo.value.code == 400
+        assert json.load(excinfo.value)["error"] == "invalid_request"
+
+    def test_missing_ip_is_400(self, server):
+        base, _, _ = server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(base + "/lookup?model=default")
+        assert excinfo.value.code == 400
+
+    def test_unknown_route_is_404(self, server):
+        base, _, _ = server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _get(base + "/nope")
+        assert excinfo.value.code == 404
+
+    def test_predict_rejects_non_json_body(self, server):
+        base, _, _ = server
+        request = urllib.request.Request(
+            base + "/predict", data=b"not json",
+            headers={"Content-Type": "application/json"})
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            urllib.request.urlopen(request, timeout=30)
+        assert excinfo.value.code == 400
+
+    def test_predict_rejects_unknown_addresses(self, server):
+        base, _, _ = server
+        with pytest.raises(urllib.error.HTTPError) as excinfo:
+            _post(base + "/predict", {"model": "default", "ips": ["0.0.0.1"]})
+        assert excinfo.value.code == 400
+
+
+class TestServeCli:
+    def test_parser_accepts_serve(self):
+        args = build_parser().parse_args(
+            ["serve", "--port", "9999", "--executor", "thread",
+             "--workers", "2"])
+        assert args.command == "serve"
+        assert args.port == 9999 and args.address == "127.0.0.1"
+        assert args.executor == "thread" and args.workers == 2
+        assert callable(args.func)
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["serve"])
+        assert args.port == 8080
+        assert args.seed_fraction == 0.05
+        assert args.executor is None  # falls back to serial in the handler

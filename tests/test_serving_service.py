@@ -1,0 +1,250 @@
+"""Lifecycle, backpressure and batching behaviour of the serving core.
+
+These tests pin the service's *control plane*: bounded admission sheds with
+typed errors, micro-batches flush on size or deadline, drain is graceful and
+close is idempotent, and the registry's load/swap/evict semantics hold.
+Correctness of the *data plane* (served predictions == serial oracle) lives
+in test_serving_equivalence.py; fault injection in test_serving_chaos.py.
+"""
+
+from __future__ import annotations
+
+import asyncio
+
+import pytest
+
+from repro.core.config import GPSConfig
+from repro.scanner.pipeline import ScanPipeline
+from repro.serving import (
+    GPSService,
+    InProcessClient,
+    InvalidRequest,
+    ModelNotFound,
+    PointLookup,
+    ScanJobNotFound,
+    ScanJobRequest,
+    ServiceClosed,
+    ServiceOverloaded,
+    ServingConfig,
+)
+
+
+def run(coro):
+    """Drive a service coroutine from a sync test."""
+    return asyncio.run(coro)
+
+
+@pytest.fixture(scope="module")
+def seed(universe):
+    return ScanPipeline(universe).seed_scan(0.05, seed=3)
+
+
+def _observations_of(seed, count=4):
+    """A few single-host observation tuples to look up with."""
+    by_ip = {}
+    for obs in seed.observations:
+        by_ip.setdefault(obs.ip, []).append(obs)
+    groups = sorted(by_ip.items())[:count]
+    return [tuple(rows) for _, rows in groups]
+
+
+async def _loaded_service(universe, seed, config=None, gps_config=None):
+    service = GPSService(config)
+    await service.load_model(
+        "default", ScanPipeline(universe), seed,
+        gps_config or GPSConfig(use_engine=True, executor="serial"))
+    return service
+
+
+class TestRegistry:
+    def test_load_lookup_evict_roundtrip(self, universe, seed):
+        async def scenario():
+            async with await _loaded_service(universe, seed) as service:
+                client = InProcessClient(service)
+                infos = client.models()
+                assert [info.name for info in infos] == ["default"]
+                assert infos[0].seed_services == len(seed.observations)
+                assert infos[0].resident_shards  # stays warm until evicted
+                reply = await client.lookup_ip("default",
+                                               seed.observations[0].ip)
+                assert reply.model == "default"
+                await client.evict_model("default")
+                assert client.models() == []
+                with pytest.raises(ModelNotFound):
+                    await client.lookup_ip("default", seed.observations[0].ip)
+        run(scenario())
+
+    def test_swap_replaces_atomically(self, universe, seed):
+        async def scenario():
+            async with await _loaded_service(universe, seed) as service:
+                first = service.model("default")
+                await service.load_model(
+                    "default", ScanPipeline(universe), seed,
+                    GPSConfig(use_engine=True, executor="serial"))
+                second = service.model("default")
+                assert second is not first
+                # The displaced model's resident shards were released.
+                assert first.resident is not None
+                assert [i.name for i in service.models()] == ["default"]
+        run(scenario())
+
+    def test_unknown_model_and_job_are_typed(self, universe, seed):
+        async def scenario():
+            async with await _loaded_service(universe, seed) as service:
+                with pytest.raises(ModelNotFound):
+                    await service.lookup_ip("nope", 1)
+                with pytest.raises(ScanJobNotFound):
+                    async for _ in service.scan_updates("scan-999"):
+                        pass
+        run(scenario())
+
+    def test_invalid_requests_rejected_on_construction(self):
+        with pytest.raises(InvalidRequest):
+            PointLookup(model="m", observations=())
+        with pytest.raises(InvalidRequest):
+            ScanJobRequest(model="m", batch_size=0)
+
+
+class TestBatching:
+    def test_size_flush_coalesces_concurrent_lookups(self, universe, seed):
+        """max_batch concurrent lookups flush together without waiting out
+        the (deliberately enormous) batch window."""
+        config = ServingConfig(max_batch=4, batch_window_s=30.0,
+                               request_timeout_s=10.0)
+
+        async def scenario():
+            async with await _loaded_service(universe, seed, config) as service:
+                client = InProcessClient(service)
+                groups = _observations_of(seed, 4)
+                replies = await asyncio.gather(*[
+                    client.lookup("default", rows) for rows in groups])
+                assert [r.coalesced for r in replies] == [4, 4, 4, 4]
+                assert service.stats.flushes == 1
+                assert service.stats.max_coalesced == 4
+        run(scenario())
+
+    def test_deadline_flush_fires_for_lonely_request(self, universe, seed):
+        """A single lookup must not wait for company: the window timer
+        flushes it alone well before the request deadline."""
+        config = ServingConfig(max_batch=64, batch_window_s=0.01,
+                               request_timeout_s=5.0)
+
+        async def scenario():
+            async with await _loaded_service(universe, seed, config) as service:
+                client = InProcessClient(service)
+                (rows,) = _observations_of(seed, 1)
+                reply = await client.lookup("default", rows)
+                assert reply.coalesced == 1
+                assert service.stats.flushes == 1
+        run(scenario())
+
+    def test_batches_never_mix_models(self, universe, seed):
+        async def scenario():
+            async with await _loaded_service(universe, seed) as service:
+                await service.load_model(
+                    "other", ScanPipeline(universe), seed,
+                    GPSConfig(use_engine=True, executor="serial"))
+                client = InProcessClient(service)
+                groups = _observations_of(seed, 2)
+                replies = await asyncio.gather(
+                    client.lookup("default", groups[0]),
+                    client.lookup("other", groups[1]))
+                assert [r.model for r in replies] == ["default", "other"]
+                # Two models, two batchers, two flushes.
+                assert service.stats.flushes == 2
+        run(scenario())
+
+
+class TestBackpressure:
+    def test_overload_sheds_with_typed_error(self, universe, seed):
+        """Admission is bounded: request max_pending+1 is shed immediately
+        while the first ones are still parked in an unflushed batch."""
+        config = ServingConfig(max_pending=2, max_batch=64,
+                               batch_window_s=30.0, request_timeout_s=10.0)
+
+        async def scenario():
+            async with await _loaded_service(universe, seed, config) as service:
+                client = InProcessClient(service)
+                groups = _observations_of(seed, 3)
+                first = asyncio.ensure_future(client.lookup("default", groups[0]))
+                second = asyncio.ensure_future(client.lookup("default", groups[1]))
+                await asyncio.sleep(0)  # let both get admitted
+                with pytest.raises(ServiceOverloaded):
+                    await client.lookup("default", groups[2])
+                assert service.stats.shed == 1
+                # The parked requests still complete once the service drains
+                # (close flushes open batches).
+                await service.close()
+                replies = await asyncio.gather(first, second)
+                assert all(reply.predictions is not None for reply in replies)
+        run(scenario())
+
+    def test_scan_jobs_hold_admission_capacity(self, universe, seed):
+        config = ServingConfig(max_pending=1, request_timeout_s=10.0)
+
+        async def scenario():
+            async with await _loaded_service(universe, seed, config) as service:
+                job_id = await service.submit_scan(
+                    ScanJobRequest(model="default", batch_size=50))
+                # While the job runs (or its stream is undrained) the single
+                # admission slot may be occupied; either outcome is typed.
+                try:
+                    await service.lookup_ip("default", seed.observations[0].ip)
+                except ServiceOverloaded:
+                    pass
+                async for _ in service.scan_updates(job_id):
+                    pass
+        run(scenario())
+
+
+class TestLifecycle:
+    def test_graceful_drain_completes_in_flight(self, universe, seed):
+        config = ServingConfig(max_batch=64, batch_window_s=30.0,
+                               request_timeout_s=10.0, drain_timeout_s=10.0)
+
+        async def scenario():
+            async with await _loaded_service(universe, seed, config) as service:
+                client = InProcessClient(service)
+                (rows,) = _observations_of(seed, 1)
+                parked = asyncio.ensure_future(client.lookup("default", rows))
+                await asyncio.sleep(0)
+                await service.close()  # flushes the open batch, then drains
+                reply = await parked
+                assert reply.coalesced == 1
+                assert service.stats.completed == service.stats.admitted
+        run(scenario())
+
+    def test_close_is_idempotent_and_post_close_is_typed(self, universe, seed):
+        async def scenario():
+            service = await _loaded_service(universe, seed)
+            await service.close()
+            await service.close()  # double-close: no-op, no error
+            assert service.closed
+            with pytest.raises(ServiceClosed):
+                await service.lookup_ip("default", seed.observations[0].ip)
+            with pytest.raises(ServiceClosed):
+                await service.submit_scan(ScanJobRequest(model="default"))
+            assert service.stats.rejected_closed == 2
+        run(scenario())
+
+    def test_service_rejects_foreign_event_loop(self, universe, seed):
+        service = run(_loaded_service(universe, seed))
+        with pytest.raises(RuntimeError, match="different event loop"):
+            run(service.lookup_ip("default", seed.observations[0].ip))
+        # Tear down threads without touching loop-affine state.
+        service._threads.shutdown(wait=False)
+        service._registry.close()
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ServingConfig(max_pending=0)
+        with pytest.raises(ValueError):
+            ServingConfig(max_batch=0)
+        with pytest.raises(ValueError):
+            ServingConfig(batch_window_s=-1.0)
+        with pytest.raises(ValueError):
+            ServingConfig(request_timeout_s=0)
+        with pytest.raises(ValueError):
+            ServingConfig(lookup_threads=0)
+        with pytest.raises(ValueError):
+            ServingConfig(executor="bigquery")
