@@ -19,9 +19,12 @@ columnar ingest that replaced it:
 Results are printed and written to ``BENCH_dataset.json`` at the repository
 root.  Headline assertion: columnar dataset build + feature extraction is
 >= 1.5x the object path end to end (relaxed to 1.2x under ``BENCH_SMOKE=1``
-for shared-runner jitter).  The equivalence assertions -- columnar rows ==
-object rows, decoded predictor runs == the object extraction's tuples, fused
-model off the columns == the oracle model -- are never relaxed.
+for shared-runner jitter).  A second test times the serial columnar model
+build with the stdlib per-row fold against the vectorized numpy kernels over
+the same column buffers (``column_backend="numpy"``); floor >= 2x.  The
+equivalence assertions -- columnar rows == object rows, decoded predictor
+runs == the object extraction's tuples, fused model off the columns == the
+oracle model, numpy model == stdlib model -- are never relaxed.
 """
 
 from __future__ import annotations
@@ -31,12 +34,15 @@ import os
 import time
 from pathlib import Path
 
+import pytest
+
 from repro.analysis import format_table
 from repro.analysis.scenarios import MEDIUM_SCALE
 from repro.core.config import FeatureConfig
 from repro.core.features import extract_host_features, extract_host_features_columns
 from repro.core.model import build_model, build_model_with_engine
 from repro.datasets.builders import _observation_from_record, build_full_dataset
+from repro.engine.columns import numpy_available
 
 RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_dataset.json"
 
@@ -49,6 +55,10 @@ REPEATS = 3
 DATASET_FLOOR = 1.5
 SMOKE_FLOOR = 1.2
 
+#: The numpy fold kernels must beat the stdlib per-row fold >= 2x on the
+#: serial columnar model build (relaxed under smoke for runner jitter).
+MODEL_FOLD_FLOOR = 2.0 if os.environ.get("BENCH_SMOKE") != "1" else 1.5
+
 
 def _best_seconds(func, repeats: int = REPEATS) -> float:
     best = float("inf")
@@ -57,6 +67,15 @@ def _best_seconds(func, repeats: int = REPEATS) -> float:
         func()
         best = min(best, time.perf_counter() - start)
     return best
+
+
+def _merge_results(update: dict) -> None:
+    """Merge a section into BENCH_dataset.json without clobbering siblings."""
+    results = {}
+    if RESULT_PATH.exists():
+        results = json.loads(RESULT_PATH.read_text())
+    results.update(update)
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
 
 
 def _object_path(universe, asn_db, config):
@@ -132,7 +151,7 @@ def test_dataset_columnar_ingest_vs_object_path(run_once, universe):
     columnar_seconds = seconds["columnar (columns + extract_host_features_columns)"]
     speedup = object_seconds / columnar_seconds
     results["columnar_vs_object_speedup"] = round(speedup, 2)
-    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+    _merge_results(results)
 
     print()
     print(format_table(
@@ -151,3 +170,66 @@ def test_dataset_columnar_ingest_vs_object_path(run_once, universe):
     assert speedup >= floor, \
         (f"columnar ingest only {speedup:.2f}x over the object path "
          f"(floor {floor}x)")
+
+
+# -- model fold: stdlib per-row vs numpy kernels ------------------------------------
+
+
+def run_model_fold_benchmark(universe):
+    """Time the serial columnar model build, stdlib fold vs numpy kernels.
+
+    Same encoded columns in, same model out; the only difference is the
+    fold: the stdlib backend streams the flattened feature relation row by
+    row through ``join_group_count``, the numpy backend folds the raw int64
+    buffers through ``fold_model_pairs_arrays`` (no table flatten, no
+    per-row loop).  Model equality is asserted before timing, never relaxed.
+    """
+    config = FeatureConfig()
+    asn_db = universe.topology.asn_db
+    dataset = build_full_dataset(universe)
+    columns = extract_host_features_columns(dataset.columns(), asn_db, config)
+
+    stdlib_model = build_model_with_engine(columns, column_backend="stdlib")
+    numpy_model = build_model_with_engine(columns, column_backend="numpy")
+    assert numpy_model.denominators == stdlib_model.denominators, \
+        "numpy model denominators diverged from the stdlib fold"
+    assert numpy_model.cooccurrence == stdlib_model.cooccurrence, \
+        "numpy model co-occurrence diverged from the stdlib fold"
+
+    per_row_seconds = _best_seconds(
+        lambda: build_model_with_engine(columns, column_backend="stdlib"))
+    bulk_seconds = _best_seconds(
+        lambda: build_model_with_engine(columns, column_backend="numpy"))
+    return {
+        "hosts": len(columns),
+        "predictor_refs": len(columns.value_ids),
+        "equivalence": "numpy-backend model == stdlib-backend model",
+        "per_row_seconds": per_row_seconds,
+        "bulk_seconds": bulk_seconds,
+    }
+
+
+def test_model_fold_stdlib_vs_numpy(run_once, universe):
+    if not numpy_available():
+        pytest.skip("numpy backend unavailable; the stdlib path is covered "
+                    "by the ingest test above")
+    results = run_once(run_model_fold_benchmark, universe)
+    speedup = results["per_row_seconds"] / results["bulk_seconds"]
+    results["speedup"] = round(speedup, 2)
+    results["floor"] = MODEL_FOLD_FLOOR
+    _merge_results({"model_fold": results})
+
+    print()
+    print(format_table(
+        ("backend", "seconds", "speedup"),
+        [("stdlib (per-row fold)", f"{results['per_row_seconds']:.4f}", "1.00x"),
+         ("numpy (bulk kernels)", f"{results['bulk_seconds']:.4f}",
+          f"{speedup:.2f}x")],
+        title=(f"Serial columnar model build ({results['hosts']} hosts, "
+               f"{results['predictor_refs']} predictor refs)"),
+    ))
+    print(f"numpy fold kernels vs stdlib per-row: {speedup:.2f}x "
+          f"(floor {MODEL_FOLD_FLOOR}x, written to {RESULT_PATH.name})")
+    assert speedup >= MODEL_FOLD_FLOOR, \
+        (f"numpy fold kernels only {speedup:.2f}x over the stdlib fold "
+         f"(floor {MODEL_FOLD_FLOOR}x)")

@@ -1,0 +1,317 @@
+"""Bench-regression report: speedup table + floor gate over BENCH_*.json.
+
+Every benchmark in this directory writes its measurements to a
+``BENCH_<area>.json`` file at the repository root, and the measured files
+are *committed* -- they are the performance baseline the next change is
+judged against.  This tool closes the loop:
+
+* load the committed baselines from the repository root;
+* load freshly produced result files (CI downloads every matrix leg's
+  ``BENCH_*.json`` artifacts into one directory; locally the repo root
+  doubles as the results directory after a bench run);
+* render one per-benchmark speedup table -- headline speedup, the floor it
+  must clear, and the delta against the committed baseline -- to stdout
+  and, when ``$GITHUB_STEP_SUMMARY`` is set, as a Markdown table into the
+  workflow step summary;
+* with ``--check``, exit non-zero if any asserted metric fell below its
+  floor.
+
+Floors come from two places.  Benchmarks that record their floor in the
+JSON (``model_fold_kernel.floor``, ``thread_fold.floor`` ...) are judged
+against the recorded value -- it was written under the same conditions
+(smoke or full) as the measurement.  Headline ratios without a recorded
+floor use the static registry below, which mirrors the assertion in the
+producing benchmark; ``BENCH_SMOKE=1`` (or ``--smoke``) selects the same
+relaxed floors CI smoke runs assert.  Metrics gated off by the producing
+run (``thread_fold.floor_asserted`` false on single-core machines) are
+reported but never fail the check, and sections that are absent from a
+results file (numpy-gated benchmarks skip where no wheel exists) are
+reported as missing rather than failed.
+
+Run locally::
+
+    python benchmarks/bench_report.py            # table only
+    python benchmarks/bench_report.py --check    # fail on floor regression
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+
+BENCH_GLOB = "BENCH_*.json"
+
+
+@dataclass(frozen=True)
+class Metric:
+    """One gated headline ratio inside one BENCH file.
+
+    Attributes:
+        file: BENCH file name the metric lives in.
+        label: human-readable row label.
+        value_path: dotted path to the speedup inside the JSON document.
+        floor: static floor (mirrors the producing benchmark's assertion);
+            ignored when ``floor_path`` resolves.
+        smoke_floor: the relaxed floor the producing benchmark asserts
+            under ``BENCH_SMOKE=1``.
+        floor_path: dotted path to a floor recorded by the producing run
+            itself; preferred over the static floors when present.
+        gate_path: dotted path to a boolean recorded by the producing run;
+            when it resolves to false the metric is reported but exempt
+            from ``--check`` (e.g. thread-vs-serial on a 1-core machine).
+    """
+
+    file: str
+    label: str
+    value_path: str
+    floor: float = 0.0
+    smoke_floor: float = 0.0
+    floor_path: Optional[str] = None
+    gate_path: Optional[str] = None
+
+
+#: Static floors mirror the assertions in the producing benchmarks -- keep
+#: the two in sync when a floor moves.  Recorded-floor metrics carry their
+#: floor inside the JSON instead.
+METRICS: Tuple[Metric, ...] = (
+    Metric("BENCH_engine.json", "fused model build vs legacy (serial)",
+           "fused_serial_speedup", floor=3.0, smoke_floor=3.0),
+    Metric("BENCH_engine.json", "numpy fold kernel vs per-row fold",
+           "model_fold_kernel.speedup", floor_path="model_fold_kernel.floor"),
+    Metric("BENCH_engine.json", "thread fold vs serial (model build)",
+           "thread_fold.speedup", floor_path="thread_fold.floor",
+           gate_path="thread_fold.floor_asserted"),
+    Metric("BENCH_dataset.json", "columnar seed ingest vs object path",
+           "columnar_vs_object_speedup", floor=1.5, smoke_floor=1.2),
+    Metric("BENCH_dataset.json", "numpy model build vs stdlib (serial)",
+           "model_fold.speedup", floor_path="model_fold.floor"),
+    Metric("BENCH_priors.json", "fused priors plan vs legacy (serial)",
+           "priors_fused_serial_speedup", floor=2.0, smoke_floor=1.3),
+    Metric("BENCH_priors.json", "batched scan pipeline end to end",
+           "scan.end_to_end_speedup", floor=1.6, smoke_floor=1.05),
+    Metric("BENCH_priors.json", "columnar scan layers vs per-object",
+           "scan_columnar.pipeline_speedup", floor=1.3, smoke_floor=1.05),
+    Metric("BENCH_runtime.json", "warm resident pool vs cold spawn",
+           "warm_vs_cold_speedup", floor=2.0, smoke_floor=2.0),
+    Metric("BENCH_runtime.json", "surgical heal vs full rebuild",
+           "recovery.rebuild_vs_heal", floor=1.0, smoke_floor=0.7),
+    Metric("BENCH_serving.json", "warm served lookup vs cold one-shot",
+           "warm_vs_cold_speedup", floor=5.0, smoke_floor=5.0),
+)
+
+
+@dataclass
+class Row:
+    """One evaluated metric: current value vs floor vs committed baseline."""
+
+    metric: Metric
+    value: Optional[float]
+    floor: Optional[float]
+    asserted: bool
+    baseline: Optional[float]
+    sources: int  # result files the value was taken from (best of N legs)
+
+    @property
+    def regressed(self) -> bool:
+        """True when the metric is asserted, present, and below its floor."""
+        return (self.asserted and self.value is not None
+                and self.floor is not None and self.value < self.floor)
+
+    @property
+    def status(self) -> str:
+        if self.value is None:
+            return "missing"
+        if not self.asserted:
+            return "not asserted"
+        return "REGRESSED" if self.regressed else "ok"
+
+
+def resolve(document: Dict[str, Any], dotted: str) -> Optional[Any]:
+    """Walk a dotted path through nested dicts; None when any hop misses."""
+    node: Any = document
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return None
+        node = node[part]
+    return node
+
+
+def load_documents(directory: Path) -> Dict[str, List[Dict[str, Any]]]:
+    """Every BENCH_*.json under a directory (recursive), grouped by name.
+
+    CI downloads one artifact directory per matrix leg, so the same file
+    name can appear several times; all parses are kept and metrics take
+    the best leg.  Unreadable files are skipped with a warning on stderr
+    rather than failing the report.
+    """
+    documents: Dict[str, List[Dict[str, Any]]] = {}
+    for path in sorted(directory.rglob(BENCH_GLOB)):
+        try:
+            parsed = json.loads(path.read_text())
+        except (OSError, ValueError) as exc:
+            print(f"bench-report: skipping unreadable {path}: {exc}",
+                  file=sys.stderr)
+            continue
+        if isinstance(parsed, dict):
+            documents.setdefault(path.name, []).append(parsed)
+    return documents
+
+
+def _best(values: List[float]) -> Optional[float]:
+    return max(values) if values else None
+
+
+def evaluate(results: Dict[str, List[Dict[str, Any]]],
+             baselines: Dict[str, List[Dict[str, Any]]],
+             smoke: bool = False) -> List[Row]:
+    """Judge every registered metric against its floor and baseline.
+
+    With several result documents per file (matrix legs), a metric passes
+    if its *best* leg clears the floor -- a single noisy shared runner
+    must not fail the build when a sibling leg demonstrates the speedup.
+    """
+    rows: List[Row] = []
+    for metric in METRICS:
+        docs = results.get(metric.file, [])
+        values = [v for v in (resolve(d, metric.value_path) for d in docs)
+                  if isinstance(v, (int, float))]
+        value = _best(values)
+
+        floor: Optional[float] = None
+        if metric.floor_path is not None:
+            recorded = [resolve(d, metric.floor_path) for d in docs]
+            floors = [f for f in recorded if isinstance(f, (int, float))]
+            floor = min(floors) if floors else None
+        if floor is None:
+            floor = metric.smoke_floor if smoke else metric.floor
+
+        asserted = True
+        if metric.gate_path is not None and docs:
+            gates = [resolve(d, metric.gate_path) for d in docs]
+            asserted = any(g is True for g in gates)
+
+        base_docs = baselines.get(metric.file, [])
+        base_values = [v for v in (resolve(d, metric.value_path)
+                                   for d in base_docs)
+                       if isinstance(v, (int, float))]
+        rows.append(Row(metric=metric, value=value, floor=floor,
+                        asserted=asserted, baseline=_best(base_values),
+                        sources=len(values)))
+    return rows
+
+
+def _fmt(value: Optional[float], suffix: str = "x") -> str:
+    return "-" if value is None else f"{value:.2f}{suffix}"
+
+
+def _delta(row: Row) -> str:
+    if row.value is None or row.baseline in (None, 0):
+        return "-"
+    return f"{row.value / row.baseline - 1.0:+.0%}".replace("%", " %")
+
+
+def render_text(rows: Sequence[Row]) -> str:
+    """Plain-text speedup table for stdout / local runs."""
+    header = ("benchmark", "file", "speedup", "floor", "baseline",
+              "vs base", "status")
+    table = [header] + [
+        (row.metric.label, row.metric.file, _fmt(row.value),
+         _fmt(row.floor), _fmt(row.baseline), _delta(row), row.status)
+        for row in rows]
+    widths = [max(len(line[col]) for line in table)
+              for col in range(len(header))]
+    lines = ["  ".join(cell.ljust(width)
+                       for cell, width in zip(line, widths)).rstrip()
+             for line in table]
+    lines.insert(1, "  ".join("-" * width for width in widths))
+    return "\n".join(lines)
+
+
+def render_markdown(rows: Sequence[Row]) -> str:
+    """GitHub-flavoured Markdown table for the workflow step summary."""
+    icon = {"ok": "white_check_mark", "REGRESSED": "x",
+            "missing": "heavy_minus_sign", "not asserted": "zzz"}
+    lines = [
+        "## Benchmark regression report",
+        "",
+        "| benchmark | speedup | floor | baseline | vs base | status |",
+        "| --- | ---: | ---: | ---: | ---: | --- |",
+    ]
+    for row in rows:
+        lines.append(
+            f"| {row.metric.label} (`{row.metric.file}`) "
+            f"| {_fmt(row.value)} | {_fmt(row.floor)} "
+            f"| {_fmt(row.baseline)} | {_delta(row)} "
+            f"| :{icon[row.status]}: {row.status} |")
+    lines.append("")
+    lines.append("Best leg per metric; floors mirror the producing "
+                 "benchmark's own assertion (see `benchmarks/`).")
+    return "\n".join(lines) + "\n"
+
+
+def write_step_summary(markdown: str,
+                       summary_path: Optional[str] = None) -> bool:
+    """Append the Markdown table to ``$GITHUB_STEP_SUMMARY`` if set."""
+    target = summary_path or os.environ.get("GITHUB_STEP_SUMMARY")
+    if not target:
+        return False
+    with open(target, "a", encoding="utf-8") as handle:
+        handle.write(markdown)
+    return True
+
+
+def main(argv: Optional[Sequence[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        description="Render the BENCH_*.json speedup table and optionally "
+                    "fail on floor regressions.")
+    parser.add_argument(
+        "--results-dir", type=Path, default=REPO_ROOT,
+        help="directory holding freshly produced BENCH_*.json files, "
+             "searched recursively (default: the repository root)")
+    parser.add_argument(
+        "--baseline-dir", type=Path, default=REPO_ROOT,
+        help="directory holding the committed baseline BENCH_*.json files "
+             "(default: the repository root)")
+    parser.add_argument(
+        "--check", action="store_true",
+        help="exit 1 if any asserted metric is below its floor")
+    parser.add_argument(
+        "--smoke", action="store_true",
+        help="judge static floors at their BENCH_SMOKE values (implied by "
+             "BENCH_SMOKE=1 in the environment)")
+    args = parser.parse_args(argv)
+
+    smoke = args.smoke or os.environ.get("BENCH_SMOKE") == "1"
+    results = load_documents(args.results_dir)
+    baselines = load_documents(args.baseline_dir)
+    if not results:
+        print(f"bench-report: no {BENCH_GLOB} files under "
+              f"{args.results_dir}", file=sys.stderr)
+        return 2
+
+    rows = evaluate(results, baselines, smoke=smoke)
+    print(render_text(rows))
+    write_step_summary(render_markdown(rows))
+
+    regressions = [row for row in rows if row.regressed]
+    for row in regressions:
+        print(f"bench-report: FLOOR REGRESSION: {row.metric.label} "
+              f"({row.metric.file}) at {row.value:.2f}x, "
+              f"floor {row.floor:.2f}x", file=sys.stderr)
+    if args.check and regressions:
+        return 1
+    if regressions:
+        print("bench-report: regressions found (run with --check to fail)",
+              file=sys.stderr)
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

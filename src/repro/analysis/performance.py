@@ -154,6 +154,10 @@ def run_performance_breakdown(
                                     dataset.port_domain)
     pfs_single = time.perf_counter() - start
 
+    # The priors-scan phase below needs the pipeline anyway; creating it
+    # here lets the columnar rebuild share its status-id space.
+    pipeline = ScanPipeline(universe)
+
     # The engine measurement runs the fused path's own ingest: a dataset
     # split hands GPS the seed as a pre-sliced column batch (see
     # SeedTestSplit.seed_scan_result), so the timed region covers exactly
@@ -162,7 +166,8 @@ def run_performance_breakdown(
     # the single-core rows above.
     seed_batch = split.seed_scan_result().batch
     if seed_batch is None:  # object-backed dataset: rebuild columns untimed
-        seed_batch = ObservationBatch.from_observations(split.seed_observations)
+        seed_batch = ObservationBatch.from_observations(
+            split.seed_observations, statuses=pipeline.status_encoder)
     start = time.perf_counter()
     host_columns = extract_host_features_columns(seed_batch, asn_db,
                                                  feature_config)
@@ -186,7 +191,6 @@ def run_performance_breakdown(
     ))
 
     # -- Phase: priors scan (executed against the universe) ---------------------------
-    pipeline = ScanPipeline(universe)
     priors_observations = []
     for entry in priors_plan:
         priors_observations.extend(

@@ -21,6 +21,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Optional, Tuple, Union
 
+from repro.engine.columns import COLUMN_BACKENDS
 from repro.engine.faults import FaultPlan
 from repro.engine.parallel import ExecutorConfig
 from repro.engine.runtime import RUNTIME_EXECUTORS
@@ -182,6 +183,15 @@ class GPSConfig:
             (:class:`~repro.engine.faults.FaultPlan`) injected into the
             runtime's workers and the scan pipeline; testing and drills
             only -- leave ``None`` in production.
+        column_backend: kernel backend for the fused folds over
+            buffer-backed columns -- ``"stdlib"`` (pure-Python loops, the
+            default and the equivalence oracle) or ``"numpy"`` (vectorized
+            bulk passes that release the GIL; requires numpy).  ``None``
+            falls through to the ``REPRO_COLUMN_BACKEND`` environment
+            variable (see :mod:`repro.engine.columns`).  Only the fused
+            columnar folds are affected; the legacy oracle always runs
+            stdlib.  Requesting ``"numpy"`` without numpy installed raises
+            at build time rather than silently degrading.
     """
 
     seed_fraction: float = 0.01
@@ -202,6 +212,7 @@ class GPSConfig:
     task_deadline_s: Optional[float] = None
     execution_deadline_s: Optional[float] = None
     fault_plan: Optional[FaultPlan] = None
+    column_backend: Optional[str] = None
 
     def __post_init__(self) -> None:
         if not 0.0 < self.seed_fraction <= 1.0:
@@ -249,6 +260,11 @@ class GPSConfig:
                 raise ValueError(f"{name} must be positive when set")
         if self.fault_plan is not None and not isinstance(self.fault_plan, FaultPlan):
             raise TypeError("fault_plan must be a FaultPlan or None")
+        if (self.column_backend is not None
+                and self.column_backend not in COLUMN_BACKENDS):
+            raise ValueError(
+                f"unknown column_backend: {self.column_backend!r} "
+                f"(expected one of {COLUMN_BACKENDS} or None)")
         if self.port_domain is not None:
             for port in self.port_domain:
                 if not 1 <= port <= 65535:

@@ -27,6 +27,7 @@ from dataclasses import dataclass, field
 from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 from repro.core.config import FeatureConfig
+from repro.engine.columns import IntColumn
 from repro.engine.encoding import DictionaryEncoder
 from repro.net.asn import AsnDatabase
 from repro.net.ipv4 import subnet_key
@@ -186,13 +187,19 @@ class HostFeatureColumns:
         value_ids: dictionary-encoded predictor-tuple ids.
         encoder: the encoder that decodes ``value_ids`` back to tuples (and
             whose ``values()`` view side tables are built from).
+
+    All five columns are :class:`~repro.engine.columns.IntColumn` buffers:
+    the fused kernels and the shard loader read them through the buffer
+    protocol (memoryview / numpy view) instead of boxing one Python int per
+    element, and ``==`` against the object-path oracle lists still compares
+    element-wise.
     """
 
-    ips: List[int]
-    member_starts: List[int]
-    ports: List[int]
-    value_starts: List[int]
-    value_ids: List[int]
+    ips: IntColumn
+    member_starts: IntColumn
+    ports: IntColumn
+    value_starts: IntColumn
+    value_ids: IntColumn
     encoder: DictionaryEncoder
 
     def __len__(self) -> int:
@@ -243,15 +250,20 @@ def extract_host_features_columns(
     them: the last observation in batch order wins.
     """
     encoder = encoder if encoder is not None else DictionaryEncoder()
-    ips_col, ports_col, banner_col = batch.ips, batch.ports, batch.banner_ids
+    # Hydrate the machine-native columns to lists once: the grouping loop
+    # below touches every element, and per-index array access would box a
+    # fresh int per read.
+    ips_list = batch.ips.tolist()
+    ports_list = batch.ports.tolist()
+    banner_list = batch.banner_ids.tolist()
     # Group rows per host in first-seen order; per (host, port) the last row
     # wins (dict assignment), mirroring observations_by_host + dict insert.
     by_host: Dict[int, Dict[int, int]] = {}
-    for i in range(len(ips_col)):
-        rows = by_host.get(ips_col[i])
+    for i, ip in enumerate(ips_list):
+        rows = by_host.get(ip)
         if rows is None:
-            rows = by_host[ips_col[i]] = {}
-        rows[ports_col[i]] = i
+            rows = by_host[ip] = {}
+        rows[ports_list[i]] = i
 
     ips: List[int] = []
     member_starts: List[int] = [0]
@@ -268,7 +280,7 @@ def extract_host_features_columns(
         ips.append(ip)
         for port in sorted(rows):
             row = rows[port]
-            banner_id = banner_col[row]
+            banner_id = banner_list[row]
             # Batch-local banners (negative ids) are transient one-off pages:
             # memoizing them would key on an id that dies with the batch.
             run_key = (port, banner_id, net_key) if banner_id >= 0 else None
@@ -288,8 +300,13 @@ def extract_host_features_columns(
             value_ids.extend(ids)
             value_starts.append(len(value_ids))
         member_starts.append(len(ports))
-    return HostFeatureColumns(ips=ips, member_starts=member_starts, ports=ports,
-                              value_starts=value_starts, value_ids=value_ids,
+    # Accumulate into plain lists above (cheapest append path), convert to
+    # machine-native buffers exactly once here.
+    return HostFeatureColumns(ips=IntColumn(ips),
+                              member_starts=IntColumn(member_starts),
+                              ports=IntColumn(ports),
+                              value_starts=IntColumn(value_starts),
+                              value_ids=IntColumn(value_ids),
                               encoder=encoder)
 
 

@@ -348,7 +348,11 @@ class GPS:
         if config.use_engine and config.engine_mode == "fused":
             batch = seed.batch
             if batch is None:
-                batch = ObservationBatch.from_observations(seed.observations)
+                # Rebuild columns in the pipeline's status-id space instead
+                # of re-encoding into a fresh one per call.
+                batch = ObservationBatch.from_observations(
+                    seed.observations,
+                    statuses=self.pipeline.status_encoder)
             return extract_host_features_columns(batch, self._asn_db,
                                                  config.feature_config)
         return extract_host_features(seed.observations, self._asn_db,
@@ -377,14 +381,22 @@ class GPS:
         return None if isinstance(executor, str) else executor
 
     def _build_model(self, host_features, dataset) -> CooccurrenceModel:
-        """Build the Section 5.2 model on the configured execution path."""
+        """Build the Section 5.2 model on the configured execution path.
+
+        ``config.column_backend`` rides along to the engine paths: with
+        ``"numpy"`` the fused columnar folds run the vectorized kernels
+        (:mod:`repro.engine.columns`); the non-engine reference path is the
+        oracle and always stays stdlib.
+        """
         config = self.config
         if dataset is not None:
             return build_model_with_engine(host_features, mode=config.engine_mode,
-                                           dataset=dataset)
+                                           dataset=dataset,
+                                           column_backend=config.column_backend)
         if config.use_engine:
             return build_model_with_engine(host_features, self._per_call_executor(),
-                                           mode=config.engine_mode)
+                                           mode=config.engine_mode,
+                                           column_backend=config.column_backend)
         return build_model(host_features)
 
     def _build_priors_plan(self, host_features, model: CooccurrenceModel, dataset):

@@ -24,8 +24,13 @@ from typing import Dict, Iterable, List, Mapping, Optional, Tuple, Union
 
 from repro.core.config import ENGINE_MODES
 from repro.core.features import HostFeatureColumns, HostFeatures, PredictorTuple
+from repro.engine.columns import resolve_column_backend
 from repro.engine.encoding import DictionaryEncoder
-from repro.engine.fused import join_group_count
+from repro.engine.fused import (
+    fold_model_pairs_arrays,
+    fold_value_counts_arrays,
+    join_group_count,
+)
 from repro.engine.ops import group_count, hash_join
 from repro.engine.parallel import (
     ExecutorConfig,
@@ -33,7 +38,7 @@ from repro.engine.parallel import (
     partitioned_join_group_count,
 )
 from repro.core.runtime_plans import ResidentHostGroups
-from repro.engine.runtime import EngineRuntime
+from repro.engine.runtime import MODEL_PACK_BASE, EngineRuntime
 from repro.engine.table import Table
 
 
@@ -212,6 +217,7 @@ def build_model_with_engine(host_features: Union[Mapping[int, HostFeatures],
                             mode: str = "fused",
                             runtime: Optional[EngineRuntime] = None,
                             dataset: Optional[ResidentHostGroups] = None,
+                            column_backend: Optional[str] = None,
                             ) -> CooccurrenceModel:
     """Model building expressed as engine operations (the BigQuery analogue).
 
@@ -247,6 +253,16 @@ def build_model_with_engine(host_features: Union[Mapping[int, HostFeatures],
     into a runtime) folds the query against worker-resident shards without
     shipping the columns at all.
 
+    ``column_backend`` selects the kernel backend for the buffer-backed fold
+    paths (``None`` resolves through
+    :func:`repro.engine.columns.resolve_column_backend`: the
+    ``REPRO_COLUMN_BACKEND`` env var, defaulting to ``"stdlib"``).  With
+    ``"numpy"``, the serial columnar build and the resident-dataset build
+    fold their int64 column buffers through the vectorized kernels in
+    :mod:`repro.engine.fused` instead of per-row Python loops.  The backend
+    deliberately does not touch the legacy oracle or the object-table fused
+    path -- those stay pure stdlib so they remain the equivalence baseline.
+
     All paths produce probabilities identical to :func:`build_model` (the
     oracle); the test suite asserts this on randomized inputs.
     """
@@ -261,8 +277,9 @@ def build_model_with_engine(host_features: Union[Mapping[int, HostFeatures],
             raise ValueError("the execution runtime serves only the fused mode")
         if executor is not None:
             raise ValueError("pass either executor or runtime/dataset, not both")
+    backend = resolve_column_backend(column_backend)
     if dataset is not None:
-        cooccurrence, denominators = dataset.model_counts()
+        cooccurrence, denominators = dataset.model_counts(column_backend=backend)
         return CooccurrenceModel(cooccurrence=cooccurrence,
                                  denominators=denominators)
     executor = executor or (ExecutorConfig() if runtime is None else None)
@@ -272,9 +289,11 @@ def build_model_with_engine(host_features: Union[Mapping[int, HostFeatures],
               and executor.workers == 1)
 
     if mode == "fused":
+        kernel_path = columnar and serial and backend == "numpy"
         if columnar:
             encoder = host_features.encoder
-            encoded, ports = host_feature_columns_to_tables(host_features)
+            if not kernel_path:
+                encoded, ports = host_feature_columns_to_tables(host_features)
         else:
             encoder = DictionaryEncoder()
             encoded = Table(columns={
@@ -282,7 +301,20 @@ def build_model_with_engine(host_features: Union[Mapping[int, HostFeatures],
                 "port": features.columns["port"],
                 "predictor": encoder.encode_column(features.columns["predictor"]),
             })
-        if serial:
+        if kernel_path:
+            # Fold the pre-encoded column buffers directly through the
+            # vectorized kernels: no table flatten, no per-row join loop.
+            keys, counts = fold_model_pairs_arrays(
+                host_features.member_starts, host_features.ports,
+                host_features.value_starts, host_features.value_ids,
+                MODEL_PACK_BASE)
+            pair_counts = {
+                divmod(key, MODEL_PACK_BASE): count
+                for key, count in zip(keys.tolist(), counts.tolist())}
+            denom_keys, denom_counts = fold_value_counts_arrays(
+                host_features.value_ids)
+            denom_items = zip(denom_keys.tolist(), denom_counts.tolist())
+        elif serial:
             pair_counts = join_group_count(
                 encoded, ports, on=("ip",), keys=("b_predictor", "a_port"),
                 left_prefix="b_", right_prefix="a_",

@@ -45,6 +45,24 @@ __all__ = ["ResidentHostGroups"]
 _KEY_COUNTER = itertools.count()
 
 
+def _merge_packed(per_shard: Sequence[Tuple[Any, Any]]) -> Dict[int, int]:
+    """Merge per-shard packed ``(keys, counts)`` column pairs into one dict.
+
+    The vectorized fold kernels return parallel int64 columns instead of
+    dicts; the merge builds the combined mapping exactly once driver-side
+    (``.tolist()`` unboxes each buffer in a single C pass).
+    """
+    merged: Dict[int, int] = {}
+    for keys, counts in per_shard:
+        if not merged:
+            merged = dict(zip(keys.tolist(), counts.tolist()))
+            continue
+        get = merged.get
+        for key, count in zip(keys.tolist(), counts.tolist()):
+            merged[key] = get(key, 0) + count
+    return merged
+
+
 class ResidentHostGroups:
     """The host/service/predictor relation, resident in a runtime's workers.
 
@@ -156,19 +174,36 @@ class ResidentHostGroups:
 
     # -- model build (Section 5.2) -------------------------------------------------
 
-    def model_counts(self) -> Tuple[Dict[Any, Dict[int, int]], Dict[Any, int]]:
+    def model_counts(self, column_backend: str = "stdlib",
+                     ) -> Tuple[Dict[Any, Dict[int, int]], Dict[Any, int]]:
         """Run the co-occurrence query against the resident shards.
 
         Returns ``(cooccurrence, denominators)`` with decoded predictor-tuple
         keys, exactly the contents of the
-        :class:`~repro.core.model.CooccurrenceModel` the oracle builds.  The
-        shard-local self-join payload is derived (and cached) worker-side,
-        so repeated builds ship nothing at all.
+        :class:`~repro.core.model.CooccurrenceModel` the oracle builds.
+
+        With the default ``"stdlib"`` backend the shard-local self-join
+        payload is derived (and cached) worker-side, so repeated builds ship
+        nothing at all.  With ``column_backend="numpy"`` each worker instead
+        folds its resident column buffers through the vectorized kernels
+        (:func:`repro.engine.fused.fold_model_pairs_arrays`), returning
+        packed ``(keys, counts)`` column pairs that are merged driver-side
+        -- same counts, no per-row Python loop, and numpy's GIL-releasing
+        sorts let thread workers overlap for real.
         """
         self._check_usable()
-        pair_counts = merge_counters(self.runtime.execute("model_pairs", self.key))
-        denominators = merge_counters(
-            self.runtime.execute("model_denominators", self.key))
+        if column_backend == "numpy":
+            backend_args = [("numpy",)] * self.runtime.shard_count
+            pair_counts = _merge_packed(
+                self.runtime.execute("model_pairs", self.key, backend_args))
+            denominators = _merge_packed(
+                self.runtime.execute("model_denominators", self.key,
+                                     backend_args))
+        else:
+            pair_counts = merge_counters(
+                self.runtime.execute("model_pairs", self.key))
+            denominators = merge_counters(
+                self.runtime.execute("model_denominators", self.key))
         cooccurrence_by_id: Dict[int, Dict[int, int]] = {}
         for packed, count in pair_counts.items():
             predictor_id, port = divmod(packed, MODEL_PACK_BASE)

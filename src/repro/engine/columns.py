@@ -1,0 +1,169 @@
+"""Machine-native column storage and the numpy kernel feature gate.
+
+Hot columns (:class:`~repro.scanner.records.ObservationBatch`,
+:class:`~repro.core.features.HostFeatureColumns`, the resident shard payloads
+of :mod:`repro.engine.shard`) are backed by :class:`IntColumn` -- a signed
+64-bit :class:`array.array` subclass -- instead of Python lists.  An
+``array('q')`` stores one machine word per element (a list stores a pointer
+to a boxed ``int``), pickles as a single contiguous byte buffer (one
+``tobytes()`` per column when a shard ships to a pool worker, instead of one
+object per element), and exports the buffer protocol, so bulk kernels can
+fold over it without ever materializing Python ints:
+
+* ``memoryview(column)`` is a zero-copy typed view (what the thread executor
+  shares between workers);
+* ``numpy.frombuffer(column, dtype=int64)`` is a zero-copy ndarray view
+  (what the vectorized kernels in :mod:`repro.engine.fused` fold over).
+
+Two kernel backends exist and the **stdlib one is the default and the
+equivalence oracle**: pure-Python folds over the buffers, no third-party
+imports.  The optional ``numpy`` backend vectorizes the same folds with
+ufuncs -- numpy releases the GIL inside its C loops, which is what finally
+lets the ``thread`` executor beat ``serial`` on the model-build fold.  The
+gate is explicit: the ``REPRO_COLUMN_BACKEND`` environment variable
+(``stdlib`` | ``numpy``) or the ``GPSConfig.column_backend`` field, resolved
+through :func:`resolve_column_backend`.  Requesting ``numpy`` where the wheel
+is missing is an error, never a silent fallback -- a benchmark that asked
+for the vector path must not quietly measure the interpreter.
+"""
+
+from __future__ import annotations
+
+import os
+from array import array
+from typing import Iterable, Optional
+
+__all__ = [
+    "COLUMN_BACKEND_ENV",
+    "COLUMN_BACKENDS",
+    "INT64_MAX",
+    "INT64_MIN",
+    "IntColumn",
+    "as_numpy",
+    "numpy_available",
+    "require_numpy",
+    "resolve_column_backend",
+    "to_numpy",
+]
+
+#: Kernel backends a column fold can run on.
+COLUMN_BACKENDS = ("stdlib", "numpy")
+
+#: Environment variable selecting the default kernel backend.
+COLUMN_BACKEND_ENV = "REPRO_COLUMN_BACKEND"
+
+#: The value range an :class:`IntColumn` element can hold.
+INT64_MIN = -(2**63)
+INT64_MAX = 2**63 - 1
+
+try:  # numpy is optional; its absence just disables the numpy backend.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised on numpy-less interpreters
+    _np = None
+
+
+class IntColumn(array):
+    """A signed 64-bit integer column: ``array('q')`` with sequence equality.
+
+    Construction takes just the values (the typecode is fixed), and ``==``
+    compares element-wise against lists and tuples as well as arrays, so
+    column-backed containers stay drop-in comparable with the object-path
+    oracles that produce plain lists.  Everything else -- ``append`` /
+    ``extend`` folding, slicing, pickling, iteration, the buffer protocol --
+    is inherited from :class:`array.array` unchanged.
+
+    Elements must fit in int64 (:data:`INT64_MIN` .. :data:`INT64_MAX`);
+    out-of-range values raise ``OverflowError`` at insert time, which is the
+    point: every consumer downstream (the packed fold kernels, numpy views,
+    shard shipping) assumes machine words.
+    """
+
+    __slots__ = ()
+
+    def __new__(cls, values: Iterable[int] = ()) -> "IntColumn":
+        return super().__new__(cls, "q", values)
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (list, tuple)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other))
+        return array.__eq__(self, other)
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return NotImplemented if result is NotImplemented else not result
+
+    # Columns are mutable buffers; like lists and arrays they are unhashable.
+    __hash__ = None
+
+
+def numpy_available() -> bool:
+    """Whether the optional numpy kernel backend can be used at all."""
+    return _np is not None
+
+
+def resolve_column_backend(override: Optional[str] = None) -> str:
+    """Resolve the kernel backend: explicit override, else env var, else stdlib.
+
+    Args:
+        override: a backend name from :data:`COLUMN_BACKENDS` or ``None`` to
+            fall through to the ``REPRO_COLUMN_BACKEND`` environment variable
+            (itself defaulting to ``"stdlib"``).
+
+    Raises:
+        ValueError: unknown backend name (wherever it came from).
+        RuntimeError: the numpy backend was requested but numpy is not
+            importable -- requested vectorization never silently degrades.
+    """
+    backend = override if override is not None else os.environ.get(
+        COLUMN_BACKEND_ENV, "stdlib")
+    if backend not in COLUMN_BACKENDS:
+        raise ValueError(
+            f"unknown column backend: {backend!r} "
+            f"(expected one of {COLUMN_BACKENDS})")
+    if backend == "numpy" and _np is None:
+        raise RuntimeError(
+            "column backend 'numpy' requested "
+            f"(override or ${COLUMN_BACKEND_ENV}) but numpy is not installed; "
+            "install numpy or select the 'stdlib' backend")
+    return backend
+
+
+def require_numpy():
+    """The numpy module itself, for vectorized kernels that resolved the gate.
+
+    Raises:
+        RuntimeError: numpy is not importable (the caller should have gated
+            on :func:`resolve_column_backend` first).
+    """
+    if _np is None:
+        raise RuntimeError(
+            "the numpy column backend is unavailable (numpy is not installed)")
+    return _np
+
+
+def as_numpy(column):
+    """Zero-copy ``int64`` ndarray view of a buffer-backed column.
+
+    The view aliases the column's memory (no element is boxed or copied);
+    while it is alive the column cannot be resized -- kernels therefore keep
+    their views function-local.  Only valid when the numpy backend resolved.
+    """
+    if _np is None:  # pragma: no cover - callers gate on resolve_column_backend
+        raise RuntimeError("numpy is not available")
+    return _np.frombuffer(column, dtype=_np.int64)
+
+
+def to_numpy(values):
+    """An ``int64`` ndarray of any int sequence.
+
+    Buffer-backed columns (:class:`IntColumn`, ``array('q')``) view
+    zero-copy through the buffer protocol; plain lists/tuples copy.  The
+    bulk kernels accept either so resident shard payloads and ad-hoc test
+    columns fold through the same code.
+    """
+    if _np is None:  # pragma: no cover - callers gate on resolve_column_backend
+        raise RuntimeError("numpy is not available")
+    if isinstance(values, array):
+        return _np.frombuffer(values, dtype=_np.int64)
+    return _np.asarray(values, dtype=_np.int64)

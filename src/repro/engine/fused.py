@@ -26,6 +26,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Dict, Hashable, List, Optional, Sequence, Tuple
 
+from repro.engine.columns import IntColumn, require_numpy, to_numpy
 from repro.engine.table import Table
 
 __all__ = [
@@ -34,6 +35,8 @@ __all__ = [
     "FusedPartnerPlan",
     "argmax_partner_select",
     "compile_join_plan",
+    "fold_model_pairs_arrays",
+    "fold_value_counts_arrays",
     "join_group_count",
     "partner_group_count",
 ]
@@ -762,6 +765,115 @@ def argmax_partner_select(plan: FusedArgmaxPlan) -> List[Tuple[int, int, float]]
     the identical list.
     """
     return select_argmax_chunk(argmax_chunk_payload(plan))
+
+
+# -- bulk array kernels (the numpy column backend) ---------------------------------------
+#
+# The folds above stream row-by-row through Python loops -- the stdlib
+# backend, and the equivalence oracle for everything below.  When the numpy
+# gate is on (see repro.engine.columns), the model-build fold runs instead as
+# whole-column ufunc passes over the group-structured buffers: expand the
+# join's full multiset of packed keys, sort it, run-length count it, and
+# subtract the excluded self pairs.  Sorting machine words is cheaper than a
+# per-pair dict hop, and numpy releases the GIL inside its C loops -- which
+# is what lets the thread executor fold resident shards concurrently.
+
+
+def _run_length(np, sorted_values):
+    """Distinct values and their run lengths of an already-sorted array."""
+    boundaries = np.flatnonzero(sorted_values[1:] != sorted_values[:-1])
+    starts = np.concatenate((np.zeros(1, dtype=np.int64), boundaries + 1))
+    uniq = sorted_values[starts]
+    counts = np.diff(np.append(starts, sorted_values.size))
+    return uniq, counts
+
+
+def _int_column_of(np, values) -> IntColumn:
+    """An :class:`IntColumn` holding an int64 ndarray's values (one memcpy)."""
+    column = IntColumn()
+    column.frombytes(np.ascontiguousarray(values, dtype=np.int64).tobytes())
+    return column
+
+
+def fold_model_pairs_arrays(member_starts, labels, value_starts, value_ids,
+                            pack_base: int) -> Tuple[IntColumn, IntColumn]:
+    """The model-build join fold as bulk array passes (numpy backend).
+
+    Input is the flattened group structure every fused plan uses (and every
+    resident shard stores): group ``g`` owns members
+    ``member_starts[g]:member_starts[g+1]``, member ``m`` carries the label
+    ``labels[m]`` and the encoded values
+    ``value_ids[value_starts[m]:value_starts[m+1]]``.  The fold counts, for
+    every value of every member, one occurrence per *other* member's label in
+    the same group, keyed ``value_id * pack_base + label`` -- exactly the
+    packed counter :func:`count_join_chunk` produces for the model join
+    (the tests pin the equivalence).
+
+    Precondition: labels are unique within each group (host port runs are,
+    by construction) -- the join excludes matches whose label equals the
+    carrying member's own, which under uniqueness is exactly one self pair
+    per value, subtracted here as a second run-length pass.
+
+    Returns ``(keys, counts)`` sorted by packed key, as picklable
+    :class:`IntColumn` buffers (a pool worker's reply needs no numpy on the
+    receiving side).
+    """
+    np = require_numpy()
+    ms = to_numpy(member_starts)
+    ports = to_numpy(labels)
+    vcounts = np.diff(to_numpy(value_starts))
+    vids = to_numpy(value_ids)
+    n_groups = ms.size - 1
+    if n_groups <= 0 or vids.size == 0:
+        return IntColumn(), IntColumn()
+    sizes = np.diff(ms)
+    group_of_member = np.repeat(np.arange(n_groups, dtype=np.int64), sizes)
+    member_of_value = np.repeat(
+        np.arange(ports.size, dtype=np.int64), vcounts)
+    group_of_value = group_of_member[member_of_value]
+    reps = sizes[group_of_value]
+    total = int(reps.sum())
+    if total == 0:
+        return IntColumn(), IntColumn()
+    # Expand the full multiset (every value x every label of its group,
+    # self included): out_starts[v] is where value v's run begins in the
+    # output, so (arange - run start + group's member offset) indexes the
+    # right span of ``ports`` for every output slot at once.
+    out_ends = np.cumsum(reps)
+    out_starts = out_ends - reps
+    idx = np.arange(total, dtype=np.int64) + np.repeat(
+        ms[group_of_value] - out_starts, reps)
+    full = np.repeat(vids, reps) * pack_base + ports[idx]
+    # In-place sort + run-length count; np.sort over int64 is the whole
+    # fold's hot loop and runs GIL-free.  (No argsort anywhere: a stable
+    # argsort of the expansion costs an order of magnitude more than the
+    # value sort and nothing here needs original positions.)
+    full.sort()
+    uniq, counts = _run_length(np, full)
+    # Subtract the excluded self pairs: each value once against its own
+    # member's label.  Every self key exists in ``uniq`` by construction, so
+    # searchsorted hits exact positions.
+    self_keys = np.sort(vids * pack_base + ports[member_of_value])
+    self_uniq, self_counts = _run_length(np, self_keys)
+    counts[np.searchsorted(uniq, self_uniq)] -= self_counts
+    keep = counts > 0
+    return _int_column_of(np, uniq[keep]), _int_column_of(np, counts[keep])
+
+
+def fold_value_counts_arrays(value_ids) -> Tuple[IntColumn, IntColumn]:
+    """``Counter(value_ids)`` as a bulk sort + run-length pass (numpy backend).
+
+    The model build's denominator fold: how many services carry each encoded
+    predictor id.  Returns ``(ids, counts)`` sorted by id, as picklable
+    :class:`IntColumn` buffers.
+    """
+    np = require_numpy()
+    vids = to_numpy(value_ids)
+    if vids.size == 0:
+        return IntColumn(), IntColumn()
+    ordered = np.sort(vids)
+    uniq, counts = _run_length(np, ordered)
+    return _int_column_of(np, uniq), _int_column_of(np, counts)
 
 
 def join_group_count(left: Table, right: Table, on: Sequence[str],

@@ -59,6 +59,7 @@ import multiprocessing.connection
 import os
 import time
 import traceback
+from array import array
 from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
@@ -67,6 +68,8 @@ from repro.engine.faults import FaultPlan, WorkerFaultState
 from repro.engine.fused import (
     count_join_chunk,
     count_partner_chunk,
+    fold_model_pairs_arrays,
+    fold_value_counts_arrays,
     select_argmax_chunk,
 )
 
@@ -135,14 +138,15 @@ def lpt_placement(sizes: Sequence[int], workers: int) -> List[int]:
 
 
 def _payload_rows(payload: dict) -> int:
-    """A shard payload's row count: total entries across its list columns.
+    """A shard payload's row count: total entries across its columns.
 
-    The LPT placement's size measure.  Offset columns count too, but they
-    are proportional to the member count, so relative shard weights -- all
-    placement cares about -- are preserved.
+    The LPT placement's size measure.  Columns may be boxed lists/tuples or
+    machine-native buffers (:class:`~repro.engine.columns.IntColumn`); offset
+    columns count too, but they are proportional to the member count, so
+    relative shard weights -- all placement cares about -- are preserved.
     """
     return sum(len(column) for column in payload.values()
-               if isinstance(column, (list, tuple)))
+               if isinstance(column, (list, tuple, array)))
 
 
 class WorkerTaskError(RuntimeError):
@@ -234,6 +238,31 @@ def _task_argmax_chunk(shard: Optional[dict], broadcast: Optional[dict],
     return select_argmax_chunk(args)
 
 
+#: Shard columns the row-by-row tasks hydrate into boxed lists (see
+#: :func:`_shard_lists`).
+_HYDRATED_COLUMNS = ("group_keys", "member_starts", "labels", "value_starts",
+                     "value_ids")
+
+
+def _shard_lists(shard: dict) -> dict:
+    """Boxed-list copies of a shard's buffer columns, hydrated once per shard.
+
+    Resident shard columns are machine-native int64 buffers
+    (:class:`~repro.engine.columns.IntColumn`) -- ideal for shipping and for
+    the bulk kernels, but indexing one element-by-element boxes a fresh
+    Python int per access, where a list hands back the already-boxed object.
+    The stdlib row-by-row folds therefore read these cached ``tolist()``
+    copies (hydrated lazily worker-side, exactly like the ``_model_join``
+    cache); the numpy kernels read the buffers directly.
+    """
+    lists = shard.get("_lists")
+    if lists is None:
+        lists = shard["_lists"] = {
+            name: (column.tolist() if isinstance(column, array) else column)
+            for name, column in shard.items() if name in _HYDRATED_COLUMNS}
+    return lists
+
+
 def _derive_model_join(shard: dict) -> Tuple[Any, ...]:
     """Derive the resident model-build join payload from host-group columns.
 
@@ -246,10 +275,11 @@ def _derive_model_join(shard: dict) -> Tuple[Any, ...]:
     path.  Derivation happens worker-side on first use and is cached in the
     resident shard, so repeated model builds skip it entirely.
     """
-    member_starts = shard["member_starts"]
-    labels = shard["labels"]
-    value_starts = shard["value_starts"]
-    value_ids = shard["value_ids"]
+    lists = _shard_lists(shard)
+    member_starts = lists["member_starts"]
+    labels = lists["labels"]
+    value_starts = lists["value_starts"]
+    value_ids = lists["value_ids"]
     left_host: List[int] = []
     left_port: List[int] = []
     left_pid: List[int] = []
@@ -269,9 +299,21 @@ def _derive_model_join(shard: dict) -> Tuple[Any, ...]:
             index, MODEL_PACK_BASE)
 
 
-def _task_model_pairs(shard: dict, broadcast: Optional[dict],
-                      args: Any) -> Counter:
-    """Resident co-occurrence fold: packed (predictor id, port) counts."""
+def _task_model_pairs(shard: dict, broadcast: Optional[dict], args: Any) -> Any:
+    """Resident co-occurrence fold: packed (predictor id, port) counts.
+
+    ``args`` optionally carries the column backend name: the default stdlib
+    backend streams the derived join payload through
+    :func:`~repro.engine.fused.count_join_chunk` and replies with a packed
+    ``Counter``; the ``numpy`` backend folds the shard's buffers through
+    :func:`~repro.engine.fused.fold_model_pairs_arrays` and replies with
+    packed ``(keys, counts)`` columns.  The driver merges either shape into
+    the same dictionary, and the two are equivalence-pinned by the tests.
+    """
+    if args and args[0] == "numpy":
+        return fold_model_pairs_arrays(
+            shard["member_starts"], shard["labels"], shard["value_starts"],
+            shard["value_ids"], MODEL_PACK_BASE)
     payload = shard.get("_model_join")
     if payload is None:
         payload = shard["_model_join"] = _derive_model_join(shard)
@@ -279,9 +321,15 @@ def _task_model_pairs(shard: dict, broadcast: Optional[dict],
 
 
 def _task_model_denominators(shard: dict, broadcast: Optional[dict],
-                             args: Any) -> Counter:
-    """Resident denominator fold: predictor-id occurrence counts."""
-    return Counter(shard["value_ids"])
+                             args: Any) -> Any:
+    """Resident denominator fold: predictor-id occurrence counts.
+
+    Same backend contract as :func:`_task_model_pairs`: stdlib replies with a
+    ``Counter``, numpy with sorted ``(ids, counts)`` columns.
+    """
+    if args and args[0] == "numpy":
+        return fold_value_counts_arrays(shard["value_ids"])
+    return Counter(_shard_lists(shard)["value_ids"])
 
 
 def _task_priors_partner(shard: dict, broadcast: dict, args: Any) -> Counter:
@@ -291,8 +339,9 @@ def _task_priors_partner(shard: dict, broadcast: dict, args: Any) -> Counter:
     broadcast model sides, everything else is already resident.
     """
     (allowed,) = args
-    payload = (shard["group_keys"], shard["member_starts"], shard["labels"],
-               shard["value_starts"], shard["value_ids"],
+    lists = _shard_lists(shard)
+    payload = (lists["group_keys"], lists["member_starts"], lists["labels"],
+               lists["value_starts"], lists["value_ids"],
                broadcast["target_counts"], broadcast["denominators"], allowed)
     return count_partner_chunk(payload)
 
@@ -310,10 +359,11 @@ def _task_index_argmax(shard: dict, broadcast: dict,
     target_counts = broadcast["target_counts"]
     denominators = broadcast["denominators"]
     tie_ranks = broadcast["tie_ranks"]
-    member_starts = shard["member_starts"]
-    labels = shard["labels"]
-    value_starts = shard["value_starts"]
-    value_ids = shard["value_ids"]
+    lists = _shard_lists(shard)
+    member_starts = lists["member_starts"]
+    labels = lists["labels"]
+    value_starts = lists["value_starts"]
+    value_ids = lists["value_ids"]
     out: List[Tuple[int, List[Tuple[int, int, float]]]] = []
     for local, original in enumerate(shard["group_order"]):
         m_lo, m_hi = member_starts[local], member_starts[local + 1]

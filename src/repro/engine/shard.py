@@ -37,6 +37,7 @@ from __future__ import annotations
 from dataclasses import dataclass
 from typing import Any, Dict, List, Mapping, Sequence, Tuple
 
+from repro.engine.columns import IntColumn
 from repro.engine.encoding import stable_hash
 
 __all__ = [
@@ -145,6 +146,13 @@ def shard_group_columns(
     0) plus ``group_order``: the original index of every group in the shard,
     ascending, so order-sensitive results can be merged back into the exact
     serial order.
+
+    Payload columns are returned as :class:`~repro.engine.columns.IntColumn`
+    buffers: a resident shard is one machine-native allocation per column
+    (not a list of boxed ints), the thread executor's workers read the
+    buffers zero-copy, and shipping a shard to a pool worker pickles each
+    column as a single contiguous ``tobytes()`` blob instead of one object
+    per element.
     """
     group_count = len(group_keys)
     if len(assign_keys) != group_count:
@@ -170,7 +178,13 @@ def shard_group_columns(
             shard_value_ids.extend(value_ids[value_starts[m]:value_starts[m + 1]])
             shard_value_starts.append(len(shard_value_ids))
         shard["member_starts"].append(len(shard_labels))
-    return ShardedColumns(shard_count=shard_count, shards=tuple(shards))
+    # Scatter into plain lists above (cheapest append path), then freeze each
+    # shard's columns into machine-native buffers exactly once.
+    frozen = tuple(
+        {name: IntColumn(column) for name, column in shard.items()}
+        for shard in shards
+    )
+    return ShardedColumns(shard_count=shard_count, shards=frozen)
 
 
 def merge_ordered(per_shard_results: Sequence[Sequence[Tuple[int, Any]]]) -> List[Any]:

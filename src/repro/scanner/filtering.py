@@ -141,50 +141,58 @@ class PseudoServiceFilter:
             self._content_keys_interner = banners
         return self._content_keys
 
-    def filter_batch(self, batch: ObservationBatch) -> List[ScanObservation]:
-        """Columnar :meth:`filter`: apply both rules to an observation batch.
+    def _partition_batch(self, batch: ObservationBatch,
+                         ) -> Tuple[List[int], List[int], List[int], Set[int]]:
+        """Split a batch's row indices by filter outcome.
 
-        Produces exactly ``self.filter(batch.materialize())`` -- same
-        surviving observations in the same order -- but the filtering runs on
-        the batch's flat columns: hosts group by row index, the
-        stripped-content key is computed once per *distinct* interned banner
-        id (then memoized across batches) instead of once per observation,
-        and only the surviving rows are ever materialized into
-        :class:`~repro.scanner.records.ScanObservation` objects.
-
-        Duplicate (ip, port) rows cannot disagree: the simulated universe is
-        deterministic per target, so equal pairs always carry equal banner
-        ids and land in the same content group -- index-wise removal is
-        therefore identical to :meth:`apply`'s pair-wise removal.
+        Returns ``(kept, removed_duplicate, removed_dense, flagged_hosts)``
+        row-index lists.  The grouping is one sort-based pass over the flat
+        columns: every ip is assigned its first-seen rank, all row indices
+        sort once by ``(rank, port)`` (stable, so equal ports keep probe
+        order), and hosts are the runs of equal ips in that order -- no
+        per-host list-of-lists is ever built.  ``kept`` therefore comes back
+        in host first-seen order with ports ascending within each host,
+        exactly the order :meth:`apply` emits.
         """
-        ports = batch.ports
+        ips, ports = batch.ips, batch.ports
         banner_ids = batch.banner_ids
-        by_host: Dict[int, List[int]] = {}
-        for index, ip in enumerate(batch.ips):
-            entry = by_host.get(ip)
-            if entry is None:
-                entry = by_host[ip] = []
-            entry.append(index)
+        rank: Dict[int, int] = {}
+        for ip in ips:
+            if ip not in rank:
+                rank[ip] = len(rank)
+        order = sorted(range(len(ips)),
+                       key=lambda i: (rank[ips[i]], ports[i]))
 
         content_keys = self._banner_content_keys(batch.banners)
         content_keys_get = content_keys.get
         dynamic_fields = self.dynamic_fields
         banner_features = batch.banners.features
         local_banners = batch.local_banners
-        kept_indices: List[int] = []
-        for indices in by_host.values():
-            # Mirror observations_by_host: each host's rows in port order
-            # (stable, so equal ports keep their probe order).
-            indices.sort(key=ports.__getitem__)
+        kept: List[int] = []
+        removed_duplicate: List[int] = []
+        removed_dense: List[int] = []
+        flagged: Set[int] = set()
+        total = len(order)
+        lo = 0
+        while lo < total:
+            # One run of equal ips == one host's rows, ports ascending.
+            ip = ips[order[lo]]
+            hi = lo + 1
+            while hi < total and ips[order[hi]] == ip:
+                hi += 1
+            indices = order[lo:hi]
+            lo = hi
             # Rule 2 first: dense hosts are dropped wholesale.
             if len(indices) > self.max_services_per_host:
+                removed_dense.extend(indices)
+                flagged.add(ip)
                 continue
             # A host with fewer rows than the duplicate threshold cannot
             # form a removable content group; keep it without resolving any
             # content keys (the overwhelmingly common case in a prediction
             # scan, where most hosts contribute one or two targets).
             if len(indices) < self.min_duplicate_services:
-                kept_indices.extend(indices)
+                kept.extend(indices)
                 continue
             # Rule 1: identical stripped content across many of the host's
             # services; keys resolve through the per-banner-id memo.
@@ -216,11 +224,58 @@ class PseudoServiceFilter:
                 if len(group) >= self.min_duplicate_services:
                     removed.update(group)
             if removed:
-                kept_indices.extend(i for i in indices if i not in removed)
+                removed_duplicate.extend(i for i in indices if i in removed)
+                flagged.add(ip)
+                kept.extend(i for i in indices if i not in removed)
             else:
-                kept_indices.extend(indices)
+                kept.extend(indices)
+        return kept, removed_duplicate, removed_dense, flagged
+
+    def filter_batch(self, batch: ObservationBatch) -> List[ScanObservation]:
+        """Columnar :meth:`filter`: apply both rules to an observation batch.
+
+        Produces exactly ``self.filter(batch.materialize())`` -- same
+        surviving observations in the same order -- but the filtering runs on
+        the batch's flat columns (one sort-based grouping pass, see
+        :meth:`_partition_batch`), the stripped-content key is computed once
+        per *distinct* interned banner id (then memoized across batches)
+        instead of once per observation, and only the surviving rows are ever
+        materialized into :class:`~repro.scanner.records.ScanObservation`
+        objects.
+
+        Duplicate (ip, port) rows cannot disagree: the simulated universe is
+        deterministic per target, so equal pairs always carry equal banner
+        ids and land in the same content group -- index-wise removal is
+        therefore identical to :meth:`apply`'s pair-wise removal.
+        """
+        kept, _, _, _ = self._partition_batch(batch)
         row = batch.row
-        return [row(i) for i in kept_indices]
+        return [row(i) for i in kept]
+
+    def apply_batch(self, batch: ObservationBatch,
+                    ) -> Tuple[ObservationBatch, FilterReport]:
+        """Columnar :meth:`apply`: filter a batch, keeping the columnar form.
+
+        Returns ``(kept_batch, report)``: the surviving rows as a new
+        :class:`~repro.scanner.records.ObservationBatch` sharing the input's
+        banner interner and status encoder, plus a :class:`FilterReport`
+        whose removed lists and ``flagged_hosts`` contain exactly the rows
+        :meth:`apply` over the materialized input would remove (removed rows
+        come back in host/port order rather than content-group order).
+        ``report.kept`` is deliberately left empty
+        -- the kept rows already exist as the returned batch, and
+        materializing them twice would defeat the point of staying columnar
+        (``removed_count()`` never consults ``kept``).
+        """
+        kept, removed_duplicate, removed_dense, flagged = (
+            self._partition_batch(batch))
+        row = batch.row
+        report = FilterReport(
+            removed_duplicate_content=[row(i) for i in removed_duplicate],
+            removed_dense_host=[row(i) for i in removed_dense],
+            flagged_hosts=flagged,
+        )
+        return batch.select(kept), report
 
 
 def filter_quality(report: FilterReport,

@@ -62,11 +62,13 @@ class SeedScanResult:
             removed.
         ports_scanned: the ports each sampled address was probed on (``None``
             means all 65,535 ports).
-        batch: the same observations in columnar form, when the producer had
-            them as columns already (dataset-split seeds slice the dataset's
-            columns).  Row ``i`` of the batch materializes to
-            ``observations[i]``; consumers that can stay columnar (GPS's
-            fused feature ingest) read this and skip the object rows.
+        batch: the same observations in columnar form.  Live seed scans
+            produce it natively (the sweep, the fingerprint/grab layers and
+            the pseudo-service filter all run columnar) and dataset-split
+            seeds slice the dataset's columns.  Row ``i`` of the batch
+            materializes to ``observations[i]``; consumers that can stay
+            columnar (GPS's fused feature ingest) read this and skip the
+            object rows.
     """
 
     observations: List[ScanObservation]
@@ -111,6 +113,17 @@ class ScanPipeline:
         # stable across every columnar batch this pipeline produces.
         self._status_encoder = DictionaryEncoder()
 
+    @property
+    def status_encoder(self) -> DictionaryEncoder:
+        """The pipeline-wide protocol-status id space.
+
+        Consumers folding object rows back into columns
+        (:meth:`~repro.scanner.records.ObservationBatch.from_observations`)
+        pass this so their batches speak the same status ids as every batch
+        the pipeline produced, instead of re-encoding into a fresh space.
+        """
+        return self._status_encoder
+
     # -- address sampling -------------------------------------------------------------
 
     def sample_addresses(self, fraction: float, rng: random.Random) -> List[int]:
@@ -153,15 +166,15 @@ class ScanPipeline:
         rng = random.Random(seed)
         sampled = self.sample_addresses(sample_fraction, rng)
         port_tuple = tuple(ports) if ports is not None else None
-        observations = self._sweep_hosts(sampled, port_tuple, ScanCategory.SEED)
+        batch = self._sweep_hosts_columnar(sampled, port_tuple, ScanCategory.SEED)
         removed = 0
         if apply_filter:
-            report = self.pseudo_filter.apply(observations)
+            batch, report = self.pseudo_filter.apply_batch(batch)
             removed = report.removed_count()
-            observations = report.kept
-        return SeedScanResult(observations=observations, sampled_ips=sampled,
+        return SeedScanResult(observations=batch.materialize(),
+                              sampled_ips=sampled,
                               removed_pseudo_services=removed,
-                              ports_scanned=port_tuple)
+                              ports_scanned=port_tuple, batch=batch)
 
     def scan_prefix(self, port: int, subnet: int | Tuple[int, int],
                     category: ScanCategory = ScanCategory.PRIORS,
@@ -269,10 +282,22 @@ class ScanPipeline:
 
     # -- internals ---------------------------------------------------------------------
 
-    def _sweep_hosts(self, ips: Sequence[int], ports: Optional[Tuple[int, ...]],
-                     category: ScanCategory) -> List[ScanObservation]:
-        """Probe each address across the port set, fingerprint and banner-grab."""
-        observations: List[ScanObservation] = []
+    def _sweep_hosts_columnar(self, ips: Sequence[int],
+                              ports: Optional[Tuple[int, ...]],
+                              category: ScanCategory) -> ObservationBatch:
+        """Probe each address across the port set, staying columnar throughout.
+
+        The SYN sweep runs per host (the middlebox shortcut needs per-host
+        results), accumulating every responsive (ip, port) target into two
+        flat columns; fingerprinting and banner-grabbing then fold the whole
+        sweep through the batched columnar layers in one pass each --
+        identical targets, row order and ledger charges to chaining
+        ``fingerprint_many`` / ``grab_many`` per host (the LZR/ZGrab loss
+        draws are pure functions of the target, not of batching), without
+        ever allocating per-hit result objects.
+        """
+        target_ips: List[int] = []
+        target_ports: List[int] = []
         for ip in ips:
             responsive_ports = self.zmap.scan_host_ports(ip, ports=ports,
                                                          category=category)
@@ -287,8 +312,9 @@ class ScanPipeline:
                 )
                 if not sampled_results:
                     continue
-            fingerprints = self.lzr.fingerprint_many(
-                ((ip, port) for port in responsive_ports), category=category
-            )
-            observations.extend(self.zgrab.grab_many(fingerprints, category=category))
-        return observations
+            target_ips.extend([ip] * len(responsive_ports))
+            target_ports.extend(responsive_ports)
+        fingerprints = self.lzr.fingerprint_batch_columns(
+            target_ips, target_ports, category=category,
+            statuses=self._status_encoder)
+        return self.zgrab.grab_batch_columns(fingerprints, category=category)

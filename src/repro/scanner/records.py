@@ -8,12 +8,16 @@ fields and the IP TTL -- and never any ground-truth-only information such as
 the device profile that generated the host.
 
 :class:`ObservationBatch` is the *columnar* form the batched scanner layers
-accumulate into: flat parallel int columns (address, port, encoded protocol
+accumulate into: flat parallel int64 columns (address, port, encoded protocol
 status, interned banner id, TTL) instead of one object per hit, with lazy
-per-row :class:`ScanObservation` views.  Keeping per-hit work O(1) appends is
-what lets the scan loop track the batched ZMap layer's throughput (the
-paper's Section 5.4 / Table 2 story); observations only materialize at the
-pipeline's API boundary.
+per-row :class:`ScanObservation` views.  The columns are
+:class:`~repro.engine.columns.IntColumn` buffers -- machine-native
+``array('q')`` storage, one word per element -- so bulk consumers (the fused
+fold kernels, shard shipping) read them through the buffer protocol instead
+of boxing Python ints.  Keeping per-hit work O(1) appends is what lets the
+scan loop track the batched ZMap layer's throughput (the paper's Section 5.4
+/ Table 2 story); observations only materialize at the pipeline's API
+boundary.
 """
 
 from __future__ import annotations
@@ -21,6 +25,7 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import Dict, Iterable, Iterator, List, Mapping, Optional, Tuple
 
+from repro.engine.columns import IntColumn
 from repro.engine.encoding import DictionaryEncoder
 from repro.internet.banners import BannerInterner
 from repro.net.ipv4 import subnet_key
@@ -87,11 +92,11 @@ class ObservationBatch:
 
     banners: BannerInterner
     statuses: DictionaryEncoder = field(default_factory=DictionaryEncoder)
-    ips: List[int] = field(default_factory=list)
-    ports: List[int] = field(default_factory=list)
-    status: List[int] = field(default_factory=list)
-    banner_ids: List[int] = field(default_factory=list)
-    ttls: List[int] = field(default_factory=list)
+    ips: IntColumn = field(default_factory=IntColumn)
+    ports: IntColumn = field(default_factory=IntColumn)
+    status: IntColumn = field(default_factory=IntColumn)
+    banner_ids: IntColumn = field(default_factory=IntColumn)
+    ttls: IntColumn = field(default_factory=IntColumn)
     local_banners: List[Mapping[str, str]] = field(default_factory=list)
 
     def __len__(self) -> int:
@@ -136,20 +141,24 @@ class ObservationBatch:
 
         A pure column slice: the interner, the status encoder and the
         batch-local banner table are *shared* with this batch (banner and
-        status ids stay valid verbatim), so selecting rows never touches a
-        banner mapping.  This is what the columnar dataset layer uses for
-        port restrictions and seed/test splits.
+        status ids stay valid verbatim, no status re-encoding happens), so
+        selecting rows never touches a banner mapping.  This is what the
+        columnar dataset layer uses for port restrictions and seed/test
+        splits.  An empty selection returns immediately with the shared
+        tables and empty columns.
         """
         out = ObservationBatch(banners=self.banners, statuses=self.statuses,
                                local_banners=self.local_banners)
+        rows = indices if isinstance(indices, (list, tuple)) else list(indices)
+        if not rows:
+            return out
         ips, ports, status = self.ips, self.ports, self.status
         banner_ids, ttls = self.banner_ids, self.ttls
-        for i in indices:
-            out.ips.append(ips[i])
-            out.ports.append(ports[i])
-            out.status.append(status[i])
-            out.banner_ids.append(banner_ids[i])
-            out.ttls.append(ttls[i])
+        out.ips.extend(ips[i] for i in rows)
+        out.ports.extend(ports[i] for i in rows)
+        out.status.extend(status[i] for i in rows)
+        out.banner_ids.extend(banner_ids[i] for i in rows)
+        out.ttls.extend(ttls[i] for i in rows)
         return out
 
     @classmethod

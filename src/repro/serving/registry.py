@@ -167,7 +167,10 @@ def build_prepared_model(
     if fused:
         batch = seed.batch
         if batch is None:
-            batch = ObservationBatch.from_observations(seed.observations)
+            # Rebuild columns in the pipeline's status-id space instead of
+            # re-encoding into a fresh one per prepared model.
+            batch = ObservationBatch.from_observations(
+                seed.observations, statuses=pipeline.status_encoder)
         host_features = extract_host_features_columns(batch, asn_db,
                                                       config.feature_config)
     else:
