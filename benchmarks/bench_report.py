@@ -104,6 +104,10 @@ METRICS: Tuple[Metric, ...] = (
            "recovery.rebuild_vs_heal", floor=1.0, smoke_floor=0.7),
     Metric("BENCH_serving.json", "warm served lookup vs cold one-shot",
            "warm_vs_cold_speedup", floor=5.0, smoke_floor=5.0),
+    Metric("BENCH_telemetry.json", "warm model build, telemetry off vs on",
+           "model_build.off_vs_on", floor_path="model_build.floor"),
+    Metric("BENCH_telemetry.json", "warm serving lookup, telemetry off vs on",
+           "warm_lookup.off_vs_on", floor_path="warm_lookup.floor"),
 )
 
 

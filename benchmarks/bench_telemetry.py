@@ -1,0 +1,183 @@
+"""Telemetry overhead: instrumented vs bare on the two hot paths.
+
+The telemetry subsystem promises to be cheap enough to leave on in
+production: counters under one registry lock, latency histograms behind a
+sampling knob, spans only at phase granularity.  This benchmark prices that
+promise on the two paths an operator would instrument first:
+
+* **warm model build** -- ``build_prepared_model`` on a persistent serial
+  engine runtime, telemetry on vs off (the build path: per-task timings,
+  resident gauges, phase counters);
+* **warm serving lookup** -- sequential ``lookup_ip`` requests against a
+  warm :class:`~repro.serving.service.GPSService`, telemetry on vs off
+  (the serve path: per-request counters, latency histograms, micro-batch
+  accounting).
+
+Equivalence is asserted before any timing is trusted: the instrumented
+build's predictions and the instrumented service's replies must be
+bit-identical to the bare legs'.
+
+Results go to ``BENCH_telemetry.json``.  Headline assertion: the bare leg
+is at most ~5 % faster than the instrumented leg (``off_vs_on >= 0.95``;
+relaxed to 0.90 under ``BENCH_SMOKE=1`` where single-round noise on shared
+runners dominates).  The floor is recorded in the JSON so
+``bench_report.py --check`` judges each file by the conditions it was
+produced under.
+"""
+
+from __future__ import annotations
+
+import asyncio
+import json
+import os
+import time
+from pathlib import Path
+
+from repro.analysis import format_table
+from repro.analysis.scenarios import MEDIUM_SCALE
+from repro.core.config import GPSConfig
+from repro.engine.runtime import EngineRuntime
+from repro.scanner.pipeline import ScanPipeline
+from repro.serving import GPSService, InProcessClient, ServingConfig
+from repro.serving.registry import build_prepared_model
+from repro.telemetry import Telemetry
+
+RESULT_PATH = Path(__file__).resolve().parent.parent / "BENCH_telemetry.json"
+
+SMOKE = os.environ.get("BENCH_SMOKE") == "1"
+
+SEED_FRACTION = 0.1
+
+#: Build repetitions per leg (best-of; the build is the expensive part).
+BUILD_REPEATS = 3 if SMOKE else 5
+
+#: Sequential warm lookups per timing round, and rounds per leg (best-of).
+WARM_LOOKUPS = 60
+LOOKUP_ROUNDS = 3
+
+#: The instrumented leg must keep the bare leg's advantage under ~5 %
+#: (10 % in smoke mode, where runner noise on a sub-second measurement can
+#: exceed the instrumentation itself).
+OFF_VS_ON_FLOOR = 0.90 if SMOKE else 0.95
+
+
+def _gps_config() -> GPSConfig:
+    return GPSConfig(use_engine=True, executor="serial")
+
+
+def _build_leg(universe, seed, telemetry):
+    """Best-of-N warm builds on one persistent runtime; returns (s, preds)."""
+    runtime = EngineRuntime(executor="serial", telemetry=telemetry)
+    pipeline = ScanPipeline(universe, telemetry=telemetry)
+    best = float("inf")
+    predictions = None
+    try:
+        for _ in range(BUILD_REPEATS):
+            start = time.perf_counter()
+            prepared = build_prepared_model("bench", pipeline, seed,
+                                            _gps_config(), runtime)
+            best = min(best, time.perf_counter() - start)
+            ip = seed.observations[0].ip
+            predictions = prepared.predict(
+                prepared.known_observations(ip),
+                known_pairs=prepared.known_pairs_for(ip))
+            prepared.release()
+    finally:
+        runtime.close()
+    return best, tuple(predictions)
+
+
+def _lookup_leg(universe, seed, telemetry_enabled):
+    """Best-of-N sequential warm-lookup rounds; returns (s/lookup, replies)."""
+    ips = sorted({obs.ip for obs in seed.observations})[:WARM_LOOKUPS]
+    loop = asyncio.new_event_loop()
+    try:
+        service = GPSService(ServingConfig(
+            executor="serial", request_timeout_s=120.0,
+            telemetry_enabled=telemetry_enabled))
+        loop.run_until_complete(service.load_model(
+            "default", ScanPipeline(universe), seed, _gps_config()))
+        client = InProcessClient(service)
+
+        async def sequential():
+            return [await client.lookup_ip("default", ip) for ip in ips]
+
+        best = float("inf")
+        replies = None
+        for _ in range(LOOKUP_ROUNDS):
+            start = time.perf_counter()
+            replies = loop.run_until_complete(sequential())
+            best = min(best, (time.perf_counter() - start) / len(ips))
+        loop.run_until_complete(service.close())
+    finally:
+        loop.close()
+    return best, tuple(r.predictions for r in replies)
+
+
+def run_telemetry_benchmark(universe):
+    pipeline = ScanPipeline(universe)
+    seed = pipeline.seed_scan(SEED_FRACTION, seed=0)
+
+    build_off, predictions_off = _build_leg(universe, seed, None)
+    build_on, predictions_on = _build_leg(universe, seed, Telemetry())
+    assert predictions_on == predictions_off, \
+        "telemetry changed the build's predictions"
+
+    lookup_off, replies_off = _lookup_leg(universe, seed, False)
+    lookup_on, replies_on = _lookup_leg(universe, seed, True)
+    assert replies_on == replies_off, \
+        "telemetry changed a served lookup reply"
+
+    return {
+        "scale": MEDIUM_SCALE.name,
+        "smoke": SMOKE,
+        "seed_fraction": SEED_FRACTION,
+        "seed_services": len(seed.observations),
+        "equivalence": "instrumented build + served replies == bare legs",
+        "model_build": {
+            "off_seconds": build_off,
+            "on_seconds": build_on,
+            "off_vs_on": round(build_off / build_on, 4),
+            "floor": OFF_VS_ON_FLOOR,
+        },
+        "warm_lookup": {
+            "off_seconds": lookup_off,
+            "on_seconds": lookup_on,
+            "off_vs_on": round(lookup_off / lookup_on, 4),
+            "floor": OFF_VS_ON_FLOOR,
+        },
+    }
+
+
+def test_telemetry_overhead(run_once, universe):
+    results = run_once(run_telemetry_benchmark, universe)
+
+    if RESULT_PATH.exists():
+        merged = json.loads(RESULT_PATH.read_text())
+        merged.update(results)
+        results = merged
+    RESULT_PATH.write_text(json.dumps(results, indent=2) + "\n")
+
+    build = results["model_build"]
+    lookup = results["warm_lookup"]
+    print()
+    print(format_table(
+        ("path", "telemetry off", "telemetry on", "off/on"),
+        [
+            ("warm model build",
+             f"{build['off_seconds']:.4f}s", f"{build['on_seconds']:.4f}s",
+             f"{build['off_vs_on']:.3f}"),
+            ("warm serving lookup",
+             f"{lookup['off_seconds'] * 1e3:.3f}ms",
+             f"{lookup['on_seconds'] * 1e3:.3f}ms",
+             f"{lookup['off_vs_on']:.3f}"),
+        ],
+        title=(f"telemetry overhead ({results['seed_services']} seed "
+               f"services; floor {OFF_VS_ON_FLOOR})"),
+    ))
+    print(f"written to {RESULT_PATH.name}")
+
+    for label, section in (("model build", build), ("warm lookup", lookup)):
+        assert section["off_vs_on"] >= OFF_VS_ON_FLOOR, \
+            (f"telemetry overhead on {label} too high: off/on "
+             f"{section['off_vs_on']:.3f} < floor {OFF_VS_ON_FLOOR}")

@@ -78,19 +78,22 @@ def run_coverage_experiment(
     executor: Optional[str] = None,
     num_workers: int = 0,
     shard_count: int = 0,
+    telemetry=None,
 ) -> CoverageExperiment:
     """Run GPS against a dataset and compute the Figure 2 curves.
 
     ``executor`` / ``num_workers`` / ``shard_count`` route the run's engine
     builds through a persistent execution runtime (see
     :func:`repro.analysis.scenarios.run_gps_on_dataset`); the curves are
-    identical on every backend and shard layout.
+    identical on every backend and shard layout.  ``telemetry`` instruments
+    the run (phase spans, scan counters) without changing the curves.
     """
     run, pipeline, _ = run_gps_on_dataset(
         universe, dataset, seed_fraction, step_size=step_size,
         split_seed=split_seed, feature_config=feature_config,
         max_full_scans=max_full_scans, seed_cost_mode=seed_cost_mode,
         executor=executor, num_workers=num_workers, shard_count=shard_count,
+        telemetry=telemetry,
     )
     ground_truth = dataset.pairs()
     gps_points = coverage_curve(run.log_as_tuples(), ground_truth,

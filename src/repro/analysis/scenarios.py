@@ -116,6 +116,7 @@ def run_gps_on_dataset(
     executor: Optional[str] = None,
     num_workers: int = 0,
     shard_count: int = 0,
+    telemetry=None,
 ) -> Tuple[GPSRunResult, ScanPipeline, SeedTestSplit]:
     """Run GPS in dataset-split mode (the paper's evaluation methodology).
 
@@ -135,13 +136,17 @@ def run_gps_on_dataset(
     workers over ``shard_count`` resident shards (0 = one per worker); the
     runtime lives for this one run and is closed before returning.
 
+    ``telemetry`` (a :class:`repro.telemetry.Telemetry`) instruments the
+    run's pipeline and orchestrator -- phase spans, scan counters, engine
+    timings -- without changing any output.
+
     Returns the run result, the pipeline (whose ledger holds the bandwidth
     accounting) and the split (for evaluating against the test half).
     """
     if seed_cost_mode not in ("scan", "available"):
         raise ValueError(f"unknown seed_cost_mode: {seed_cost_mode}")
     split = split_seed_test(dataset, seed_fraction, seed=split_seed)
-    pipeline = ScanPipeline(universe)
+    pipeline = ScanPipeline(universe, telemetry=telemetry)
     engine_kwargs = {}
     if executor is not None:
         engine_kwargs = {"executor": executor, "num_workers": num_workers,
@@ -159,6 +164,6 @@ def run_gps_on_dataset(
         seed_cost = seed_scan_cost_probes(dataset, seed_fraction)
     else:
         seed_cost = 0
-    with GPS(pipeline, config) as gps:
+    with GPS(pipeline, config, telemetry=telemetry) as gps:
         result = gps.run(seed=split.seed_scan_result(), seed_cost_probes=seed_cost)
     return result, pipeline, split

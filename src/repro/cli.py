@@ -17,7 +17,6 @@ Every command is deterministic for a given ``--seed``.
 from __future__ import annotations
 
 import argparse
-import logging
 import sys
 from typing import Optional, Sequence
 
@@ -35,8 +34,10 @@ from repro.analysis.scenarios import (
 from repro.core.config import GPSConfig
 from repro.core.gps import GPS
 from repro.core.metrics import fraction_of_services, normalized_fraction_of_services
+from repro.engine.runtime import RUNTIME_EVENT_BUS
 from repro.internet.churn import ChurnConfig
 from repro.scanner.pipeline import ScanPipeline
+from repro.telemetry import Telemetry
 
 _SCALES = {"small": SMALL_SCALE, "medium": MEDIUM_SCALE}
 
@@ -76,30 +77,50 @@ def _add_executor_arguments(parser: argparse.ArgumentParser) -> None:
                              "stderr")
 
 
-def _configure_runtime_logging(args: argparse.Namespace) -> None:
-    """Attach a stderr handler to the runtime's event logger on opt-in.
+def _print_runtime_event(event) -> None:
+    """The ``--verbose-runtime`` sink: one stderr line per runtime event."""
+    print(f"[repro.engine.runtime] {event}", file=sys.stderr)
 
-    The ``repro.engine.runtime`` logger is silent by default (events are
-    emitted but no handler listens); ``--verbose-runtime`` is the operator's
-    way in.  Idempotent: repeated CLI invocations in one process attach one
-    handler.
+
+def _configure_runtime_events(args: argparse.Namespace) -> None:
+    """Subscribe a stderr sink to the runtime event bus on opt-in.
+
+    Every supervision event (task errors with worker tracebacks, worker
+    crashes with exit codes, respawn/reload/redispatch recovery steps)
+    flows over :data:`~repro.engine.runtime.RUNTIME_EVENT_BUS`;
+    ``--verbose-runtime`` attaches a print sink to that same stream -- the
+    fields are exactly what the structured-logging path records.
+    Idempotent: the bus deduplicates the sink across repeated CLI
+    invocations in one process.
     """
     if not getattr(args, "verbose_runtime", False):
         return
-    logger = logging.getLogger("repro.engine.runtime")
-    logger.setLevel(logging.INFO)
-    if not logger.handlers:
-        handler = logging.StreamHandler(sys.stderr)
-        handler.setFormatter(
-            logging.Formatter("[%(name)s] %(message)s"))
-        logger.addHandler(handler)
+    RUNTIME_EVENT_BUS.subscribe(_print_runtime_event)
+
+
+def _trace_telemetry(args: argparse.Namespace) -> Optional[Telemetry]:
+    """A live :class:`Telemetry` when ``--trace-out`` asked for one."""
+    if getattr(args, "trace_out", None):
+        return Telemetry()
+    return None
+
+
+def _write_trace(telemetry: Optional[Telemetry],
+                 args: argparse.Namespace) -> None:
+    """Export the collected span tree to the ``--trace-out`` file."""
+    if telemetry is None:
+        return
+    telemetry.write_trace(args.trace_out)
+    print(f"trace written to {args.trace_out} "
+          f"({telemetry.tracer.span_count()} spans)", file=sys.stderr)
 
 
 def cmd_quickstart(args: argparse.Namespace) -> int:
     """Run GPS end to end on a fresh synthetic universe and print a summary."""
     universe = make_universe(_scale(args.scale), seed=args.seed)
-    pipeline = ScanPipeline(universe)
-    _configure_runtime_logging(args)
+    telemetry = _trace_telemetry(args)
+    pipeline = ScanPipeline(universe, telemetry=telemetry)
+    _configure_runtime_events(args)
     engine_kwargs = {}
     if args.executor is not None:
         engine_kwargs = {"use_engine": True, "executor": args.executor,
@@ -107,8 +128,9 @@ def cmd_quickstart(args: argparse.Namespace) -> int:
                          "shard_count": args.shard_count}
     config = GPSConfig(seed_fraction=args.seed_fraction,
                        step_size=args.step_size, **engine_kwargs)
-    with GPS(pipeline, config) as gps:
+    with GPS(pipeline, config, telemetry=telemetry) as gps:
         result = gps.run()
+    _write_trace(telemetry, args)
     truth = set(universe.real_service_pairs())
     found = result.discovered_pairs()
     print(format_table(
@@ -135,7 +157,8 @@ def cmd_coverage(args: argparse.Namespace) -> int:
     """Run the Figure 2-style coverage experiment and print the summary rows."""
     scale = _scale(args.scale)
     universe = make_universe(scale, seed=args.seed)
-    _configure_runtime_logging(args)
+    telemetry = _trace_telemetry(args)
+    _configure_runtime_events(args)
     if args.dataset == "censys":
         dataset = make_censys_dataset(universe, scale)
         seed_fraction = args.seed_fraction or scale.default_seed_fraction
@@ -149,7 +172,9 @@ def cmd_coverage(args: argparse.Namespace) -> int:
                                          seed_cost_mode=seed_cost_mode,
                                          executor=args.executor,
                                          num_workers=args.workers,
-                                         shard_count=args.shard_count)
+                                         shard_count=args.shard_count,
+                                         telemetry=telemetry)
+    _write_trace(telemetry, args)
     print(format_table(
         ("coverage target", "GPS bandwidth (100% scans)", "savings vs optimal order"),
         coverage_summary_rows(experiment, targets=(0.5, 0.7, 0.8, 0.9)),
@@ -216,14 +241,15 @@ def cmd_serve(args: argparse.Namespace) -> int:
     from repro.serving.http import ServiceHost, serve_forever
     from repro.serving.service import ServingConfig
 
-    _configure_runtime_logging(args)
+    _configure_runtime_events(args)
     universe = make_universe(_scale(args.scale), seed=args.seed)
     pipeline = ScanPipeline(universe)
     seed = pipeline.seed_scan(args.seed_fraction, seed=args.seed)
 
     executor = args.executor or "serial"
     config = ServingConfig(executor=executor, num_workers=args.workers,
-                           shard_count=args.shard_count)
+                           shard_count=args.shard_count,
+                           telemetry_enabled=not args.no_telemetry)
     host = ServiceHost(config)
     gps_config = GPSConfig(seed_fraction=args.seed_fraction,
                            use_engine=True, executor=executor,
@@ -236,8 +262,8 @@ def cmd_serve(args: argparse.Namespace) -> int:
           f"built in {info.build_seconds:.2f}s "
           f"(resident shards: {info.resident_shards})")
     print(f"serving on http://{args.address}:{args.port} "
-          "(GET /healthz /models /stats /lookup, POST /predict /scan); "
-          "Ctrl-C to drain and stop")
+          "(GET /healthz /models /stats /metrics /lookup, "
+          "POST /predict /scan); Ctrl-C to drain and stop")
     serve_forever(host, args.address, args.port)
     return 0
 
@@ -257,6 +283,11 @@ def build_parser() -> argparse.ArgumentParser:
     _add_executor_arguments(quickstart)
     quickstart.add_argument("--seed-fraction", type=float, default=0.05)
     quickstart.add_argument("--step-size", type=int, default=16)
+    quickstart.add_argument("--trace-out", default=None, metavar="FILE",
+                            help="record a span trace of the run (dataset "
+                                 "build, feature extraction, model/priors/"
+                                 "index builds, scan sweeps) and write it to "
+                                 "FILE as JSON")
     quickstart.set_defaults(func=cmd_quickstart)
 
     coverage = subparsers.add_parser("coverage",
@@ -267,6 +298,9 @@ def build_parser() -> argparse.ArgumentParser:
     coverage.add_argument("--seed-fraction", type=float, default=None,
                           help="seed size (defaults to the scale's standard value)")
     coverage.add_argument("--step-size", type=int, default=16)
+    coverage.add_argument("--trace-out", default=None, metavar="FILE",
+                          help="record a span trace of the run and write it "
+                               "to FILE as JSON")
     coverage.set_defaults(func=cmd_coverage)
 
     compare = subparsers.add_parser("compare-xgboost",
@@ -294,6 +328,10 @@ def build_parser() -> argparse.ArgumentParser:
                        help="TCP port to listen on")
     serve.add_argument("--seed-fraction", type=float, default=0.05,
                        help="seed-scan size the default model is built from")
+    serve.add_argument("--no-telemetry", action="store_true",
+                       help="disable the serving telemetry (request counters, "
+                            "latency histograms, GET /metrics); on by default "
+                            "for the serve command")
     serve.set_defaults(func=cmd_serve)
 
     return parser

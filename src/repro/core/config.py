@@ -192,6 +192,13 @@ class GPSConfig:
             columnar folds are affected; the legacy oracle always runs
             stdlib.  Requesting ``"numpy"`` without numpy installed raises
             at build time rather than silently degrading.
+        telemetry_enabled: create a :class:`~repro.telemetry.Telemetry`
+            instance for the run -- per-phase spans, engine/scan metrics.
+            Off by default: telemetry must never tax a run that did not
+            ask for it.
+        telemetry_sample_every: record every Nth per-task latency
+            observation (1 records all).  Counters, gauges and spans are
+            never sampled.
     """
 
     seed_fraction: float = 0.01
@@ -213,6 +220,8 @@ class GPSConfig:
     execution_deadline_s: Optional[float] = None
     fault_plan: Optional[FaultPlan] = None
     column_backend: Optional[str] = None
+    telemetry_enabled: bool = False
+    telemetry_sample_every: int = 1
 
     def __post_init__(self) -> None:
         if not 0.0 < self.seed_fraction <= 1.0:
@@ -265,6 +274,8 @@ class GPSConfig:
             raise ValueError(
                 f"unknown column_backend: {self.column_backend!r} "
                 f"(expected one of {COLUMN_BACKENDS} or None)")
+        if self.telemetry_sample_every < 1:
+            raise ValueError("telemetry_sample_every must be >= 1")
         if self.port_domain is not None:
             for port in self.port_domain:
                 if not 1 <= port <= 65535:

@@ -40,6 +40,7 @@ from repro.engine.runtime import EngineRuntime
 from repro.scanner.bandwidth import ScanCategory
 from repro.scanner.pipeline import ScanPipeline, SeedScanResult
 from repro.scanner.records import ObservationBatch, ScanObservation
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 Pair = Tuple[int, int]
 
@@ -120,11 +121,28 @@ class GPS:
     tears it down.  Within a run the seed's encoded columns load into the
     workers once and the model, priors and prediction-index builds all fold
     against the resident shards.
+
+    With telemetry enabled (``config.telemetry_enabled``, or an explicit
+    ``telemetry`` instance -- e.g. one shared with the scan pipeline so scan
+    counters and phase spans land in the same export) every run emits one
+    ``gps.run`` span tree whose children are the paper's phases: dataset
+    build, feature extraction, and the three Table 2 builds, plus the two
+    scan loops and the prediction step.  Instrumentation never alters the
+    run itself -- the equivalence tests pin bit-identical outputs with
+    telemetry on and off.
     """
 
-    def __init__(self, pipeline: ScanPipeline, config: Optional[GPSConfig] = None) -> None:
+    def __init__(self, pipeline: ScanPipeline, config: Optional[GPSConfig] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.pipeline = pipeline
         self.config = config or GPSConfig()
+        if telemetry is not None:
+            self.telemetry = telemetry
+        elif self.config.telemetry_enabled:
+            self.telemetry = Telemetry(
+                sample_every=self.config.telemetry_sample_every)
+        else:
+            self.telemetry = NULL_TELEMETRY
         self._asn_db = pipeline.universe.topology.asn_db
         self._runtime: Optional[EngineRuntime] = None
 
@@ -148,7 +166,8 @@ class GPS:
                 max_task_retries=config.max_task_retries,
                 task_deadline_s=config.task_deadline_s,
                 execution_deadline_s=config.execution_deadline_s,
-                fault_plan=config.fault_plan)
+                fault_plan=config.fault_plan,
+                telemetry=self.telemetry)
         return self._runtime
 
     def close(self) -> None:
@@ -174,16 +193,24 @@ class GPS:
                 Defaults to ``seed_fraction x |port domain| x address space``,
                 the cost of the random scan that would have produced it.
         """
+        with self.telemetry.span("gps.run"):
+            return self._run(seed, seed_cost_probes)
+
+    def _run(self, seed: Optional[SeedScanResult],
+             seed_cost_probes: Optional[int]) -> GPSRunResult:
         config = self.config
         ledger = self.pipeline.ledger
+        tel = self.telemetry
 
         # Phase 1: seed set.
         if seed is None:
-            seed = self.pipeline.seed_scan(
-                config.seed_fraction,
-                seed=config.seed_scan_seed,
-                ports=list(config.port_domain) if config.port_domain else None,
-            )
+            with tel.span("dataset.build") as span:
+                seed = self.pipeline.seed_scan(
+                    config.seed_fraction,
+                    seed=config.seed_scan_seed,
+                    ports=list(config.port_domain) if config.port_domain else None,
+                )
+                span.set("observations", len(seed.observations))
         elif seed_cost_probes is None:
             port_count = (len(config.port_domain) if config.port_domain
                           else 65535)
@@ -204,59 +231,78 @@ class GPS:
 
         # Phase 2: probabilistic model.
         build_start = time.perf_counter()
-        host_features = self._extract_features(seed)
+        with tel.span("features.extract"):
+            host_features = self._extract_features(seed)
         dataset = self._resident_dataset(host_features)
         try:
-            model = self._build_model(host_features, dataset)
+            with tel.span("model.build") as span:
+                model = self._build_model(host_features, dataset)
+                span.set("pairs", len(model.cooccurrence))
             result.model = model
 
             # Phase 3: priors scan (find the first service of every host).
-            priors_plan = self._build_priors_plan(host_features, model, dataset)
+            with tel.span("priors.build") as span:
+                priors_plan = self._build_priors_plan(host_features, model, dataset)
+                span.set("entries", len(priors_plan))
             result.priors_plan = priors_plan
             result.model_build_seconds += time.perf_counter() - build_start
 
-            for entry in priors_plan:
-                if budget_probes is not None and ledger.total_probes() >= budget_probes:
-                    result.truncated_by_budget = True
-                    break
-                observations = self.pipeline.scan_prefix(entry.port, entry.subnet,
-                                                         category=ScanCategory.PRIORS)
-                result.priors_observations.extend(observations)
-                self._log_batch(result, "priors", ledger.total_probes(),
-                                [obs.pair() for obs in observations], discovered)
+            with tel.span("priors.scan") as span:
+                batches = 0
+                for entry in priors_plan:
+                    if budget_probes is not None and ledger.total_probes() >= budget_probes:
+                        result.truncated_by_budget = True
+                        break
+                    observations = self.pipeline.scan_prefix(entry.port, entry.subnet,
+                                                             category=ScanCategory.PRIORS)
+                    result.priors_observations.extend(observations)
+                    self._log_batch(result, "priors", ledger.total_probes(),
+                                    [obs.pair() for obs in observations], discovered)
+                    batches += 1
+                span.set("batches", batches)
+                span.set("observations", len(result.priors_observations))
 
             # Phase 4: predict and scan remaining services.
             build_start = time.perf_counter()
-            feature_index = self._build_feature_index(host_features, model, dataset)
+            with tel.span("index.build") as span:
+                feature_index = self._build_feature_index(host_features, model, dataset)
+                span.set("entries", len(feature_index))
             result.feature_index = feature_index
         finally:
             # The resident shards served their three builds; free the worker
             # memory (the runtime itself stays warm for the next run).
             if dataset is not None:
                 dataset.release()
-        predictions = feature_index.predict(
-            result.priors_observations, self._asn_db, config.feature_config,
-            known_pairs=set(discovered),
-        )
+        with tel.span("predict") as span:
+            predictions = feature_index.predict(
+                result.priors_observations, self._asn_db, config.feature_config,
+                known_pairs=set(discovered),
+            )
+            span.set("predictions", len(predictions))
         result.predictions = predictions
         result.model_build_seconds += time.perf_counter() - build_start
 
-        for start in range(0, len(predictions), config.prediction_batch_size):
-            if budget_probes is not None and ledger.total_probes() >= budget_probes:
-                result.truncated_by_budget = True
-                break
-            batch = predictions[start:start + config.prediction_batch_size]
-            # Probes within the slice are grouped by (subnetwork, port) so the
-            # pipeline's batched layers amortize lookups and ledger charges;
-            # the probability ordering still governs at slice granularity.
-            observations = self.pipeline.scan_pairs(
-                (prediction.pair() for prediction in batch),
-                category=ScanCategory.PREDICTION,
-                batch_prefix_len=PREDICTION_BATCH_PREFIX_LEN,
-            )
-            result.prediction_observations.extend(observations)
-            self._log_batch(result, "prediction", ledger.total_probes(),
-                            [obs.pair() for obs in observations], discovered)
+        with tel.span("prediction.scan") as span:
+            batches = 0
+            for start in range(0, len(predictions), config.prediction_batch_size):
+                if budget_probes is not None and ledger.total_probes() >= budget_probes:
+                    result.truncated_by_budget = True
+                    break
+                batch = predictions[start:start + config.prediction_batch_size]
+                # Probes within the slice are grouped by (subnetwork, port) so the
+                # pipeline's batched layers amortize lookups and ledger charges;
+                # the probability ordering still governs at slice granularity.
+                observations = self.pipeline.scan_pairs(
+                    (prediction.pair() for prediction in batch),
+                    category=ScanCategory.PREDICTION,
+                    batch_prefix_len=PREDICTION_BATCH_PREFIX_LEN,
+                )
+                result.prediction_observations.extend(observations)
+                self._log_batch(result, "prediction", ledger.total_probes(),
+                                [obs.pair() for obs in observations], discovered)
+                batches += 1
+            span.set("batches", batches)
+            span.set("observations", len(result.prediction_observations))
         return result
 
     def predict_for_known_hosts(
@@ -283,19 +329,23 @@ class GPS:
         """
         config = self.config
         ledger = self.pipeline.ledger
+        tel = self.telemetry
         result = GPSRunResult(config=config, seed_observations=list(seed.observations))
         discovered: Set[Pair] = set()
         self._log_batch(result, "seed", ledger.total_probes(),
                         [obs.pair() for obs in seed.observations], discovered)
 
         build_start = time.perf_counter()
-        host_features = self._extract_features(seed)
+        with tel.span("features.extract"):
+            host_features = self._extract_features(seed)
         dataset = self._resident_dataset(host_features)
         try:
-            model = self._build_model(host_features, dataset)
+            with tel.span("model.build"):
+                model = self._build_model(host_features, dataset)
             result.model = model
 
-            feature_index = self._build_feature_index(host_features, model, dataset)
+            with tel.span("index.build"):
+                feature_index = self._build_feature_index(host_features, model, dataset)
             result.feature_index = feature_index
         finally:
             if dataset is not None:
@@ -304,9 +354,11 @@ class GPS:
         known = list(known_observations)
         result.priors_observations = known
         known_pairs = set(discovered) | {obs.pair() for obs in known}
-        predictions = feature_index.predict(known, self._asn_db,
-                                            config.feature_config,
-                                            known_pairs=known_pairs)
+        with tel.span("predict") as span:
+            predictions = feature_index.predict(known, self._asn_db,
+                                                config.feature_config,
+                                                known_pairs=known_pairs)
+            span.set("predictions", len(predictions))
         result.predictions = predictions
         result.model_build_seconds = time.perf_counter() - build_start
 

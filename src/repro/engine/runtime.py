@@ -47,8 +47,14 @@ under a bounded budget with exponential backoff.  Only an exhausted budget
 surfaces as :class:`WorkerCrashError`; a wedged-but-alive worker is caught by
 the optional per-task / per-execution deadlines as :class:`WorkerTimeoutError`
 with a process dump.  Every supervision step emits a structured
-:class:`RuntimeEvent` on the ``repro.engine.runtime`` logger (silent unless a
-handler is attached -- ``--verbose-runtime`` in the CLI attaches one).
+:class:`RuntimeEvent` on the module-level :data:`RUNTIME_EVENT_BUS`; a
+default sink forwards each event to the ``repro.engine.runtime`` logger
+(silent unless a handler is attached), and other consumers -- the CLI's
+``--verbose-runtime`` printer, test captures -- subscribe the same stream.
+An optional :class:`~repro.telemetry.Telemetry` instance adds quantitative
+instrumentation on top: per-task dispatch/queue/execute latency histograms,
+crash/respawn/redispatch counters mirroring :class:`RecoveryStats`, and
+resident-payload gauges.
 """
 
 from __future__ import annotations
@@ -72,9 +78,12 @@ from repro.engine.fused import (
     fold_value_counts_arrays,
     select_argmax_chunk,
 )
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+from repro.telemetry.events import EventBus
 
 __all__ = [
     "EngineRuntime",
+    "RUNTIME_EVENT_BUS",
     "RUNTIME_EXECUTORS",
     "RecoveryStats",
     "RuntimeEvent",
@@ -85,9 +94,16 @@ __all__ = [
     "lpt_placement",
 ]
 
-#: Structured supervision events land here; no handler is attached by
-#: default, so production runs stay silent unless an operator opts in.
+#: The default event sink forwards to this logger; no handler is attached
+#: by default, so production runs stay silent unless an operator opts in.
 _LOGGER = logging.getLogger("repro.engine.runtime")
+
+#: Every structured supervision event publishes here.  The logger sink
+#: below is subscribed at import, preserving the historical behaviour
+#: (events reach ``repro.engine.runtime`` at INFO); further sinks -- the
+#: CLI's ``--verbose-runtime`` printer, test captures -- subscribe the same
+#: stream instead of growing parallel logging paths.
+RUNTIME_EVENT_BUS = EventBus()
 
 #: Executor backends an :class:`EngineRuntime` can run plans on.
 RUNTIME_EXECUTORS = ("serial", "thread", "pool")
@@ -149,6 +165,22 @@ def _payload_rows(payload: dict) -> int:
                if isinstance(column, (list, tuple, array)))
 
 
+def _payload_nbytes(payload: dict) -> int:
+    """Estimated resident size of one payload dict, in bytes.
+
+    Machine-native buffers report exactly; boxed lists/tuples count 8 bytes
+    per element (the pointer) -- the estimate feeds an operator gauge, not
+    an allocator, so relative magnitude is what matters.
+    """
+    total = 0
+    for column in payload.values():
+        if isinstance(column, array):
+            total += len(column) * column.itemsize
+        elif isinstance(column, (list, tuple)):
+            total += len(column) * 8
+    return total
+
+
 class WorkerTaskError(RuntimeError):
     """A task raised inside a worker; carries the worker-side traceback."""
 
@@ -183,8 +215,16 @@ class RuntimeEvent:
     detail: str = ""
 
 
-def _emit(event: RuntimeEvent) -> None:
+def _log_event(event: RuntimeEvent) -> None:
+    """Default bus sink: forward every event to the module logger."""
     _LOGGER.info("%s", event)
+
+
+RUNTIME_EVENT_BUS.subscribe(_log_event)
+
+
+def _emit(event: RuntimeEvent) -> None:
+    RUNTIME_EVENT_BUS.publish(event)
 
 
 @dataclass
@@ -432,6 +472,10 @@ def _worker_main(worker_id: int, inbox: Any, outbox: Any,
     ``("close",)`` exits.  Replies -- ``("ok", worker_id, task_id, result)``
     or ``("err", worker_id, task_id, description)`` -- go back over
     ``outbox``, this worker's *private* pipe connection to the coordinator.
+    ``run`` replies append a fifth element, the task's worker-side execute
+    seconds, so the coordinator can split end-to-end latency into execute
+    vs queue+IPC time; the coordinator unpacks replies by index and
+    tolerates both widths.
     A single-writer pipe needs no cross-process lock and no feeder thread,
     so a worker hard-killed at any instant cannot leave a lock abandoned
     that other workers' replies would block on.
@@ -470,10 +514,12 @@ def _worker_main(worker_id: int, inbox: Any, outbox: Any,
                 broadcast = store.get((key, None)) if key is not None else None
                 if key is not None and shard is None and broadcast is None:
                     raise KeyError(f"no resident payload for key {key!r}")
+                exec_t0 = time.perf_counter()
                 result = _TASKS[fn_name](shard, broadcast, args)
+                exec_s = time.perf_counter() - exec_t0
                 if faults.should_drop_reply(fn_name):
                     continue
-                outbox.send(("ok", worker_id, task_id, result))
+                outbox.send(("ok", worker_id, task_id, result, exec_s))
             elif kind == "drop":
                 _, _, key = message
                 for resident_key in [k for k in store if k[0] == key]:
@@ -504,9 +550,14 @@ class Executor:
     when the shards load, which is what makes residency meaningful under
     skew.  ``broken`` reports an unrecoverable backend (a crashed pool):
     the only valid next step is ``close`` and a fresh runtime.
+
+    ``telemetry`` is assigned by the owning :class:`EngineRuntime` when the
+    backend starts; the class default is the shared null instance, so a
+    backend constructed directly stays unobserved at no cost.
     """
 
     broken = False
+    telemetry: Telemetry = NULL_TELEMETRY
 
     def load(self, key: Any, shard_idx: Optional[int], payload: dict) -> None:
         raise NotImplementedError
@@ -515,6 +566,25 @@ class Executor:
         """Load payload ``s`` onto shard ``s``'s worker (batched where possible)."""
         for shard_idx, payload in enumerate(payloads):
             self.load(key, shard_idx, payload)
+
+    def resident_stats(self) -> Tuple[int, int]:
+        """``(estimated bytes, payload count)`` resident in the backend."""
+        return 0, 0
+
+    def _observe_task(self, fn_name: str, exec_s: float,
+                      queue_s: Optional[float] = None) -> None:
+        """Record one task's latency split (subject to sampling)."""
+        tel = self.telemetry
+        if not tel.sampled():
+            return
+        tel.histogram("engine_task_execute_seconds",
+                      "Worker-side task execution time",
+                      task=fn_name).observe(exec_s)
+        if queue_s is not None:
+            tel.histogram("engine_task_queue_seconds",
+                          "Time between dispatch and execution "
+                          "(inbox queue + IPC)",
+                          task=fn_name).observe(queue_s)
 
     def run(self, tasks: Sequence[Tuple[str, Any, Optional[int], Any]]) -> List[Any]:
         """Execute ``(fn_name, key, shard_idx, args)`` tasks, results in order."""
@@ -547,14 +617,24 @@ class SerialExecutor(Executor):
 
     def run(self, tasks: Sequence[Tuple[str, Any, Optional[int], Any]]) -> List[Any]:
         results = []
+        timed = self.telemetry.enabled
         for fn_name, key, shard_idx, args in tasks:
             shard, broadcast = self._resolve(key, shard_idx)
-            results.append(_TASKS[fn_name](shard, broadcast, args))
+            if timed:
+                t0 = time.perf_counter()
+                results.append(_TASKS[fn_name](shard, broadcast, args))
+                self._observe_task(fn_name, time.perf_counter() - t0, 0.0)
+            else:
+                results.append(_TASKS[fn_name](shard, broadcast, args))
         return results
 
     def drop(self, key: Any) -> None:
         for resident_key in [k for k in self._store if k[0] == key]:
             del self._store[resident_key]
+
+    def resident_stats(self) -> Tuple[int, int]:
+        return (sum(_payload_nbytes(p) for p in self._store.values()),
+                len(self._store))
 
     def close(self) -> None:
         self._store.clear()
@@ -577,9 +657,16 @@ class ThreadExecutor(SerialExecutor):
         self._pool = concurrent.futures.ThreadPoolExecutor(max_workers=workers)
 
     def run(self, tasks: Sequence[Tuple[str, Any, Optional[int], Any]]) -> List[Any]:
+        timed = self.telemetry.enabled
+
         def _one(task):
             fn_name, key, shard_idx, args = task
             shard, broadcast = self._resolve(key, shard_idx)
+            if timed:
+                t0 = time.perf_counter()
+                result = _TASKS[fn_name](shard, broadcast, args)
+                self._observe_task(fn_name, time.perf_counter() - t0)
+                return result
             return _TASKS[fn_name](shard, broadcast, args)
 
         return list(self._pool.map(_one, tasks))
@@ -781,6 +868,8 @@ class PoolExecutor(Executor):
             _emit(RuntimeEvent(kind="worker_crash", worker_id=worker_id,
                                exit_code=process.exitcode, attempt=attempt))
             self.recovery_stats.crashes_detected += 1
+            self.telemetry.counter("engine_worker_crashes_total",
+                                   "Worker processes found dead").inc()
             old_inbox = self._inboxes[worker_id]
             old_inbox.close()
             old_inbox.cancel_join_thread()
@@ -791,6 +880,8 @@ class PoolExecutor(Executor):
             self._generations[worker_id] += 1
             self._spawn_worker(worker_id)
             self.recovery_stats.respawns += 1
+            self.telemetry.counter("engine_worker_respawns_total",
+                                   "Dead workers respawned in place").inc()
             _emit(RuntimeEvent(kind="respawn", worker_id=worker_id,
                                attempt=attempt))
             for (key, shard_idx), payload in self._resident.items():
@@ -807,8 +898,14 @@ class PoolExecutor(Executor):
                 internal.add(task_id)
                 if shard_idx is None:
                     self.recovery_stats.reloaded_broadcasts += 1
+                    self.telemetry.counter(
+                        "engine_broadcast_reloads_total",
+                        "Broadcast payloads re-shipped during recovery").inc()
                 else:
                     self.recovery_stats.reloaded_shards += 1
+                    self.telemetry.counter(
+                        "engine_shard_reloads_total",
+                        "Shards re-shipped during recovery").inc()
                 _emit(RuntimeEvent(kind="reload", worker_id=worker_id,
                                    key=key, shard_idx=shard_idx,
                                    attempt=attempt))
@@ -826,6 +923,9 @@ class PoolExecutor(Executor):
             else:
                 alias[task_id] = original
             self.recovery_stats.redispatched_tasks += 1
+            self.telemetry.counter(
+                "engine_task_redispatches_total",
+                "Outstanding tasks re-dispatched after a crash").inc()
             task, key, shard_idx = self._describe(message)
             _emit(RuntimeEvent(kind="redispatch", worker_id=worker_id,
                                task=task, key=key, shard_idx=shard_idx,
@@ -853,12 +953,17 @@ class PoolExecutor(Executor):
         return replies
 
     def _collect(self, inflight: Dict[int, Tuple[int, Tuple[Any, ...]]],
+                 dispatch_ts: Optional[Dict[int, float]] = None,
                  ) -> Dict[int, Any]:
         """Await one reply per dispatched task, healing the pool as needed.
 
         ``inflight`` maps each outstanding task id to ``(worker_id,
         message)`` -- keeping the full message is what lets the supervisor
-        re-dispatch after a crash and report *which* task failed.  Outcomes:
+        re-dispatch after a crash and report *which* task failed.
+        ``dispatch_ts`` (telemetry-enabled ``run`` dispatches only) maps the
+        *original* task ids to their ``perf_counter`` send times; combined
+        with the worker-reported execute seconds riding on ``ok`` replies it
+        splits end-to-end latency into execute vs queue+IPC.  Outcomes:
 
         * a task that **raises** is not pool-fatal: the worker loop
           survives, every outstanding reply is drained first (no stale
@@ -913,6 +1018,9 @@ class PoolExecutor(Executor):
                     retries_left -= 1
                     attempt += 1
                     self.recovery_stats.retry_rounds += 1
+                    self.telemetry.counter(
+                        "engine_retry_rounds_total",
+                        "Recovery rounds spent healing crashed workers").inc()
                     backoff = min(self._MAX_BACKOFF_S,
                                   self._RETRY_BACKOFF_S * (2 ** (attempt - 1)))
                     _emit(RuntimeEvent(kind="retry_backoff", attempt=attempt,
@@ -930,6 +1038,9 @@ class PoolExecutor(Executor):
                     dump = self._process_dump()
                     stuck = sorted({wid for wid, _ in inflight.values()})
                     self._abandon()
+                    self.telemetry.counter(
+                        "engine_timeouts_total",
+                        "Dispatches abandoned on an expired deadline").inc()
                     _emit(RuntimeEvent(kind="timeout", detail=dump))
                     raise WorkerTimeoutError(
                         f"no reply for {self.task_deadline_s}s with "
@@ -939,6 +1050,9 @@ class PoolExecutor(Executor):
                         and now - start > self.execution_deadline_s):
                     dump = self._process_dump()
                     self._abandon()
+                    self.telemetry.counter(
+                        "engine_timeouts_total",
+                        "Dispatches abandoned on an expired deadline").inc()
                     _emit(RuntimeEvent(kind="timeout", detail=dump))
                     raise WorkerTimeoutError(
                         f"execution exceeded its {self.execution_deadline_s}s "
@@ -947,7 +1061,9 @@ class PoolExecutor(Executor):
                 continue
             last_progress = time.monotonic()
             for reply in replies:
-                status, _, task_id, payload = reply
+                # Unpack by index: "run" ok-replies carry a fifth element
+                # (worker-side execute seconds), everything else is 4 wide.
+                status, task_id, payload = reply[0], reply[2], reply[3]
                 entry = inflight.pop(task_id, None)
                 if entry is None:
                     continue  # stale duplicate: this task was re-dispatched
@@ -966,9 +1082,20 @@ class PoolExecutor(Executor):
                     _emit(RuntimeEvent(kind="task_error", worker_id=worker_id,
                                        task=task, key=key,
                                        shard_idx=shard_idx, detail=payload))
+                    self.telemetry.counter(
+                        "engine_task_errors_total",
+                        "Tasks that raised inside a worker", task=task).inc()
                     errors.append(payload)
                     results[original] = None
                 else:
+                    if dispatch_ts is not None and len(reply) > 4:
+                        sent = dispatch_ts.get(original)
+                        if sent is not None:
+                            exec_s = reply[4]
+                            total_s = time.perf_counter() - sent
+                            self._observe_task(self._describe(entry[1])[0],
+                                               exec_s,
+                                               max(0.0, total_s - exec_s))
                     results[original] = payload
         if errors:
             raise WorkerTaskError(
@@ -1040,6 +1167,8 @@ class PoolExecutor(Executor):
         self._ensure_started()
         inflight: Dict[int, Tuple[int, Tuple[Any, ...]]] = {}
         order: List[int] = []
+        dispatch_ts: Optional[Dict[int, float]] = (
+            {} if self.telemetry.enabled else None)
         for position, (fn_name, key, shard_idx, args) in enumerate(tasks):
             worker_id = self._worker_for(shard_idx, position, key)
             task_id = self._new_task_id()
@@ -1047,8 +1176,14 @@ class PoolExecutor(Executor):
             self._send(worker_id, message)
             inflight[task_id] = (worker_id, message)
             order.append(task_id)
-        results = self._collect(inflight)
+            if dispatch_ts is not None:
+                dispatch_ts[task_id] = time.perf_counter()
+        results = self._collect(inflight, dispatch_ts)
         return [results[task_id] for task_id in order]
+
+    def resident_stats(self) -> Tuple[int, int]:
+        return (sum(_payload_nbytes(p) for p in self._resident.values()),
+                len(self._resident))
 
     def drop(self, key: Any) -> None:
         self._placements.pop(key, None)
@@ -1116,7 +1251,8 @@ class EngineRuntime:
                  shard_count: int = 0, *, max_task_retries: int = 2,
                  task_deadline_s: Optional[float] = None,
                  execution_deadline_s: Optional[float] = None,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         """Configure the runtime (workers start lazily on first use).
 
         Args:
@@ -1137,6 +1273,9 @@ class EngineRuntime:
                 (``None`` disables).
             fault_plan: deterministic chaos plan shipped into every worker
                 (tests and drills only; ``None`` in production).
+            telemetry: instrumentation sink for dispatch/queue/execute
+                timings, crash counters and resident gauges; ``None`` (the
+                default) selects the shared disabled instance.
         """
         if executor not in RUNTIME_EXECUTORS:
             raise ValueError(
@@ -1161,6 +1300,7 @@ class EngineRuntime:
         self.task_deadline_s = task_deadline_s
         self.execution_deadline_s = execution_deadline_s
         self.fault_plan = fault_plan
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
         self._backend: Optional[Executor] = None
         self._closed = False
 
@@ -1209,7 +1349,20 @@ class EngineRuntime:
                     task_deadline_s=self.task_deadline_s,
                     execution_deadline_s=self.execution_deadline_s,
                     fault_plan=self.fault_plan)
+            self._backend.telemetry = self.telemetry
         return self._backend
+
+    def _update_resident_gauges(self) -> None:
+        if not self.telemetry.enabled or self._backend is None:
+            return
+        nbytes, payloads = self._backend.resident_stats()
+        self.telemetry.gauge(
+            "engine_resident_bytes",
+            "Estimated bytes of worker-resident payload columns").set(nbytes)
+        self.telemetry.gauge(
+            "engine_resident_payloads",
+            "Worker-resident payload entries (shards + broadcasts)"
+        ).set(payloads)
 
     def close(self) -> None:
         """Tear the worker pool down; idempotent, safe after a crash."""
@@ -1244,7 +1397,17 @@ class EngineRuntime:
         if len(shard_payloads) != self.shard_count:
             raise ValueError(
                 f"expected {self.shard_count} shard payloads, got {len(shard_payloads)}")
-        self._ensure_backend().load_shards(key, shard_payloads)
+        backend = self._ensure_backend()
+        if self.telemetry.enabled:
+            t0 = time.perf_counter()
+            backend.load_shards(key, shard_payloads)
+            self.telemetry.histogram(
+                "engine_load_seconds",
+                "Wall-clock time making payloads resident",
+                kind="shards").observe(time.perf_counter() - t0)
+            self._update_resident_gauges()
+        else:
+            backend.load_shards(key, shard_payloads)
 
     def load_broadcast(self, key: Any, payload: dict) -> None:
         """Make one payload dict resident on *every* worker under ``key``.
@@ -1253,13 +1416,24 @@ class EngineRuntime:
         supports, tie ranks): any shard may reference any entry, so each
         worker needs the whole thing -- shipped once, not per call.
         """
-        self._ensure_backend().load(key, None, payload)
+        backend = self._ensure_backend()
+        if self.telemetry.enabled:
+            t0 = time.perf_counter()
+            backend.load(key, None, payload)
+            self.telemetry.histogram(
+                "engine_load_seconds",
+                "Wall-clock time making payloads resident",
+                kind="broadcast").observe(time.perf_counter() - t0)
+            self._update_resident_gauges()
+        else:
+            backend.load(key, None, payload)
 
     def unload(self, key: Any) -> None:
         """Release the resident payloads stored under ``key`` on every worker."""
         if self._closed or self._backend is None:
             return
         self._backend.drop(key)
+        self._update_resident_gauges()
 
     # -- execution -----------------------------------------------------------------
 
@@ -1279,7 +1453,7 @@ class EngineRuntime:
                 f"expected {self.shard_count} argument entries, got {len(args_per_shard)}")
         tasks = [(fn_name, key, shard_idx, args)
                  for shard_idx, args in enumerate(args_per_shard)]
-        return self._ensure_backend().run(tasks)
+        return self._run_observed(fn_name, tasks)
 
     def map_stateless(self, fn_name: str, payloads: Sequence[Any]) -> List[Any]:
         """Run a registered task over shipped payload chunks (no residency).
@@ -1292,4 +1466,22 @@ class EngineRuntime:
         if fn_name not in _TASKS:
             raise KeyError(f"unknown runtime task: {fn_name!r}")
         tasks = [(fn_name, None, None, payload) for payload in payloads]
-        return self._ensure_backend().run(tasks)
+        return self._run_observed(fn_name, tasks)
+
+    def _run_observed(self, fn_name: str,
+                      tasks: Sequence[Tuple[str, Any, Optional[int], Any]],
+                      ) -> List[Any]:
+        """Run one dispatch, recording its end-to-end cost when observed."""
+        backend = self._ensure_backend()
+        if not self.telemetry.enabled:
+            return backend.run(tasks)
+        self.telemetry.counter("engine_tasks_total",
+                               "Tasks dispatched to the runtime",
+                               task=fn_name).inc(len(tasks))
+        t0 = time.perf_counter()
+        results = backend.run(tasks)
+        self.telemetry.histogram(
+            "engine_dispatch_seconds",
+            "End-to-end wall-clock time of one dispatch (all shards)",
+            task=fn_name).observe(time.perf_counter() - t0)
+        return results

@@ -14,7 +14,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, Mapping
+from typing import Callable, Dict, Mapping, Optional
 
 #: Approximate bytes on the wire per probe (SYN + SYN-ACK + RST bookkeeping);
 #: only used to convert probe counts into seconds at a given line rate.
@@ -49,12 +49,21 @@ class BandwidthLedger:
             never double-counted (duplicate responses are deduplicated at
             the layer that retries, and ``responses <= probes`` stays an
             invariant under loss).
+        observer: optional callback invoked after every :meth:`record` with
+            ``(category, probes, responses, retransmits)``.  The telemetry
+            bridge: :meth:`record` is the single choke point every probe
+            already flows through, so one hook mirrors the whole ledger into
+            live counters without touching any scanner layer.  Excluded from
+            comparison/repr -- an observed ledger still equals its
+            unobserved twin.
     """
 
     address_space_size: int
     probes: Dict[ScanCategory, int] = field(default_factory=dict)
     responses: Dict[ScanCategory, int] = field(default_factory=dict)
     retransmits: Dict[ScanCategory, int] = field(default_factory=dict)
+    observer: Optional[Callable[[ScanCategory, int, int, int], None]] = field(
+        default=None, repr=False, compare=False)
 
     def __post_init__(self) -> None:
         if self.address_space_size <= 0:
@@ -80,6 +89,8 @@ class BandwidthLedger:
         if retransmits:
             self.retransmits[category] = (
                 self.retransmits.get(category, 0) + retransmits)
+        if self.observer is not None:
+            self.observer(category, probes, responses, retransmits)
 
     def total_probes(self, category: ScanCategory | None = None) -> int:
         """Total probes sent (optionally restricted to one category)."""

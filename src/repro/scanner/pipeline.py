@@ -24,6 +24,7 @@ so that each experiment can report cost in the paper's unit of "100 % scans".
 from __future__ import annotations
 
 import random
+import time
 from dataclasses import dataclass
 from typing import Iterable, List, Optional, Sequence, Tuple
 
@@ -43,6 +44,7 @@ from repro.scanner.records import (
 )
 from repro.scanner.zgrab import ZGrabSimulator
 from repro.scanner.zmap import ZMapSimulator
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 
 #: If a host SYN-ACKs on more than this many ports in a single sweep, LZR
 #: samples a handful of them before deciding the host is a middlebox, instead
@@ -84,11 +86,20 @@ class ScanPipeline:
     def __init__(self, universe: Universe,
                  ledger: Optional[BandwidthLedger] = None,
                  pseudo_filter: Optional[PseudoServiceFilter] = None,
-                 fault_plan: Optional[FaultPlan] = None) -> None:
+                 fault_plan: Optional[FaultPlan] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.universe = universe
         self.ledger = ledger or BandwidthLedger(
             address_space_size=universe.address_space_size()
         )
+        # The telemetry bridge taps the ledger's single recording choke
+        # point: every probe/response/retransmit any scanner layer charges
+        # mirrors into live per-category counters, and the top-level scan
+        # shapes time themselves into per-shape sweep histograms.  Scan
+        # results and ledger totals are unaffected either way.
+        self.telemetry = telemetry if telemetry is not None else NULL_TELEMETRY
+        if self.telemetry.enabled:
+            self.ledger.observer = self._observe_bandwidth
         banner_factory = BannerFactory(
             unique_body_fraction=universe.config.unique_body_fraction
         )
@@ -163,6 +174,7 @@ class ScanPipeline:
             apply_filter: run the Appendix B pseudo-service filter on the
                 resulting observations (the paper always does).
         """
+        sweep_t0 = time.perf_counter() if self.telemetry.enabled else None
         rng = random.Random(seed)
         sampled = self.sample_addresses(sample_fraction, rng)
         port_tuple = tuple(ports) if ports is not None else None
@@ -171,6 +183,8 @@ class ScanPipeline:
         if apply_filter:
             batch, report = self.pseudo_filter.apply_batch(batch)
             removed = report.removed_count()
+        if sweep_t0 is not None:
+            self._observe_sweep("seed", time.perf_counter() - sweep_t0)
         return SeedScanResult(observations=batch.materialize(),
                               sampled_ips=sampled,
                               removed_pseudo_services=removed,
@@ -184,6 +198,7 @@ class ScanPipeline:
         ``subnet`` is either a packed subnet key (see
         :func:`repro.net.ipv4.subnet_key`) or a ``(base, prefix_len)`` tuple.
         """
+        sweep_t0 = time.perf_counter() if self.telemetry.enabled else None
         if isinstance(subnet, tuple):
             base, length = subnet
         else:
@@ -195,6 +210,8 @@ class ScanPipeline:
         observations = self.zgrab.grab_many(fingerprints, category=category)
         if apply_filter:
             observations = self.pseudo_filter.filter(observations)
+        if sweep_t0 is not None:
+            self._observe_sweep("prefix", time.perf_counter() - sweep_t0)
         return observations
 
     def scan_pairs(self, pairs: Iterable[Tuple[int, int]],
@@ -217,14 +234,19 @@ class ScanPipeline:
                 order.
         """
         if batch_prefix_len is not None:
+            # Delegates to scan_pair_batches, which times itself -- no
+            # double-counted sweep.
             return self.scan_pair_batches(group_pairs(pairs, batch_prefix_len),
                                           category=category,
                                           apply_filter=apply_filter)
+        sweep_t0 = time.perf_counter() if self.telemetry.enabled else None
         hits = self.zmap.scan_pairs(pairs, category=category)
         fingerprints = self.lzr.fingerprint_many(hits, category=category)
         observations = self.zgrab.grab_many(fingerprints, category=category)
         if apply_filter:
             observations = self.pseudo_filter.filter(observations)
+        if sweep_t0 is not None:
+            self._observe_sweep("pairs", time.perf_counter() - sweep_t0)
         return observations
 
     def scan_pair_batches(self, batches: Sequence[ProbeBatch],
@@ -242,12 +264,17 @@ class ScanPipeline:
         here, at the API boundary.  :meth:`scan_pair_batches_columnar`
         exposes the batch itself for consumers that can stay columnar.
         """
+        sweep_t0 = time.perf_counter() if self.telemetry.enabled else None
         batch = self.scan_pair_batches_columnar(batches, category=category)
         if apply_filter:
             # The columnar filter memoizes content keys per interned banner
             # id and materializes only the surviving rows.
-            return self.pseudo_filter.filter_batch(batch)
-        return batch.materialize()
+            observations = self.pseudo_filter.filter_batch(batch)
+        else:
+            observations = batch.materialize()
+        if sweep_t0 is not None:
+            self._observe_sweep("pair_batches", time.perf_counter() - sweep_t0)
+        return observations
 
     def scan_pair_batches_columnar(self, batches: Sequence[ProbeBatch],
                                    category: ScanCategory = ScanCategory.PREDICTION,
@@ -281,6 +308,31 @@ class ScanPipeline:
         return observations
 
     # -- internals ---------------------------------------------------------------------
+
+    def _observe_bandwidth(self, category: ScanCategory, probes: int,
+                           responses: int, retransmits: int) -> None:
+        """Ledger observer: mirror one record() into live counters."""
+        tel = self.telemetry
+        if probes:
+            tel.counter("scan_probes_total", "Probes sent, by scan category",
+                        category=category.value).inc(probes)
+        if responses:
+            tel.counter("scan_responses_total",
+                        "Responsive probes, by scan category",
+                        category=category.value).inc(responses)
+        if retransmits:
+            tel.counter("scan_retransmits_total",
+                        "Probes re-sent after simulated loss",
+                        category=category.value).inc(retransmits)
+
+    def _observe_sweep(self, shape: str, seconds: float) -> None:
+        """Record one top-level scan shape's wall-clock cost."""
+        tel = self.telemetry
+        tel.counter("scan_sweeps_total", "Top-level scan calls, by shape",
+                    shape=shape).inc()
+        tel.histogram("scan_sweep_seconds",
+                      "Wall-clock time of one top-level scan call",
+                      shape=shape).observe(seconds)
 
     def _sweep_hosts_columnar(self, ips: Sequence[int],
                               ports: Optional[Tuple[int, ...]],

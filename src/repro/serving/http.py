@@ -12,7 +12,9 @@ Endpoints::
 
     GET  /healthz                      liveness + loaded model names
     GET  /models                       model summaries
-    GET  /stats                        service counters
+    GET  /stats                        service counters, queue depths,
+                                       runtime recovery counters
+    GET  /metrics                      Prometheus text exposition (0.0.4)
     GET  /lookup?model=NAME&ip=A.B.C.D point lookup by known address
     POST /predict   {"model": ..., "ips": [...]}          bulk prediction
     POST /scan      {"model": ..., "ips": [...], "batch_size": N}
@@ -156,6 +158,14 @@ class _Handler(BaseHTTPRequestHandler):
         self.end_headers()
         self.wfile.write(body)
 
+    def _send_text(self, status: int, text: str, content_type: str) -> None:
+        body = text.encode("utf-8")
+        self.send_response(status)
+        self.send_header("Content-Type", content_type)
+        self.send_header("Content-Length", str(len(body)))
+        self.end_headers()
+        self.wfile.write(body)
+
     def _send_error_payload(self, exc: Exception) -> None:
         if isinstance(exc, ServiceError):
             self._send_json(exc.http_status,
@@ -198,7 +208,11 @@ class _Handler(BaseHTTPRequestHandler):
                                for info in self.host.service.models()],
                 })
             elif url.path == "/stats":
-                self._send_json(200, self.host.service.stats.as_dict())
+                self._send_json(200, self.host.service.stats_snapshot())
+            elif url.path == "/metrics":
+                self._send_text(
+                    200, self.host.service.telemetry.render_prometheus(),
+                    "text/plain; version=0.0.4; charset=utf-8")
             elif url.path == "/lookup":
                 params = parse_qs(url.query)
                 model = (params.get("model") or ["default"])[0]

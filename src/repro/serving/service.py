@@ -38,17 +38,19 @@ from __future__ import annotations
 
 import asyncio
 import itertools
+import time
 from concurrent.futures import ThreadPoolExecutor
 from dataclasses import dataclass
-from typing import AsyncIterator, Dict, List, Optional, Sequence, Set, Tuple, Union
+from typing import Any, AsyncIterator, Dict, List, Optional, Sequence, Set, Tuple, Union
 
 from repro.core.config import GPSConfig
 from repro.engine.faults import FaultPlan
-from repro.engine.runtime import RUNTIME_EXECUTORS, EngineRuntime
+from repro.engine.runtime import RUNTIME_EXECUTORS, EngineRuntime, RecoveryStats
 from repro.scanner.bandwidth import ScanCategory
 from repro.scanner.pipeline import ScanPipeline, SeedScanResult
 from repro.scanner.records import group_pairs
 from repro.serving.registry import ModelRegistry, PreparedModel, build_prepared_model
+from repro.telemetry import NULL_TELEMETRY, Telemetry
 from repro.serving.schemas import (
     BulkPredict,
     BulkReply,
@@ -68,6 +70,9 @@ from repro.serving.schemas import (
 
 _OPEN, _DRAINING, _CLOSED = "open", "draining", "closed"
 
+#: Micro-batch sizes are small integers; powers of two up to max_batch-ish.
+_BATCH_SIZE_BUCKETS = (1.0, 2.0, 4.0, 8.0, 16.0, 32.0, 64.0, 128.0)
+
 
 @dataclass(frozen=True)
 class ServingConfig:
@@ -84,6 +89,12 @@ class ServingConfig:
         drain_timeout_s: how long :meth:`GPSService.close` waits for
             outstanding requests before tearing down regardless.
         lookup_threads: worker threads serving prediction folds.
+        telemetry_enabled: build the service with a live
+            :class:`~repro.telemetry.Telemetry` (request counters, latency
+            histograms, the ``/metrics`` surface).  Off by default; replies
+            are bit-identical either way.
+        telemetry_sample_every: observe every Nth request latency when
+            telemetry is on (counters and gauges are never sampled).
         executor / num_workers / shard_count / max_task_retries /
         task_deadline_s / execution_deadline_s / fault_plan: the engine
             runtime's knobs, passed through verbatim (see
@@ -96,6 +107,8 @@ class ServingConfig:
     request_timeout_s: Optional[float] = 30.0
     drain_timeout_s: float = 10.0
     lookup_threads: int = 4
+    telemetry_enabled: bool = False
+    telemetry_sample_every: int = 1
     executor: str = "serial"
     num_workers: int = 0
     shard_count: int = 0
@@ -120,6 +133,8 @@ class ServingConfig:
             raise ValueError("drain_timeout_s must be non-negative")
         if self.lookup_threads < 1:
             raise ValueError("lookup_threads must be >= 1")
+        if self.telemetry_sample_every < 1:
+            raise ValueError("telemetry_sample_every must be >= 1")
         if self.executor not in RUNTIME_EXECUTORS:
             raise ValueError(f"unknown executor: {self.executor!r} "
                              f"(expected one of {RUNTIME_EXECUTORS})")
@@ -154,28 +169,44 @@ class _MicroBatcher:
         # batchers (wait_for schedules this coroutine as its own task);
         # waiting out the window would deadlock the drain, so a draining
         # service flushes every arrival immediately.
-        if len(self._items) >= config.max_batch or self._service.closed:
-            self.flush()
+        if len(self._items) >= config.max_batch:
+            self.flush("size")
+        elif self._service.closed:
+            self.flush("drain")
         elif self._timer is None:
             self._timer = loop.call_later(config.batch_window_s, self.flush)
         return await future
 
-    def flush(self) -> None:
-        """Close the open batch and hand it to a worker thread (loop-side)."""
+    def flush(self, reason: str = "window") -> None:
+        """Close the open batch and hand it to a worker thread (loop-side).
+
+        ``reason`` says which trigger fired -- ``"size"`` (the batch filled),
+        ``"window"`` (the oldest waiter's deadline, the timer default) or
+        ``"drain"`` (close-time sweep) -- and flows into the
+        ``serving_flushes_total{reason=...}`` telemetry counter.
+        """
         if self._timer is not None:
             self._timer.cancel()
             self._timer = None
         if not self._items:
             return
         items, self._items = self._items, []
-        self._service._spawn_flush(items)
+        self._service._spawn_flush(items, reason)
 
 
 class GPSService:
     """The long-lived GPS serving core.  See the module docstring."""
 
-    def __init__(self, config: Optional[ServingConfig] = None) -> None:
+    def __init__(self, config: Optional[ServingConfig] = None,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.config = config or ServingConfig()
+        if telemetry is not None:
+            self.telemetry = telemetry
+        elif self.config.telemetry_enabled:
+            self.telemetry = Telemetry(
+                sample_every=self.config.telemetry_sample_every)
+        else:
+            self.telemetry = NULL_TELEMETRY
         self.stats = ServingStats()
         self._registry = ModelRegistry()
         self._state = _OPEN
@@ -216,7 +247,8 @@ class GPSService:
                 max_task_retries=config.max_task_retries,
                 task_deadline_s=config.task_deadline_s,
                 execution_deadline_s=config.execution_deadline_s,
-                fault_plan=config.fault_plan)
+                fault_plan=config.fault_plan,
+                telemetry=self.telemetry)
         return self._runtime
 
     async def close(self, drain: bool = True) -> None:
@@ -235,7 +267,7 @@ class GPSService:
         self._state = _DRAINING
         if first:
             for batcher in self._batchers.values():
-                batcher.flush()
+                batcher.flush("drain")
         if drain and self._pending > 0:
             self._ensure_loop_state()
             assert self._drained is not None
@@ -272,6 +304,7 @@ class GPSService:
         """
         self._ensure_loop_state()
         self._admit()
+        t0 = time.perf_counter() if self.telemetry.enabled else None
         try:
             assert self._build_lock is not None
             async with self._build_lock:
@@ -287,6 +320,8 @@ class GPSService:
             return prepared.info()
         finally:
             self._release()
+            if t0 is not None:
+                self._observe_request("load_model", time.perf_counter() - t0)
 
     async def evict_model(self, name: str) -> None:
         """Release a model's resident shards and forget its name."""
@@ -300,6 +335,25 @@ class GPSService:
     def model(self, name: str) -> PreparedModel:
         """Resolve one loaded model (raises :class:`ModelNotFound`)."""
         return self._registry.get(name)
+
+    # -- introspection -----------------------------------------------------------------
+
+    def stats_snapshot(self) -> Dict[str, Any]:
+        """Everything ``/stats`` reports: counters, queues, runtime recovery.
+
+        Extends :meth:`ServingStats.as_dict` with the live pending-admission
+        count, the number of lookups currently waiting in open micro-batches,
+        and the engine runtime's :class:`RecoveryStats` (zeros before the
+        first build creates the runtime).
+        """
+        recovery = (self._runtime.recovery_stats if self._runtime is not None
+                    else RecoveryStats())
+        snapshot: Dict[str, Any] = self.stats.as_dict()
+        snapshot["pending"] = self._pending
+        snapshot["batch_queue_depth"] = sum(
+            len(batcher._items) for batcher in list(self._batchers.values()))
+        snapshot["recovery"] = dict(vars(recovery))
+        return snapshot
 
     # -- point lookups (micro-batched) -------------------------------------------------
 
@@ -316,6 +370,7 @@ class GPSService:
         self._registry.get(request.model)
         self._admit()
         self.stats.lookups += 1
+        t0 = time.perf_counter() if self.telemetry.enabled else None
         try:
             batcher = self._batchers.get(request.model)
             if batcher is None:
@@ -323,6 +378,8 @@ class GPSService:
             return await self._await_with_deadline(batcher.submit(request))
         finally:
             self._release()
+            if t0 is not None:
+                self._observe_request("lookup", time.perf_counter() - t0)
 
     async def lookup_ip(self, model: str, ip: int) -> LookupReply:
         """Point lookup for an address the model already knows.
@@ -352,12 +409,15 @@ class GPSService:
         self._registry.get(request.model)
         self._admit()
         self.stats.bulk_predictions += 1
+        t0 = time.perf_counter() if self.telemetry.enabled else None
         try:
             loop = asyncio.get_running_loop()
             return await self._await_with_deadline(loop.run_in_executor(
                 self._threads, self._process_bulk, request))
         finally:
             self._release()
+            if t0 is not None:
+                self._observe_request("bulk_predict", time.perf_counter() - t0)
 
     def _process_bulk(self, request: BulkPredict) -> BulkReply:
         """Worker-thread body of a bulk prediction."""
@@ -385,6 +445,8 @@ class GPSService:
         prepared = self._registry.get(request.model)
         self._admit()
         self.stats.scan_jobs += 1
+        if self.telemetry.enabled:
+            self._observe_request("submit_scan", None)
         job_id = f"scan-{next(self._job_ids)}"
         job = _ScanJob(job_id=job_id, queue=asyncio.Queue())
         self._jobs[job_id] = job
@@ -424,6 +486,10 @@ class GPSService:
                         item = await asyncio.wait_for(job.queue.get(), deadline)
                 except asyncio.TimeoutError:
                     self.stats.timeouts += 1
+                    if self.telemetry.enabled:
+                        self.telemetry.counter(
+                            "serving_timeouts_total",
+                            "Requests that exceeded their deadline.").inc()
                     raise RequestTimeout(
                         f"scan job {job_id!r} produced no update within "
                         f"{deadline}s") from None
@@ -476,6 +542,20 @@ class GPSService:
 
     # -- internals ---------------------------------------------------------------------
 
+    def _observe_request(self, endpoint: str, seconds: Optional[float]) -> None:
+        """Count one served request; observe its latency when sampled in.
+
+        ``seconds=None`` counts without a latency observation (scan jobs,
+        whose lifetime is the stream's, not the submit call's).
+        """
+        tel = self.telemetry
+        tel.counter("serving_requests_total",
+                    "Requests served by endpoint.", endpoint=endpoint).inc()
+        if seconds is not None and tel.sampled():
+            tel.histogram("serving_request_seconds",
+                          "Request latency by endpoint.",
+                          endpoint=endpoint).observe(seconds)
+
     def _ensure_loop_state(self) -> None:
         """Bind loop-affine state (event, lock) to the running loop once."""
         loop = asyncio.get_running_loop()
@@ -495,6 +575,10 @@ class GPSService:
         """
         if self._state != _OPEN:
             self.stats.rejected_closed += 1
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "serving_rejected_total",
+                    "Requests rejected because the service was closing.").inc()
             raise ServiceClosed("service is draining or closed")
 
     def _admit(self) -> None:
@@ -502,11 +586,19 @@ class GPSService:
         self._check_open()
         if self._pending >= self.config.max_pending:
             self.stats.shed += 1
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "serving_shed_total",
+                    "Requests shed by bounded admission.").inc()
             raise ServiceOverloaded(
                 f"{self._pending} requests already pending "
                 f"(max_pending={self.config.max_pending})")
         self._pending += 1
         self.stats.admitted += 1
+        if self.telemetry.enabled:
+            self.telemetry.gauge(
+                "serving_pending",
+                "Requests currently admitted and in flight.").set(self._pending)
         # A stale "drained" signal from an earlier quiet period must not let
         # close() tear down under this request's feet.
         if self._drained is not None:
@@ -515,6 +607,10 @@ class GPSService:
     def _release(self) -> None:
         self._pending -= 1
         self.stats.completed += 1
+        if self.telemetry.enabled:
+            self.telemetry.gauge(
+                "serving_pending",
+                "Requests currently admitted and in flight.").set(self._pending)
         if self._pending == 0 and self._drained is not None:
             self._drained.set()
 
@@ -527,19 +623,33 @@ class GPSService:
             return await asyncio.wait_for(awaitable, timeout)
         except asyncio.TimeoutError:
             self.stats.timeouts += 1
+            if self.telemetry.enabled:
+                self.telemetry.counter(
+                    "serving_timeouts_total",
+                    "Requests that exceeded their deadline.").inc()
             raise RequestTimeout(
                 f"request exceeded request_timeout_s={timeout}") from None
 
-    def _spawn_flush(self, items: Sequence[Tuple[PointLookup, asyncio.Future]]) -> None:
+    def _spawn_flush(self, items: Sequence[Tuple[PointLookup, asyncio.Future]],
+                     reason: str = "window") -> None:
         """Run one micro-batch flush as a tracked loop task."""
         assert self._loop is not None
-        task = self._loop.create_task(self._run_flush(list(items)))
+        task = self._loop.create_task(self._run_flush(list(items), reason))
         self._flush_tasks.add(task)
         task.add_done_callback(self._flush_tasks.discard)
 
-    async def _run_flush(self, items: List[Tuple[PointLookup, asyncio.Future]]) -> None:
+    async def _run_flush(self, items: List[Tuple[PointLookup, asyncio.Future]],
+                         reason: str = "window") -> None:
         self.stats.flushes += 1
         self.stats.max_coalesced = max(self.stats.max_coalesced, len(items))
+        if self.telemetry.enabled:
+            self.telemetry.counter(
+                "serving_flushes_total",
+                "Micro-batch flushes by trigger.", reason=reason).inc()
+            self.telemetry.histogram(
+                "serving_batch_size",
+                "Lookups coalesced per micro-batch flush.",
+                buckets=_BATCH_SIZE_BUCKETS).observe(len(items))
         loop = asyncio.get_running_loop()
         try:
             results = await loop.run_in_executor(

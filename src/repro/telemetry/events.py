@@ -1,0 +1,61 @@
+"""A minimal synchronous event bus: publish structured events to sinks.
+
+The engine runtime already produces a structured event stream
+(:class:`~repro.engine.runtime.RuntimeEvent`); before telemetry existed its
+only consumer was a bespoke ``logging`` path.  The bus generalises that:
+producers ``publish`` events, and any number of sinks (a logger forwarder,
+the CLI's ``--verbose-runtime`` printer, a test capture list) ``subscribe``
+plain callables.
+
+Publishing with zero subscribers costs one attribute read and one tuple
+truth test -- cheap enough to sit on the worker-supervision path
+unconditionally.  Subscriber exceptions are swallowed: a broken sink must
+never take down the runtime it is observing.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Any, Callable, Tuple
+
+__all__ = ["EventBus"]
+
+Sink = Callable[[Any], None]
+
+
+class EventBus:
+    """Thread-safe fan-out of events to subscribed callables."""
+
+    def __init__(self) -> None:
+        self._lock = threading.Lock()
+        self._sinks: Tuple[Sink, ...] = ()
+
+    def subscribe(self, sink: Sink) -> Sink:
+        """Add a sink; returns it so callers can keep a handle to unsubscribe."""
+        with self._lock:
+            if sink not in self._sinks:
+                self._sinks = self._sinks + (sink,)
+        return sink
+
+    def unsubscribe(self, sink: Sink) -> None:
+        """Remove a sink; unknown sinks are ignored.
+
+        Matches by equality (like :meth:`subscribe`'s dedup) so a bound
+        method re-derived from the same object still unsubscribes.
+        """
+        with self._lock:
+            self._sinks = tuple(s for s in self._sinks if s != sink)
+
+    def publish(self, event: Any) -> None:
+        """Deliver one event to every current sink, in subscription order."""
+        sinks = self._sinks
+        if not sinks:
+            return
+        for sink in sinks:
+            try:
+                sink(event)
+            except Exception:
+                pass
+
+    def __len__(self) -> int:
+        return len(self._sinks)

@@ -1,0 +1,247 @@
+"""Span-based tracer: a parent/child tree of monotonic phase timings.
+
+Where the registry answers "how many / how fast on average", the tracer
+answers "what did this *particular* run spend its time on": every
+instrumented phase opens a span, spans opened while another is active nest
+under it, and the finished tree exports as JSON (``--trace-out``) or as a
+flat depth-annotated event log.
+
+Timing uses ``time.perf_counter`` throughout -- monotonic, unaffected by
+wall-clock adjustments -- with span starts recorded relative to the
+tracer's own epoch so exported offsets are small, stable numbers.
+
+Thread model: each thread keeps its own open-span stack (``threading.local``),
+so worker threads trace independently without cross-talk; completed root
+spans append to one shared list under a lock.  A disabled tracer (and any
+span opened past ``max_spans``) hands back the shared :data:`NULL_SPAN`,
+whose enter/exit/set are no-ops.
+"""
+
+from __future__ import annotations
+
+import json
+import threading
+import time
+from typing import Any, Dict, Iterator, List, Optional
+
+__all__ = ["NULL_SPAN", "Span", "Tracer", "trace_span"]
+
+TRACE_FORMAT_VERSION = 1
+
+
+class Span:
+    """One timed phase: name, attributes, children, and its place in time.
+
+    A span is its own context manager::
+
+        with tracer.span("model.build", hosts=123) as span:
+            ...
+            span.set("patterns", len(model.cooccurrence))
+
+    ``start_s`` is seconds since the owning tracer's epoch; ``duration_s``
+    is filled in on exit.  Attributes are plain JSON-able values.
+    """
+
+    __slots__ = ("name", "attrs", "start_s", "duration_s", "children",
+                 "_tracer", "_t0")
+
+    def __init__(self, name: str, attrs: Dict[str, Any],
+                 tracer: Optional["Tracer"], start_s: float) -> None:
+        self.name = name
+        self.attrs = attrs
+        self.start_s = start_s
+        self.duration_s: Optional[float] = None
+        self.children: List[Span] = []
+        self._tracer = tracer
+        self._t0 = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        """Attach an attribute discovered mid-phase (counts, sizes)."""
+        self.attrs[key] = value
+
+    def __enter__(self) -> "Span":
+        self._t0 = time.perf_counter()
+        if self._tracer is not None:
+            self._tracer._push(self)
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        self.duration_s = time.perf_counter() - self._t0
+        if exc_type is not None:
+            self.attrs["error"] = exc_type.__name__
+        if self._tracer is not None:
+            self._tracer._pop(self)
+
+    # -- (de)serialisation ---------------------------------------------------------
+
+    def to_dict(self) -> Dict[str, Any]:
+        out: Dict[str, Any] = {
+            "name": self.name,
+            "start_s": self.start_s,
+            "duration_s": self.duration_s,
+        }
+        if self.attrs:
+            out["attrs"] = dict(self.attrs)
+        if self.children:
+            out["children"] = [child.to_dict() for child in self.children]
+        return out
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, Any]) -> "Span":
+        span = cls(data["name"], dict(data.get("attrs", {})), None,
+                   data.get("start_s", 0.0))
+        span.duration_s = data.get("duration_s")
+        span.children = [cls.from_dict(child)
+                         for child in data.get("children", ())]
+        return span
+
+
+class _NullSpan:
+    """Shared span stand-in: enter/exit/set do nothing, nest nowhere."""
+
+    __slots__ = ()
+    name = ""
+    attrs: Dict[str, Any] = {}
+    children: List[Span] = []
+    duration_s = None
+    start_s = 0.0
+
+    def set(self, key: str, value: Any) -> None:
+        pass
+
+    def __enter__(self) -> "_NullSpan":
+        return self
+
+    def __exit__(self, exc_type, exc, tb) -> None:
+        pass
+
+
+NULL_SPAN = _NullSpan()
+
+
+class Tracer:
+    """Builds span trees; one instance per run / per service.
+
+    ``max_spans`` bounds memory on pathological span rates: once the budget
+    is spent new spans become :data:`NULL_SPAN` and ``dropped`` counts them.
+    """
+
+    def __init__(self, enabled: bool = True, max_spans: int = 100_000) -> None:
+        self.enabled = enabled
+        self.max_spans = max_spans
+        self.dropped = 0
+        self._epoch = time.perf_counter()
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._roots: List[Span] = []
+        self._span_count = 0
+
+    def span(self, name: str, **attrs: Any):
+        """Open a span; use as a context manager."""
+        if not self.enabled:
+            return NULL_SPAN
+        with self._lock:
+            if self._span_count >= self.max_spans:
+                self.dropped += 1
+                return NULL_SPAN
+            self._span_count += 1
+        return Span(name, dict(attrs), self,
+                    time.perf_counter() - self._epoch)
+
+    # -- stack plumbing (called by Span.__enter__/__exit__) -------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def _push(self, span: Span) -> None:
+        stack = self._stack()
+        if stack:
+            stack[-1].children.append(span)
+        stack.append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        if not stack:
+            with self._lock:
+                self._roots.append(span)
+
+    # -- export --------------------------------------------------------------------
+
+    @property
+    def roots(self) -> List[Span]:
+        """Completed root spans, in completion order."""
+        with self._lock:
+            return list(self._roots)
+
+    def span_count(self) -> int:
+        return self._span_count
+
+    def to_dict(self) -> Dict[str, Any]:
+        return {
+            "version": TRACE_FORMAT_VERSION,
+            "dropped": self.dropped,
+            "spans": [root.to_dict() for root in self.roots],
+        }
+
+    def to_json(self, indent: Optional[int] = 2) -> str:
+        return json.dumps(self.to_dict(), indent=indent, sort_keys=False)
+
+    def write_json(self, path: str) -> None:
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(self.to_json())
+            handle.write("\n")
+
+    def flat_events(self) -> List[Dict[str, Any]]:
+        """The tree as a flat DFS event log: one dict per span with depth."""
+        events: List[Dict[str, Any]] = []
+
+        def walk(span: Span, depth: int) -> None:
+            events.append({
+                "name": span.name,
+                "depth": depth,
+                "start_s": span.start_s,
+                "duration_s": span.duration_s,
+                "attrs": dict(span.attrs),
+            })
+            for child in span.children:
+                walk(child, depth + 1)
+
+        for root in self.roots:
+            walk(root, 0)
+        return events
+
+    @staticmethod
+    def spans_from_dict(data: Dict[str, Any]) -> List[Span]:
+        """Rebuild the span tree from an exported document."""
+        return [Span.from_dict(entry) for entry in data.get("spans", ())]
+
+    @classmethod
+    def spans_from_json(cls, text: str) -> List[Span]:
+        return cls.spans_from_dict(json.loads(text))
+
+
+def trace_span(tracer: Optional[Tracer], name: str, **attrs: Any):
+    """Open a span on ``tracer``; a no-op span when tracer is None/disabled.
+
+    The standard call form for code that takes an optional tracer::
+
+        with trace_span(self.tracer, "priors.build", entries=n):
+            ...
+    """
+    if tracer is None:
+        return NULL_SPAN
+    return tracer.span(name, **attrs)
+
+
+def iter_spans(spans: List[Span]) -> Iterator[Span]:
+    """DFS over a span forest (roots first, then children)."""
+    stack = list(reversed(spans))
+    while stack:
+        span = stack.pop()
+        yield span
+        stack.extend(reversed(span.children))
