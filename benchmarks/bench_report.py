@@ -104,6 +104,12 @@ METRICS: Tuple[Metric, ...] = (
            "recovery.rebuild_vs_heal", floor=1.0, smoke_floor=0.7),
     Metric("BENCH_serving.json", "warm served lookup vs cold one-shot",
            "warm_vs_cold_speedup", floor=5.0, smoke_floor=5.0),
+    Metric("BENCH_snapshot.json", "warm restart from snapshot vs full rebuild",
+           "warm_restart_speedup", floor_path="warm_restart_floor"),
+    Metric("BENCH_snapshot.json", "mmap shard load vs queue-ship (pool)",
+           "mmap_vs_queue_ship", gate_path="mmap_floor_asserted"),
+    Metric("BENCH_snapshot.json", "resize placement remap vs re-shipping shards",
+           "resize.remap_vs_reship", gate_path="resize.floor_asserted"),
     Metric("BENCH_telemetry.json", "warm model build, telemetry off vs on",
            "model_build.off_vs_on", floor_path="model_build.floor"),
     Metric("BENCH_telemetry.json", "warm serving lookup, telemetry off vs on",

@@ -79,6 +79,7 @@ def run_coverage_experiment(
     num_workers: int = 0,
     shard_count: int = 0,
     telemetry=None,
+    seed_override=None,
 ) -> CoverageExperiment:
     """Run GPS against a dataset and compute the Figure 2 curves.
 
@@ -87,13 +88,16 @@ def run_coverage_experiment(
     :func:`repro.analysis.scenarios.run_gps_on_dataset`); the curves are
     identical on every backend and shard layout.  ``telemetry`` instruments
     the run (phase spans, scan counters) without changing the curves.
+    ``seed_override`` replaces the dataset-split seed with a pre-collected
+    seed scan (a reloaded snapshot -- the Section 6.5 reuse mode); coverage
+    is still evaluated against the full dataset ground truth.
     """
     run, pipeline, _ = run_gps_on_dataset(
         universe, dataset, seed_fraction, step_size=step_size,
         split_seed=split_seed, feature_config=feature_config,
         max_full_scans=max_full_scans, seed_cost_mode=seed_cost_mode,
         executor=executor, num_workers=num_workers, shard_count=shard_count,
-        telemetry=telemetry,
+        telemetry=telemetry, seed_override=seed_override,
     )
     ground_truth = dataset.pairs()
     gps_points = coverage_curve(run.log_as_tuples(), ground_truth,

@@ -117,6 +117,7 @@ def run_gps_on_dataset(
     num_workers: int = 0,
     shard_count: int = 0,
     telemetry=None,
+    seed_override=None,
 ) -> Tuple[GPSRunResult, ScanPipeline, SeedTestSplit]:
     """Run GPS in dataset-split mode (the paper's evaluation methodology).
 
@@ -130,6 +131,13 @@ def run_gps_on_dataset(
       available seed set (e.g. the LZR dataset)" deployment mode
       (Section 5.1); used by the all-port experiments, where collecting a seed
       at this reproduction's scale would otherwise dominate every curve.
+
+    ``seed_override`` (a :class:`~repro.scanner.pipeline.SeedScanResult`)
+    replaces the split's seed half entirely -- the Section 6.5 "reuse an
+    existing seed scan" deployment mode, fed by a reloaded snapshot.  The
+    split is still computed (the test half stays well-defined) but GPS
+    trains on the supplied seed and the ``seed_cost_mode`` charge applies to
+    it unchanged.
 
     ``executor`` selects a persistent engine-runtime backend (``"serial"``,
     ``"thread"`` or ``"pool"``; implies ``use_engine``) with ``num_workers``
@@ -164,6 +172,7 @@ def run_gps_on_dataset(
         seed_cost = seed_scan_cost_probes(dataset, seed_fraction)
     else:
         seed_cost = 0
+    seed_result = seed_override if seed_override is not None else split.seed_scan_result()
     with GPS(pipeline, config, telemetry=telemetry) as gps:
-        result = gps.run(seed=split.seed_scan_result(), seed_cost_probes=seed_cost)
+        result = gps.run(seed=seed_result, seed_cost_probes=seed_cost)
     return result, pipeline, split

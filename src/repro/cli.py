@@ -10,8 +10,19 @@ and the churn measurement.  Install the package and run::
     gps-repro compare-xgboost --ports 8
     gps-repro churn --days 10
     gps-repro serve --port 8080
+    gps-repro snapshot save --out snap/
+    gps-repro snapshot load snap/
 
 Every command is deterministic for a given ``--seed``.
+
+Snapshots implement the paper's Section 6.5 deployment note -- "if a seed
+scan is already available, GPS can forego collecting the initial seed scan,
+reducing the overall runtime by 94%": ``--save-snapshot`` persists a run's
+encoded seed columns and Table 2 artifacts (model, priors plan, prediction
+index) to a versioned on-disk directory, ``--load-snapshot`` reuses the
+saved seed without paying its scan cost, and ``serve --snapshot-dir``
+warm-restarts the serving layer from the saved artifacts without
+rebuilding anything.
 """
 
 from __future__ import annotations
@@ -115,6 +126,73 @@ def _write_trace(telemetry: Optional[Telemetry],
           f"({telemetry.tracer.span_count()} spans)", file=sys.stderr)
 
 
+def _save_run_snapshot(directory, result, universe, status_encoder=None,
+                       runtime=None, telemetry=None) -> dict:
+    """Persist a run's encoded seed columns + Table 2 artifacts to ``directory``.
+
+    The seed observations re-encode into columnar form (through
+    ``status_encoder`` when the caller's pipeline is available, so status
+    ids match live batches) and the host-feature relation is re-extracted so
+    the snapshot carries everything a warm restart needs.  With a live
+    ``runtime`` the host groups are additionally pre-sharded into the
+    runtime's layout, making the saved shards mmap-loadable by an equally
+    shaped pool.
+    """
+    from repro.core.features import extract_host_features_columns
+    from repro.engine.snapshot import save_snapshot
+    from repro.scanner.records import ObservationBatch
+
+    config = result.config
+    batch = ObservationBatch.from_observations(result.seed_observations,
+                                               statuses=status_encoder)
+    host_features = extract_host_features_columns(
+        batch, universe.topology.asn_db, config.feature_config)
+    shard_kwargs = {}
+    if runtime is not None:
+        shard_kwargs = {"shard_count": runtime.shard_count,
+                        "placement_workers": runtime.num_workers}
+    manifest = save_snapshot(directory, observations=batch,
+                             host_features=host_features, model=result.model,
+                             priors_plan=result.priors_plan,
+                             index=result.feature_index,
+                             step_size=config.step_size, telemetry=telemetry,
+                             **shard_kwargs)
+    print(f"snapshot saved to {directory} "
+          f"({len(manifest['sections'])} sections)", file=sys.stderr)
+    return manifest
+
+
+def _load_snapshot_seed(directory):
+    """Rebuild a seed-scan result from a snapshot's encoded seed columns.
+
+    The reloaded seed carries both the object rows and the columnar batch,
+    so every GPS ingest path (fused columnar, legacy object) consumes it
+    exactly like a freshly collected seed -- except no probes are charged
+    (the Section 6.5 seed-reuse saving).
+    """
+    from repro.engine.snapshot import open_snapshot
+    from repro.scanner.pipeline import SeedScanResult
+
+    snapshot = open_snapshot(directory)
+    batch = snapshot.observation_batch()
+    return SeedScanResult(observations=batch.materialize(),
+                          sampled_ips=sorted(set(batch.ips)),
+                          removed_pseudo_services=0,
+                          batch=batch)
+
+
+def _add_snapshot_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("--save-snapshot", default=None, metavar="DIR",
+                        help="after the run, persist the encoded seed "
+                             "columns and the model/priors/index artifacts "
+                             "as a versioned snapshot directory")
+    parser.add_argument("--load-snapshot", default=None, metavar="DIR",
+                        help="reuse the seed observations saved in this "
+                             "snapshot instead of collecting a seed scan "
+                             "(no seed bandwidth is charged -- the paper's "
+                             "Section 6.5 deployment mode)")
+
+
 def cmd_quickstart(args: argparse.Namespace) -> int:
     """Run GPS end to end on a fresh synthetic universe and print a summary."""
     universe = make_universe(_scale(args.scale), seed=args.seed)
@@ -128,8 +206,18 @@ def cmd_quickstart(args: argparse.Namespace) -> int:
                          "shard_count": args.shard_count}
     config = GPSConfig(seed_fraction=args.seed_fraction,
                        step_size=args.step_size, **engine_kwargs)
+    seed = None
+    if args.load_snapshot:
+        seed = _load_snapshot_seed(args.load_snapshot)
+        print(f"reusing {len(seed.observations)} seed observations from "
+              f"snapshot {args.load_snapshot} (no seed scan charged)",
+              file=sys.stderr)
     with GPS(pipeline, config, telemetry=telemetry) as gps:
-        result = gps.run()
+        result = gps.run(seed=seed, seed_cost_probes=0 if seed else None)
+        if args.save_snapshot:
+            _save_run_snapshot(args.save_snapshot, result, universe,
+                               status_encoder=pipeline.status_encoder,
+                               runtime=gps.runtime(), telemetry=telemetry)
     _write_trace(telemetry, args)
     truth = set(universe.real_service_pairs())
     found = result.discovered_pairs()
@@ -167,13 +255,23 @@ def cmd_coverage(args: argparse.Namespace) -> int:
         dataset = make_lzr_dataset(universe, scale)
         seed_fraction = args.seed_fraction or dataset.sample_fraction / 2
         seed_cost_mode = "available"
+    seed_override = None
+    if args.load_snapshot:
+        seed_override = _load_snapshot_seed(args.load_snapshot)
+        seed_cost_mode = "available"  # reused seeds charge nothing (Sec. 6.5)
+        print(f"reusing {len(seed_override.observations)} seed observations "
+              f"from snapshot {args.load_snapshot}", file=sys.stderr)
     experiment = run_coverage_experiment(universe, dataset, seed_fraction,
                                          step_size=args.step_size,
                                          seed_cost_mode=seed_cost_mode,
                                          executor=args.executor,
                                          num_workers=args.workers,
                                          shard_count=args.shard_count,
-                                         telemetry=telemetry)
+                                         telemetry=telemetry,
+                                         seed_override=seed_override)
+    if args.save_snapshot:
+        _save_run_snapshot(args.save_snapshot, experiment.run, universe,
+                           telemetry=telemetry)
     _write_trace(telemetry, args)
     print(format_table(
         ("coverage target", "GPS bandwidth (100% scans)", "savings vs optimal order"),
@@ -244,7 +342,6 @@ def cmd_serve(args: argparse.Namespace) -> int:
     _configure_runtime_events(args)
     universe = make_universe(_scale(args.scale), seed=args.seed)
     pipeline = ScanPipeline(universe)
-    seed = pipeline.seed_scan(args.seed_fraction, seed=args.seed)
 
     executor = args.executor or "serial"
     config = ServingConfig(executor=executor, num_workers=args.workers,
@@ -255,16 +352,105 @@ def cmd_serve(args: argparse.Namespace) -> int:
                            use_engine=True, executor=executor,
                            num_workers=args.workers,
                            shard_count=args.shard_count)
-    info = host.call(host.service.load_model("default", pipeline, seed,
-                                             gps_config))
-    print(f"model 'default' ready: {info.seed_services} seed services, "
-          f"{info.index_entries} index entries, "
-          f"built in {info.build_seconds:.2f}s "
-          f"(resident shards: {info.resident_shards})")
+    if args.snapshot_dir:
+        info = host.call(host.service.load_model_from_snapshot(
+            "default", pipeline, args.snapshot_dir, gps_config))
+        print(f"model 'default' warm-restarted from snapshot "
+              f"{args.snapshot_dir} (format v{info.snapshot_version}): "
+              f"{info.seed_services} seed services, "
+              f"{info.index_entries} index entries, "
+              f"loaded in {info.build_seconds:.2f}s "
+              f"(resident shards: {info.resident_shards})")
+    else:
+        seed = pipeline.seed_scan(args.seed_fraction, seed=args.seed)
+        info = host.call(host.service.load_model("default", pipeline, seed,
+                                                 gps_config))
+        print(f"model 'default' ready: {info.seed_services} seed services, "
+              f"{info.index_entries} index entries, "
+              f"built in {info.build_seconds:.2f}s "
+              f"(resident shards: {info.resident_shards})")
     print(f"serving on http://{args.address}:{args.port} "
           "(GET /healthz /models /stats /metrics /lookup, "
           "POST /predict /scan); Ctrl-C to drain and stop")
     serve_forever(host, args.address, args.port)
+    return 0
+
+
+def cmd_snapshot_save(args: argparse.Namespace) -> int:
+    """Build GPS artifacts on a synthetic universe and persist them.
+
+    Equivalent to ``quickstart --save-snapshot`` without the summary table:
+    one full run produces the encoded seed columns and the three Table 2
+    artifacts, which are written to ``--out`` (with pre-sharded host groups
+    when ``--executor`` keeps a runtime whose layout to mirror).
+    """
+    universe = make_universe(_scale(args.scale), seed=args.seed)
+    pipeline = ScanPipeline(universe)
+    _configure_runtime_events(args)
+    engine_kwargs = {}
+    if args.executor is not None:
+        engine_kwargs = {"use_engine": True, "executor": args.executor,
+                         "num_workers": args.workers,
+                         "shard_count": args.shard_count}
+    config = GPSConfig(seed_fraction=args.seed_fraction,
+                       step_size=args.step_size, **engine_kwargs)
+    with GPS(pipeline, config) as gps:
+        result = gps.run()
+        manifest = _save_run_snapshot(args.out, result, universe,
+                                      status_encoder=pipeline.status_encoder,
+                                      runtime=gps.runtime())
+    sections = manifest["sections"]
+    print(format_table(
+        ("section", "columns", "rows"),
+        [(name, len(body["columns"]),
+          max((entry["rows"] for entry in body["columns"].values()),
+              default=0))
+         for name, body in sections.items()],
+        title=f"Snapshot written to {args.out} "
+              f"(format v{manifest['format_version']})",
+    ))
+    return 0
+
+
+def cmd_snapshot_load(args: argparse.Namespace) -> int:
+    """Open, verify and summarize a snapshot directory.
+
+    Structural and checksum validation always run (``--no-verify`` skips
+    only the crc pass); every artifact present is then fully rebuilt, so a
+    clean exit proves the snapshot round-trips, not just that it parses.
+    """
+    from repro.engine.snapshot import open_snapshot
+
+    snapshot = open_snapshot(args.directory, verify=not args.no_verify)
+    rows = []
+    for name in snapshot.sections():
+        files = snapshot.column_files(name)
+        rows.append((name, len(files), max((c.rows for c in files), default=0),
+                     sum(c.nbytes for c in files)))
+    print(format_table(
+        ("section", "columns", "rows", "bytes"),
+        rows,
+        title=f"Snapshot at {args.directory} (format v{snapshot.version}, "
+              f"checksums {'skipped' if args.no_verify else 'verified'})",
+    ))
+    artifacts = []
+    if snapshot.has_section("observations"):
+        artifacts.append(("seed observations", len(snapshot.observation_batch())))
+    if snapshot.has_section("model"):
+        artifacts.append(("model co-occurrence pairs",
+                          len(snapshot.model().cooccurrence)))
+    if snapshot.has_section("priors"):
+        artifacts.append(("priors plan entries", len(snapshot.priors_plan())))
+    if snapshot.has_section("index"):
+        artifacts.append(("prediction index entries",
+                          len(snapshot.prediction_index())))
+    layout = snapshot.shard_layout()
+    if layout is not None:
+        artifacts.append(("resident shards (step /"
+                          f"{layout['step_size']})", layout["shard_count"]))
+    if artifacts:
+        print(format_table(("artifact", "count"), artifacts,
+                           title="Rebuilt artifacts"))
     return 0
 
 
@@ -288,6 +474,7 @@ def build_parser() -> argparse.ArgumentParser:
                                  "build, feature extraction, model/priors/"
                                  "index builds, scan sweeps) and write it to "
                                  "FILE as JSON")
+    _add_snapshot_arguments(quickstart)
     quickstart.set_defaults(func=cmd_quickstart)
 
     coverage = subparsers.add_parser("coverage",
@@ -301,6 +488,7 @@ def build_parser() -> argparse.ArgumentParser:
     coverage.add_argument("--trace-out", default=None, metavar="FILE",
                           help="record a span trace of the run and write it "
                                "to FILE as JSON")
+    _add_snapshot_arguments(coverage)
     coverage.set_defaults(func=cmd_coverage)
 
     compare = subparsers.add_parser("compare-xgboost",
@@ -332,7 +520,35 @@ def build_parser() -> argparse.ArgumentParser:
                        help="disable the serving telemetry (request counters, "
                             "latency histograms, GET /metrics); on by default "
                             "for the serve command")
+    serve.add_argument("--snapshot-dir", default=None, metavar="DIR",
+                       help="warm-restart the default model from this "
+                            "snapshot directory instead of building it (the "
+                            "pool mmaps saved shards when --executor/--shard-"
+                            "count match the snapshot's layout)")
     serve.set_defaults(func=cmd_serve)
+
+    snapshot = subparsers.add_parser(
+        "snapshot", help="save or inspect versioned on-disk snapshots")
+    snapshot_sub = snapshot.add_subparsers(dest="snapshot_command",
+                                           required=True)
+
+    snapshot_save = snapshot_sub.add_parser(
+        "save", help="run GPS and persist its artifacts as a snapshot")
+    _add_common_arguments(snapshot_save)
+    _add_executor_arguments(snapshot_save)
+    snapshot_save.add_argument("--seed-fraction", type=float, default=0.05)
+    snapshot_save.add_argument("--step-size", type=int, default=16)
+    snapshot_save.add_argument("--out", required=True, metavar="DIR",
+                               help="snapshot directory to write")
+    snapshot_save.set_defaults(func=cmd_snapshot_save)
+
+    snapshot_load = snapshot_sub.add_parser(
+        "load", help="open, verify and summarize a snapshot directory")
+    snapshot_load.add_argument("directory", help="snapshot directory to open")
+    snapshot_load.add_argument("--no-verify", action="store_true",
+                               help="skip the per-file crc32 pass (structure "
+                                    "and sizes are always validated)")
+    snapshot_load.set_defaults(func=cmd_snapshot_load)
 
     return parser
 

@@ -153,6 +153,54 @@ class ResidentHostGroups:
             runtime.unload(self.key)
             raise
 
+    @classmethod
+    def from_snapshot(cls, runtime: EngineRuntime, snapshot: Any,
+                      key: Optional[str] = None) -> "ResidentHostGroups":
+        """Build the resident dataset from a saved snapshot -- zero-copy.
+
+        The snapshot (:class:`repro.engine.snapshot.Snapshot`, saved with
+        sharded host groups) already holds exactly the shard payloads the
+        constructor would flatten and ship: workers receive file references
+        and ``mmap`` their shards straight from disk
+        (:meth:`~repro.engine.runtime.EngineRuntime.load_shards_from_snapshot`),
+        so no flatten pass runs and no column bytes cross the worker queues.
+        The predictor encoder rebuilds from the snapshot's table in exact id
+        order, so resident ``value_ids`` decode identically to a
+        freshly-built dataset and every downstream query is bit-identical.
+
+        The runtime's ``shard_count`` must match the snapshot's saved shard
+        layout (shard files *are* the placement unit).
+        """
+        from repro.engine.snapshot import SnapshotError
+
+        layout = snapshot.shard_layout()
+        if layout is None:
+            raise SnapshotError(
+                "snapshot has no sharded host groups; save it with "
+                "shard_count/step_size to make it runtime-loadable")
+        if layout["shard_count"] != runtime.shard_count:
+            raise SnapshotError(
+                f"snapshot was sharded for shard_count="
+                f"{layout['shard_count']}, but the runtime uses "
+                f"shard_count={runtime.shard_count}; re-save the snapshot "
+                "or size the runtime to match")
+        self = cls.__new__(cls)
+        self.runtime = runtime
+        self.step_size = layout["step_size"]
+        self.key = key if key is not None else f"host-groups-{next(_KEY_COUNTER)}"
+        self._sides_model = None
+        self._released = False
+        self.encoder = DictionaryEncoder()
+        for predictor in snapshot.section_meta("host_features")["encoder"]:
+            self.encoder.encode(tuple(predictor))
+        self.group_count = layout["group_count"]
+        try:
+            runtime.load_shards_from_snapshot(self.key, snapshot.shard_refs())
+        except BaseException:
+            runtime.unload(self.key)
+            raise
+        return self
+
     # -- lifecycle -----------------------------------------------------------------
 
     @property

@@ -36,6 +36,7 @@ from typing import Iterable, Optional
 __all__ = [
     "COLUMN_BACKEND_ENV",
     "COLUMN_BACKENDS",
+    "ColumnView",
     "INT64_MAX",
     "INT64_MIN",
     "IntColumn",
@@ -97,6 +98,97 @@ class IntColumn(array):
     __hash__ = None
 
 
+class ColumnView:
+    """A read-only typed column over externally-owned memory (mmap, bytes).
+
+    The zero-parse side of the snapshot story
+    (:mod:`repro.engine.snapshot`): a column file opened through ``mmap``
+    wraps in a view without copying or decoding a single element -- the
+    kernel's page cache *is* the column storage, shared across every process
+    that maps the same file.  The view quacks like the read side of
+    :class:`IntColumn`: ``len`` / indexing / slicing / iteration /
+    ``tolist()`` / element-wise ``==`` against lists and arrays, plus
+    ``memoryview(view)`` and :func:`as_numpy` zero-copy access for the bulk
+    kernels.  Mutation is structurally impossible -- there is no ``append``
+    and the underlying buffer is mapped read-only.
+
+    Pickling materializes into a plain :class:`IntColumn` (a process cannot
+    ship its address space); the pool's snapshot path never pickles views --
+    workers receive file references and open their own maps.
+
+    Args:
+        buffer: any buffer-protocol object (``mmap.mmap``, ``bytes``,
+            ``memoryview``) whose size is a whole number of elements.
+        typecode: ``array`` typecode of the elements; ``"q"`` (int64, the
+            :class:`IntColumn` layout) or ``"d"`` (float64, the snapshot's
+            probability columns).
+    """
+
+    __slots__ = ("_buffer", "_view", "typecode")
+
+    def __init__(self, buffer, typecode: str = "q") -> None:
+        if typecode not in ("q", "d"):
+            raise ValueError(f"unsupported column typecode: {typecode!r}")
+        raw = memoryview(buffer).cast("B")
+        itemsize = array(typecode).itemsize
+        if raw.nbytes % itemsize:
+            raise ValueError(
+                f"buffer of {raw.nbytes} bytes is not a whole number of "
+                f"{itemsize}-byte elements")
+        self._buffer = buffer  # pins the mmap for the view's lifetime
+        self._view = raw.cast(typecode)
+        self.typecode = typecode
+
+    def __len__(self) -> int:
+        return len(self._view)
+
+    def __getitem__(self, item):
+        if isinstance(item, slice):
+            return self._view[item].tolist()
+        return self._view[item]
+
+    def __iter__(self):
+        return iter(self._view)
+
+    def __buffer__(self, flags):  # Python 3.12+ buffer protocol hook
+        return memoryview(self._view)
+
+    @property
+    def raw(self):
+        """The typed memoryview itself (buffer-protocol on every Python)."""
+        return self._view
+
+    @property
+    def nbytes(self) -> int:
+        return self._view.nbytes
+
+    def tolist(self) -> list:
+        return self._view.tolist()
+
+    def __eq__(self, other: object) -> bool:
+        if isinstance(other, (list, tuple, array, ColumnView)):
+            return len(self) == len(other) and all(
+                a == b for a, b in zip(self, other))
+        return NotImplemented
+
+    def __ne__(self, other: object) -> bool:
+        result = self.__eq__(other)
+        return NotImplemented if result is NotImplemented else not result
+
+    __hash__ = None
+
+    def __reduce__(self):
+        # Cross-process transport falls back to a materialized copy; the
+        # mmap sharing that makes views cheap is same-machine-file, not
+        # pickle, territory.
+        if self.typecode == "q":
+            return (IntColumn, (self.tolist(),))
+        return (array, ("d", self.tolist()))
+
+    def __repr__(self) -> str:
+        return f"ColumnView(typecode={self.typecode!r}, len={len(self)})"
+
+
 def numpy_available() -> bool:
     """Whether the optional numpy kernel backend can be used at all."""
     return _np is not None
@@ -151,6 +243,8 @@ def as_numpy(column):
     """
     if _np is None:  # pragma: no cover - callers gate on resolve_column_backend
         raise RuntimeError("numpy is not available")
+    if isinstance(column, ColumnView):
+        return _np.frombuffer(column.raw, dtype=_np.int64)
     return _np.frombuffer(column, dtype=_np.int64)
 
 
@@ -166,4 +260,6 @@ def to_numpy(values):
         raise RuntimeError("numpy is not available")
     if isinstance(values, array):
         return _np.frombuffer(values, dtype=_np.int64)
+    if isinstance(values, ColumnView):
+        return _np.frombuffer(values.raw, dtype=_np.int64)
     return _np.asarray(values, dtype=_np.int64)

@@ -70,6 +70,7 @@ from collections import Counter
 from dataclasses import dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence, Set, Tuple
 
+from repro.engine.columns import ColumnView
 from repro.engine.faults import FaultPlan, WorkerFaultState
 from repro.engine.fused import (
     count_join_chunk,
@@ -153,32 +154,69 @@ def lpt_placement(sizes: Sequence[int], workers: int) -> List[int]:
     return placement
 
 
-def _payload_rows(payload: dict) -> int:
+def _payload_rows(payload: Any) -> int:
     """A shard payload's row count: total entries across its columns.
 
-    The LPT placement's size measure.  Columns may be boxed lists/tuples or
-    machine-native buffers (:class:`~repro.engine.columns.IntColumn`); offset
-    columns count too, but they are proportional to the member count, so
-    relative shard weights -- all placement cares about -- are preserved.
+    The LPT placement's size measure.  Columns may be boxed lists/tuples,
+    machine-native buffers (:class:`~repro.engine.columns.IntColumn`) or
+    mmap-backed views; snapshot file references
+    (:class:`~repro.engine.snapshot.ShardFileRef`) report their manifest
+    ``rows`` without opening a file.  Offset columns count too, but they are
+    proportional to the member count, so relative shard weights -- all
+    placement cares about -- are preserved.
     """
+    if not isinstance(payload, dict):
+        return payload.rows
     return sum(len(column) for column in payload.values()
-               if isinstance(column, (list, tuple, array)))
+               if isinstance(column, (list, tuple, array, ColumnView)))
 
 
-def _payload_nbytes(payload: dict) -> int:
-    """Estimated resident size of one payload dict, in bytes.
+def _payload_nbytes(payload: Any) -> int:
+    """Estimated resident size of one payload, in bytes.
 
-    Machine-native buffers report exactly; boxed lists/tuples count 8 bytes
-    per element (the pointer) -- the estimate feeds an operator gauge, not
-    an allocator, so relative magnitude is what matters.
+    Machine-native buffers and snapshot file references report exactly;
+    boxed lists/tuples count 8 bytes per element (the pointer) -- the
+    estimate feeds an operator gauge, not an allocator, so relative
+    magnitude is what matters.
     """
+    if not isinstance(payload, dict):
+        return payload.nbytes
     total = 0
     for column in payload.values():
-        if isinstance(column, array):
+        if isinstance(column, ColumnView):
+            total += column.nbytes
+        elif isinstance(column, array):
             total += len(column) * column.itemsize
         elif isinstance(column, (list, tuple)):
             total += len(column) * 8
     return total
+
+
+def _resolve_payload(payload: Any) -> dict:
+    """Materialize a load message's payload in the receiving worker.
+
+    Dict payloads (the queue-ship path) pass through untouched.  Snapshot
+    file references (:class:`~repro.engine.snapshot.ShardFileRef` -- any
+    payload exposing ``open()``) resolve by mapping their column files into
+    *this* process's address space: the zero-copy half of the snapshot
+    story, where the coordinator ships a few-hundred-byte descriptor and the
+    kernel page cache serves the actual columns to every worker that maps
+    the same files.
+    """
+    if isinstance(payload, dict):
+        return payload
+    return payload.open()
+
+
+def _queued_shard_bytes(payload: Any) -> int:
+    """Column bytes one shard-load message ships through an inbox queue.
+
+    The zero-reship ledger (:attr:`RecoveryStats.shard_bytes_queued`): dict
+    payloads pickle their full column buffers into the pipe, file references
+    ship only the descriptor -- the observable difference between queue-ship
+    and mmap loading that the resize/recovery assertions are built on.
+    """
+    return _payload_nbytes(payload) if isinstance(payload, dict) else 0
 
 
 class WorkerTaskError(RuntimeError):
@@ -233,7 +271,11 @@ class RecoveryStats:
 
     ``reloaded_shards`` counting only the dead worker's shards (never the
     whole key) is the observable difference between in-place recovery and a
-    full pool rebuild.
+    full pool rebuild.  ``shard_bytes_queued`` is the zero-copy ledger:
+    every column byte a shard-load message pickles through an inbox queue
+    counts here (snapshot file references count zero -- workers map their
+    own files), so "resize after a snapshot load re-ships zero shard bytes"
+    is a counter assertion, not a claim.
     """
 
     crashes_detected: int = 0
@@ -242,6 +284,9 @@ class RecoveryStats:
     reloaded_broadcasts: int = 0
     redispatched_tasks: int = 0
     retry_rounds: int = 0
+    resizes: int = 0
+    migrated_shards: int = 0
+    shard_bytes_queued: int = 0
 
 
 # -- task registry -----------------------------------------------------------------------
@@ -298,7 +343,8 @@ def _shard_lists(shard: dict) -> dict:
     lists = shard.get("_lists")
     if lists is None:
         lists = shard["_lists"] = {
-            name: (column.tolist() if isinstance(column, array) else column)
+            name: (column.tolist()
+                   if isinstance(column, (array, ColumnView)) else column)
             for name, column in shard.items() if name in _HYDRATED_COLUMNS}
     return lists
 
@@ -466,10 +512,13 @@ def _worker_main(worker_id: int, inbox: Any, outbox: Any,
 
     Messages are plain tuples.  Requests arrive on the ``inbox`` queue:
     ``("load", task_id, key, shard_idx, payload)`` merges ``payload`` into
-    the resident store (``shard_idx`` is ``None`` for broadcast payloads),
+    the resident store (``shard_idx`` is ``None`` for broadcast payloads; a
+    snapshot file reference resolves here, mapping its column files into
+    this worker's address space instead of unpickling shipped buffers),
     ``("run", task_id, fn, key, shard_idx, args)`` executes a registered
     task, ``("drop", task_id, key)`` releases a key's payloads,
-    ``("close",)`` exits.  Replies -- ``("ok", worker_id, task_id, result)``
+    ``("drop_shard", task_id, key, shard_idx)`` releases exactly one shard
+    (the resize remap's migration cleanup), ``("close",)`` exits.  Replies -- ``("ok", worker_id, task_id, result)``
     or ``("err", worker_id, task_id, description)`` -- go back over
     ``outbox``, this worker's *private* pipe connection to the coordinator.
     ``run`` replies append a fifth element, the task's worker-side execute
@@ -501,7 +550,8 @@ def _worker_main(worker_id: int, inbox: Any, outbox: Any,
                 faults.on_task("load")
                 if faults.should_error("load"):
                     raise RuntimeError("injected fault: load")
-                store.setdefault((key, shard_idx), {}).update(payload)
+                store.setdefault((key, shard_idx), {}).update(
+                    _resolve_payload(payload))
                 if faults.should_drop_reply("load"):
                     continue
                 outbox.send(("ok", worker_id, task_id, None))
@@ -524,6 +574,10 @@ def _worker_main(worker_id: int, inbox: Any, outbox: Any,
                 _, _, key = message
                 for resident_key in [k for k in store if k[0] == key]:
                     del store[resident_key]
+                outbox.send(("ok", worker_id, task_id, None))
+            elif kind == "drop_shard":
+                _, _, key, shard_idx = message
+                store.pop((key, shard_idx), None)
                 outbox.send(("ok", worker_id, task_id, None))
             else:
                 raise ValueError(f"unknown message kind: {kind!r}")
@@ -613,7 +667,8 @@ class SerialExecutor(Executor):
         return shard, broadcast
 
     def load(self, key: Any, shard_idx: Optional[int], payload: dict) -> None:
-        self._store.setdefault((key, shard_idx), {}).update(payload)
+        self._store.setdefault((key, shard_idx), {}).update(
+            _resolve_payload(payload))
 
     def run(self, tasks: Sequence[Tuple[str, Any, Optional[int], Any]]) -> List[Any]:
         results = []
@@ -670,6 +725,20 @@ class ThreadExecutor(SerialExecutor):
             return _TASKS[fn_name](shard, broadcast, args)
 
         return list(self._pool.map(_one, tasks))
+
+    def resize(self, workers: int) -> None:
+        """Swap the thread pool for one of the new size.
+
+        The resident store is shared process memory, so no payload moves at
+        all -- resizing is purely a concurrency-cap change.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        import concurrent.futures
+
+        old_pool = self._pool
+        self._pool = concurrent.futures.ThreadPoolExecutor(max_workers=workers)
+        old_pool.shutdown(wait=True)
 
     def close(self) -> None:
         self._pool.shutdown(wait=True)
@@ -845,7 +914,24 @@ class PoolExecutor(Executor):
             return "load", message[2], message[3]
         if kind == "drop":
             return "drop", message[2], None
+        if kind == "drop_shard":
+            return "drop_shard", message[2], message[3]
         return kind, None, None
+
+    def _record_resident(self, key: Any, shard_idx: Optional[int],
+                         payload: Any) -> None:
+        """Record the coordinator-side recovery copy of one payload.
+
+        Dict payloads merge (re-loading a key updates columns in place, the
+        historical contract); a snapshot file reference *replaces* the entry
+        -- the files on disk are the source of truth, so recovery re-opens
+        them instead of re-shipping coordinator-held buffers.
+        """
+        existing = self._resident.get((key, shard_idx))
+        if isinstance(existing, dict) and isinstance(payload, dict):
+            existing.update(payload)
+        else:
+            self._resident[(key, shard_idx)] = payload
 
     def _recover(self, dead: Sequence[int],
                  inflight: Dict[int, Tuple[int, Tuple[Any, ...]]],
@@ -903,6 +989,10 @@ class PoolExecutor(Executor):
                         "Broadcast payloads re-shipped during recovery").inc()
                 else:
                     self.recovery_stats.reloaded_shards += 1
+                    # Snapshot-backed shards re-open files (zero queue
+                    # bytes); dict payloads re-ship their buffers.
+                    self.recovery_stats.shard_bytes_queued += (
+                        _queued_shard_bytes(payload))
                     self.telemetry.counter(
                         "engine_shard_reloads_total",
                         "Shards re-shipped during recovery").inc()
@@ -1116,11 +1206,11 @@ class PoolExecutor(Executor):
 
     # -- Executor interface --------------------------------------------------------
 
-    def load(self, key: Any, shard_idx: Optional[int], payload: dict) -> None:
+    def load(self, key: Any, shard_idx: Optional[int], payload: Any) -> None:
         self._ensure_started()
         # Record the coordinator-side copy before dispatch so a worker that
         # dies mid-load is recoverable from the same source of truth.
-        self._resident.setdefault((key, shard_idx), {}).update(payload)
+        self._record_resident(key, shard_idx, payload)
         inflight: Dict[int, Tuple[int, Tuple[Any, ...]]] = {}
         if shard_idx is None:
             for worker_id in range(self.workers):
@@ -1129,6 +1219,8 @@ class PoolExecutor(Executor):
                 self._send(worker_id, message)
                 inflight[task_id] = (worker_id, message)
         else:
+            self.recovery_stats.shard_bytes_queued += _queued_shard_bytes(
+                payload)
             worker_id = self._worker_for(shard_idx, 0, key)
             task_id = self._new_task_id()
             message = ("load", task_id, key, shard_idx, payload)
@@ -1155,13 +1247,140 @@ class PoolExecutor(Executor):
         for shard_idx, payload in enumerate(payloads):
             # Coordinator copy first: a worker dying mid-load must be
             # recoverable from exactly what was being shipped.
-            self._resident.setdefault((key, shard_idx), {}).update(payload)
+            self._record_resident(key, shard_idx, payload)
+            self.recovery_stats.shard_bytes_queued += _queued_shard_bytes(
+                payload)
             worker_id = self._worker_for(shard_idx, 0, key)
             task_id = self._new_task_id()
             message = ("load", task_id, key, shard_idx, payload)
             self._send(worker_id, message)
             inflight[task_id] = (worker_id, message)
         self._collect(inflight)
+
+    def resize(self, workers: int) -> None:
+        """Grow or shrink the pool to ``workers``, remapping shard placement.
+
+        Resident data makes naive resize wrong (a new worker would own
+        shards it does not hold) and naive re-load expensive (re-shipping
+        every shard through the queues).  This resize is a **placement
+        remap** instead:
+
+        1. *Grow*: spawn the new worker slots and replicate every broadcast
+           payload to them (broadcasts live on all workers by contract).
+        2. *Remap*: for every resident key, recompute the LPT placement over
+           the key's shard sizes at the new worker count.  Each shard whose
+           owner changed is loaded onto its new worker from the
+           coordinator's resident record -- a snapshot file reference for
+           disk-backed shards (the new owner maps the files; **zero column
+           bytes cross a queue**) or the payload dict for queue-shipped ones
+           -- and dropped from its surviving old owner via ``drop_shard``.
+        3. *Shrink*: retired workers close only after their shards' new
+           owners acknowledged the loads, then their slots truncate away.
+
+        Placement-only keys loaded shard-by-shard (no recorded placement)
+        are pinned to their historical ``shard % old_workers`` layout first,
+        so their shards migrate correctly too.  All re-routing state updates
+        before the polite close of retired workers, so a crash mid-resize
+        recovers against the *new* placement.
+        """
+        if workers < 1:
+            raise ValueError("workers must be >= 1")
+        self._ensure_started()
+        old_workers = self.workers
+        if workers == old_workers:
+            return
+        # Keys without a recorded placement (loaded via bare load()) used
+        # the shard % workers fallback; freeze that layout so the remap
+        # below sees where their shards actually live.
+        shard_counts: Dict[Any, int] = {}
+        for key, shard_idx in self._resident:
+            if shard_idx is not None:
+                shard_counts[key] = max(shard_counts.get(key, 0),
+                                        shard_idx + 1)
+        for key, count in shard_counts.items():
+            if key not in self._placements:
+                self._placements[key] = [s % old_workers
+                                         for s in range(count)]
+        inflight: Dict[int, Tuple[int, Tuple[Any, ...]]] = {}
+        if workers > old_workers:
+            self._generations.extend([0] * (workers - old_workers))
+            for worker_id in range(old_workers, workers):
+                self._spawn_worker(worker_id)
+            for (key, shard_idx), payload in self._resident.items():
+                if shard_idx is not None:
+                    continue
+                for worker_id in range(old_workers, workers):
+                    task_id = self._new_task_id()
+                    message = ("load", task_id, key, None, payload)
+                    self._send(worker_id, message)
+                    inflight[task_id] = (worker_id, message)
+        self.workers = workers
+        migrated = 0
+        for key, old_placement in list(self._placements.items()):
+            sizes = [
+                _payload_rows(self._resident[(key, shard_idx)])
+                if (key, shard_idx) in self._resident else 0
+                for shard_idx in range(len(old_placement))
+            ]
+            new_placement = lpt_placement(sizes, workers)
+            for shard_idx, (old_worker, new_worker) in enumerate(
+                    zip(old_placement, new_placement)):
+                if old_worker == new_worker:
+                    continue
+                payload = self._resident.get((key, shard_idx))
+                if payload is None:
+                    continue
+                task_id = self._new_task_id()
+                message = ("load", task_id, key, shard_idx, payload)
+                self._send(new_worker, message)
+                inflight[task_id] = (new_worker, message)
+                migrated += 1
+                self.recovery_stats.migrated_shards += 1
+                self.recovery_stats.shard_bytes_queued += (
+                    _queued_shard_bytes(payload))
+                self.telemetry.counter(
+                    "engine_shard_migrations_total",
+                    "Shards moved to a different worker by resize").inc()
+                _emit(RuntimeEvent(kind="migrate", worker_id=new_worker,
+                                   key=key, shard_idx=shard_idx))
+                if old_worker < workers:
+                    drop_id = self._new_task_id()
+                    drop_message = ("drop_shard", drop_id, key, shard_idx)
+                    self._send(old_worker, drop_message)
+                    inflight[drop_id] = (old_worker, drop_message)
+            self._placements[key] = new_placement
+        self._collect(inflight)
+        if workers < old_workers:
+            for worker_id in range(workers, old_workers):
+                process = self._processes[worker_id]
+                if process.is_alive():
+                    try:
+                        self._send(worker_id, ("close",))
+                    except (OSError, ValueError):
+                        pass
+            for worker_id in range(workers, old_workers):
+                process = self._processes[worker_id]
+                process.join(timeout=2.0)
+                if process.is_alive():
+                    process.terminate()
+                    process.join(timeout=2.0)
+                if process.is_alive():
+                    process.kill()
+                    process.join(timeout=2.0)
+                self._inboxes[worker_id].close()
+                self._inboxes[worker_id].cancel_join_thread()
+                self._readers[worker_id].close()
+            del self._processes[workers:]
+            del self._inboxes[workers:]
+            del self._readers[workers:]
+            del self._generations[workers:]
+        self.recovery_stats.resizes += 1
+        self.telemetry.counter("engine_pool_resizes_total",
+                               "Elastic pool resize operations").inc()
+        _emit(RuntimeEvent(
+            kind="resize",
+            detail=f"{old_workers} -> {workers} workers, "
+                   f"{migrated} shard(s) migrated"))
 
     def run(self, tasks: Sequence[Tuple[str, Any, Optional[int], Any]]) -> List[Any]:
         self._ensure_started()
@@ -1408,6 +1627,75 @@ class EngineRuntime:
             self._update_resident_gauges()
         else:
             backend.load_shards(key, shard_payloads)
+
+    def load_shards_from_snapshot(self, key: Any,
+                                  shard_refs: Sequence[Any]) -> None:
+        """Make snapshot shards resident under ``key`` -- zero-copy.
+
+        ``shard_refs`` are :class:`~repro.engine.snapshot.ShardFileRef`
+        handles (one per shard, ``shard_count`` of them, e.g. from
+        :meth:`repro.engine.snapshot.Snapshot.shard_refs`).  Unlike
+        :meth:`load_shards`, no column bytes travel through the worker
+        queues: each pool worker receives only its placement's descriptors
+        and ``mmap``\\ s the shard files straight from disk
+        (:attr:`RecoveryStats.shard_bytes_queued` stays untouched).  The
+        coordinator's recovery record *is* the reference, so a crashed
+        worker heals by re-opening files, and :meth:`resize` migrates shards
+        by moving descriptors.  In-process backends resolve the references
+        inline -- results stay bit-identical across executors.
+        """
+        if len(shard_refs) != self.shard_count:
+            raise ValueError(
+                f"expected {self.shard_count} shard references, "
+                f"got {len(shard_refs)}")
+        backend = self._ensure_backend()
+        if self.telemetry.enabled:
+            t0 = time.perf_counter()
+            backend.load_shards(key, shard_refs)
+            self.telemetry.histogram(
+                "engine_load_seconds",
+                "Wall-clock time making payloads resident",
+                kind="snapshot").observe(time.perf_counter() - t0)
+            self._update_resident_gauges()
+        else:
+            backend.load_shards(key, shard_refs)
+
+    def resize(self, num_workers: int) -> None:
+        """Change the pool size in place, keeping resident data usable.
+
+        The pool backend remaps shard placement (see
+        :meth:`PoolExecutor.resize`): snapshot-backed shards migrate by
+        closing and re-opening file handles, queue-shipped shards by
+        re-sending their payload dict; broadcasts replicate to new workers.
+        The thread backend swaps its thread pool (shared memory moves
+        nothing); the serial backend just records the number.
+        ``shard_count`` never changes -- it was fixed when the resident
+        datasets were sharded -- so more workers than shards idle, and
+        fewer workers than shards stack shards per worker, exactly like
+        construction-time sizing.
+        """
+        if num_workers < 1:
+            raise ValueError("num_workers must be >= 1")
+        if num_workers == self.num_workers:
+            return
+        backend = self._ensure_backend()
+        resize = getattr(backend, "resize", None)
+        if resize is not None:
+            if self.telemetry.enabled:
+                t0 = time.perf_counter()
+                resize(num_workers)
+                self.telemetry.histogram(
+                    "engine_resize_seconds",
+                    "Wall-clock time of an elastic pool resize").observe(
+                        time.perf_counter() - t0)
+            else:
+                resize(num_workers)
+        self.num_workers = num_workers
+        if self.telemetry.enabled:
+            self.telemetry.gauge(
+                "engine_pool_workers",
+                "Current worker count of the runtime pool").set(num_workers)
+            self._update_resident_gauges()
 
     def load_broadcast(self, key: Any, payload: dict) -> None:
         """Make one payload dict resident on *every* worker under ``key``.

@@ -1,0 +1,784 @@
+"""Versioned on-disk snapshots: warm restarts and zero-copy shard loading.
+
+The paper's deployment note (Section 6.5) observes that reusing an existing
+seed scan cuts GPS runtime by 94% -- persistence, not the already-vectorized
+kernels, dominates wall-clock once artifacts can be reused.  This module is
+that persistence layer: every hot structure the engine builds -- the encoded
+seed columns (:class:`~repro.scanner.records.ObservationBatch`,
+:class:`~repro.core.features.HostFeatureColumns`) and the three Table 2
+artifacts (the co-occurrence model's score tables, the priors plan, the
+prediction index) -- serializes to a directory of **raw int64 column files**
+plus one JSON manifest, and loads back either zero-copy (``mmap`` +
+:class:`~repro.engine.columns.ColumnView`) or as materialized columns.
+
+Format (version 1)::
+
+    <dir>/MANIFEST.json            format version, per-section column tables
+                                   (file, rows, dtype, crc32), encoder and
+                                   interner tables, shard layout + placement
+    <dir>/<section>.<column>.bin   one raw little-endian binary file per
+                                   column buffer, written via ``tobytes()``
+
+Because every column file *is* the column's memory, opening a snapshot is
+O(map), not O(parse): a :class:`ColumnView` over the mapped file feeds the
+stdlib kernels through ``tolist()`` hydration and the numpy kernels through
+``np.frombuffer`` without decoding a single element.  Sharded host-group
+sections additionally publish :class:`ShardFileRef` handles -- small
+picklable descriptors a pool worker resolves by mapping its own files --
+which is what makes shard (re)distribution zero-copy: loading, crash
+recovery and pool resize move file handles, never pickled column bytes
+(see :meth:`repro.engine.runtime.EngineRuntime.load_shards_from_snapshot`).
+
+Failure handling is typed and loud: a truncated column file, a crc32
+mismatch, or a manifest from a future format version raises
+:class:`SnapshotError` (:class:`SnapshotIntegrityError` /
+:class:`SnapshotVersionError`) -- a snapshot never partially loads.
+
+Loaded artifacts are **bit-identical** to freshly built ones: encoders and
+interners rebuild in exact table order, model/priors/index rows round-trip
+in exact iteration order, so the equivalence-oracle discipline of the build
+paths extends across a process restart.
+"""
+
+from __future__ import annotations
+
+import json
+import mmap
+import os
+import zlib
+from array import array
+from dataclasses import dataclass
+from typing import (
+    Any,
+    Dict,
+    List,
+    Mapping,
+    Optional,
+    Sequence,
+    Tuple,
+)
+
+from repro.engine.columns import ColumnView, IntColumn
+from repro.engine.encoding import DictionaryEncoder
+from repro.telemetry import NULL_TELEMETRY, Telemetry
+
+__all__ = [
+    "FORMAT_NAME",
+    "FORMAT_VERSION",
+    "MANIFEST_NAME",
+    "ColumnFile",
+    "ShardFileRef",
+    "Snapshot",
+    "SnapshotError",
+    "SnapshotIntegrityError",
+    "SnapshotVersionError",
+    "SnapshotWriter",
+    "open_snapshot",
+    "save_snapshot",
+]
+
+#: Identifies a directory as one of our snapshots (manifest ``format`` field).
+FORMAT_NAME = "gps-repro-snapshot"
+
+#: Current on-disk format version.  Readers refuse *newer* versions with
+#: :class:`SnapshotVersionError`; older versions load as long as the current
+#: reader understands them (there is only version 1 so far).
+FORMAT_VERSION = 1
+
+#: The manifest file name inside a snapshot directory.
+MANIFEST_NAME = "MANIFEST.json"
+
+#: dtype name <-> array typecode for column files.  Everything the engine
+#: folds over is int64 (the :class:`IntColumn` layout); float64 exists for
+#: the prediction index's probability column.
+_DTYPE_TO_TYPECODE = {"int64": "q", "float64": "d"}
+
+#: Section names the high-level artifact accessors use.
+_SEED_SECTION = "observations"
+_FEATURES_SECTION = "host_features"
+_MODEL_SECTION = "model"
+_PRIORS_SECTION = "priors"
+_INDEX_SECTION = "index"
+_SHARD_SECTION_FMT = "shard-{idx:04d}"
+
+#: The sharded host-group payload columns, in the order
+#: :func:`repro.engine.shard.shard_group_columns` produces them.
+_SHARD_COLUMNS = ("group_order", "group_keys", "member_starts", "labels",
+                  "value_starts", "value_ids")
+
+
+class SnapshotError(RuntimeError):
+    """Base error for unreadable, corrupt or incompatible snapshots."""
+
+
+class SnapshotIntegrityError(SnapshotError):
+    """A column file is truncated or fails its manifest crc32 checksum."""
+
+
+class SnapshotVersionError(SnapshotError):
+    """The manifest declares a format version this reader does not know."""
+
+
+@dataclass(frozen=True)
+class ColumnFile:
+    """One column's on-disk identity, exactly as recorded in the manifest."""
+
+    name: str
+    file: str
+    rows: int
+    dtype: str
+    crc32: int
+
+    @property
+    def itemsize(self) -> int:
+        return array(_DTYPE_TO_TYPECODE[self.dtype]).itemsize
+
+    @property
+    def nbytes(self) -> int:
+        return self.rows * self.itemsize
+
+
+@dataclass(frozen=True)
+class ShardFileRef:
+    """A picklable handle to one shard's column files.
+
+    This is what ships over a pool worker's inbox instead of the shard's
+    bytes: the coordinator keeps the ref as its resident record, the worker
+    :meth:`open`\\ s it by mapping the files into its own address space, and
+    crash recovery / pool resize re-ship the same few hundred bytes of
+    descriptor while the kernel page cache keeps serving the data.
+    """
+
+    directory: str
+    shard_idx: int
+    columns: Tuple[ColumnFile, ...]
+
+    @property
+    def rows(self) -> int:
+        """Total entries across the shard's columns (the placement weight)."""
+        return sum(column.rows for column in self.columns)
+
+    @property
+    def nbytes(self) -> int:
+        """Bytes the shard maps when opened (resident-gauge estimate)."""
+        return sum(column.nbytes for column in self.columns)
+
+    def open(self) -> Dict[str, ColumnView]:
+        """Map every column file read-only and wrap it in a column view.
+
+        Sizes are re-checked against the manifest rows (a file truncated
+        after the snapshot was verified must not silently load short), but
+        checksums are not re-walked here -- the coordinator verified them
+        when it opened the snapshot, and O(map) loading is the point.
+        """
+        payload: Dict[str, ColumnView] = {}
+        for column in self.columns:
+            path = os.path.join(self.directory, column.file)
+            payload[column.name] = ColumnView(
+                _map_column(path, column),
+                _DTYPE_TO_TYPECODE[column.dtype])
+        return payload
+
+
+def _map_column(path: str, column: ColumnFile):
+    """mmap one column file read-only, enforcing the manifest's size."""
+    try:
+        size = os.path.getsize(path)
+    except OSError as exc:
+        raise SnapshotError(f"snapshot column file missing: {path}") from exc
+    if size != column.nbytes:
+        raise SnapshotIntegrityError(
+            f"snapshot column file {path} is truncated or padded: "
+            f"{size} bytes on disk, manifest says {column.rows} rows "
+            f"of {column.dtype} ({column.nbytes} bytes)")
+    if size == 0:
+        return b""
+    with open(path, "rb") as handle:
+        return mmap.mmap(handle.fileno(), 0, access=mmap.ACCESS_READ)
+
+
+def _column_bytes(values: Any, typecode: str) -> bytes:
+    """A column's raw buffer, via ``tobytes()`` when it is already native."""
+    if isinstance(values, array):
+        if values.typecode != typecode:
+            raise ValueError(
+                f"column typecode mismatch: have {values.typecode!r}, "
+                f"writing {typecode!r}")
+        return values.tobytes()
+    if isinstance(values, ColumnView):
+        if values.typecode != typecode:
+            raise ValueError(
+                f"column typecode mismatch: have {values.typecode!r}, "
+                f"writing {typecode!r}")
+        return bytes(values.raw)
+    return array(typecode, values).tobytes()
+
+
+class SnapshotWriter:
+    """Streams named column sections into a snapshot directory.
+
+    ``add_section`` writes each column's raw buffer immediately (one
+    ``tobytes()`` + one ``write`` per column) and records its manifest row;
+    ``finish`` writes the manifest last, so a crashed save can never look
+    like a complete snapshot -- the manifest is the commit record.
+    """
+
+    def __init__(self, directory: str) -> None:
+        self.directory = directory
+        os.makedirs(directory, exist_ok=True)
+        self._sections: Dict[str, Dict[str, Any]] = {}
+        self.bytes_written = 0
+
+    def add_section(self, name: str, columns: Mapping[str, Any],
+                    meta: Optional[dict] = None,
+                    dtypes: Optional[Mapping[str, str]] = None) -> None:
+        """Write one section's columns and record them for the manifest.
+
+        Args:
+            name: section name, unique within the snapshot.
+            columns: column name -> int sequence (or a float sequence for
+                columns named in ``dtypes``); native buffers
+                (:class:`IntColumn`, ``array``) write via ``tobytes()``.
+            meta: JSON-serializable side tables (encoder/interner contents).
+            dtypes: per-column dtype overrides (default ``"int64"``).
+        """
+        if name in self._sections:
+            raise ValueError(f"duplicate snapshot section: {name!r}")
+        recorded: Dict[str, Any] = {}
+        for column_name, values in columns.items():
+            dtype = (dtypes or {}).get(column_name, "int64")
+            typecode = _DTYPE_TO_TYPECODE[dtype]
+            payload = _column_bytes(values, typecode)
+            filename = f"{name}.{column_name}.bin"
+            with open(os.path.join(self.directory, filename), "wb") as handle:
+                handle.write(payload)
+            self.bytes_written += len(payload)
+            recorded[column_name] = {
+                "file": filename,
+                "rows": len(payload) // array(typecode).itemsize,
+                "dtype": dtype,
+                "crc32": zlib.crc32(payload),
+            }
+        # Side tables ship inside the manifest but as one embedded JSON
+        # string per section: the outer parse scans a single string token
+        # instead of materializing every encoder/interner row, keeping
+        # ``open_snapshot`` O(map) -- readers that never touch a section's
+        # meta (the warm-restart path skips the host-features encoder and
+        # the banner interner entirely) never pay for decoding it.
+        self._sections[name] = {
+            "columns": recorded,
+            "meta_json": json.dumps(meta or {}, sort_keys=True),
+        }
+
+    def finish(self, meta: Optional[dict] = None) -> dict:
+        """Write the manifest (the commit point) and return it."""
+        manifest = {
+            "format": FORMAT_NAME,
+            "format_version": FORMAT_VERSION,
+            "sections": self._sections,
+            "meta": meta or {},
+        }
+        path = os.path.join(self.directory, MANIFEST_NAME)
+        tmp_path = path + ".tmp"
+        with open(tmp_path, "w", encoding="utf-8") as handle:
+            json.dump(manifest, handle, indent=1, sort_keys=True)
+        os.replace(tmp_path, path)
+        return manifest
+
+
+class Snapshot:
+    """An opened, structurally verified snapshot directory.
+
+    Column access is zero-copy by default (``mmap`` +
+    :class:`ColumnView`); artifact accessors rebuild the exact objects the
+    build paths produce.  Use :func:`open_snapshot` to construct.
+    """
+
+    def __init__(self, directory: str, manifest: dict) -> None:
+        self.directory = directory
+        self.manifest = manifest
+        self._meta_cache: Dict[str, dict] = {}
+
+    # -- raw access ----------------------------------------------------------------
+
+    @property
+    def version(self) -> int:
+        return self.manifest["format_version"]
+
+    @property
+    def meta(self) -> dict:
+        return self.manifest.get("meta", {})
+
+    def sections(self) -> List[str]:
+        return list(self.manifest["sections"])
+
+    def has_section(self, name: str) -> bool:
+        return name in self.manifest["sections"]
+
+    def section_meta(self, name: str) -> dict:
+        """A section's side tables, decoded lazily on first access.
+
+        Metas are embedded in the manifest as one JSON string per section
+        (see :meth:`SnapshotWriter.add_section`); decoding happens here,
+        once, only for sections a reader actually materializes.  A plain
+        ``"meta"`` dict (hand-written manifests) is honoured as-is.
+        """
+        if name in self._meta_cache:
+            return self._meta_cache[name]
+        section = self._section(name)
+        if "meta" in section:
+            meta = section["meta"]
+        else:
+            try:
+                meta = json.loads(section.get("meta_json", "{}"))
+            except ValueError as exc:
+                raise SnapshotError(
+                    f"snapshot section {name!r} at {self.directory} has "
+                    f"an unparseable embedded meta: {exc}") from exc
+        if not isinstance(meta, dict):
+            raise SnapshotError(
+                f"snapshot section {name!r} at {self.directory} declares "
+                f"a non-object meta ({type(meta).__name__})")
+        self._meta_cache[name] = meta
+        return meta
+
+    def _section(self, name: str) -> dict:
+        try:
+            return self.manifest["sections"][name]
+        except KeyError:
+            raise SnapshotError(
+                f"snapshot at {self.directory} has no {name!r} section "
+                f"(sections: {sorted(self.manifest['sections'])})") from None
+
+    def column_files(self, name: str) -> List[ColumnFile]:
+        return [
+            ColumnFile(name=column_name, file=entry["file"],
+                       rows=entry["rows"], dtype=entry["dtype"],
+                       crc32=entry["crc32"])
+            for column_name, entry in self._section(name)["columns"].items()
+        ]
+
+    def columns(self, name: str, materialize: bool = False) -> Dict[str, Any]:
+        """A section's columns, mmap-backed (default) or copied out.
+
+        ``materialize=True`` returns appendable :class:`IntColumn` buffers
+        (``array('d')`` for float columns) instead of read-only views.
+        """
+        out: Dict[str, Any] = {}
+        for column in self.column_files(name):
+            path = os.path.join(self.directory, column.file)
+            typecode = _DTYPE_TO_TYPECODE[column.dtype]
+            buffer = _map_column(path, column)
+            if not materialize:
+                out[column.name] = ColumnView(buffer, typecode)
+            else:
+                copy = IntColumn() if typecode == "q" else array("d")
+                copy.frombytes(buffer)
+                out[column.name] = copy
+        return out
+
+    # -- sharded host groups -------------------------------------------------------
+
+    def shard_layout(self) -> Optional[dict]:
+        """The manifest's shard layout (count, step size, placement hint)."""
+        return self.meta.get("shards")
+
+    def shard_refs(self) -> List[ShardFileRef]:
+        """One :class:`ShardFileRef` per saved shard, in shard order."""
+        layout = self.shard_layout()
+        if layout is None:
+            raise SnapshotError(
+                f"snapshot at {self.directory} was saved without sharded "
+                "host groups (save with shard_count/step_size)")
+        return [
+            ShardFileRef(
+                directory=self.directory, shard_idx=idx,
+                columns=tuple(self.column_files(
+                    _SHARD_SECTION_FMT.format(idx=idx))))
+            for idx in range(layout["shard_count"])
+        ]
+
+    # -- artifact accessors --------------------------------------------------------
+
+    def observation_batch(self):
+        """Rebuild the encoded seed columns as an ``ObservationBatch``.
+
+        The status encoder, the banner interner and the batch-local banner
+        table rebuild from the manifest's tables in exact id order, so every
+        column id resolves to byte-identical content.  Columns are
+        materialized (the batch API allows appends); the underlying reads
+        are still single-buffer ``frombytes`` passes.
+        """
+        from repro.internet.banners import BannerInterner
+        from repro.scanner.records import ObservationBatch
+
+        meta = self.section_meta(_SEED_SECTION)
+        columns = self.columns(_SEED_SECTION, materialize=True)
+        banners = BannerInterner()
+        for features in meta["banners"]:
+            banners.intern_value(features)
+        statuses = DictionaryEncoder()
+        for status in meta["statuses"]:
+            statuses.encode(status)
+        batch = ObservationBatch(
+            banners=banners, statuses=statuses,
+            ips=columns["ips"], ports=columns["ports"],
+            status=columns["status"], banner_ids=columns["banner_ids"],
+            ttls=columns["ttls"],
+            local_banners=[dict(b) for b in meta["local_banners"]])
+        return batch
+
+    def host_feature_columns(self):
+        """Rebuild the encoded host/service/predictor relation."""
+        from repro.core.features import HostFeatureColumns
+
+        meta = self.section_meta(_FEATURES_SECTION)
+        columns = self.columns(_FEATURES_SECTION, materialize=True)
+        encoder = DictionaryEncoder()
+        for predictor in meta["encoder"]:
+            encoder.encode(_predictor_from_json(predictor))
+        return HostFeatureColumns(
+            ips=columns["ips"], member_starts=columns["member_starts"],
+            ports=columns["ports"], value_starts=columns["value_starts"],
+            value_ids=columns["value_ids"], encoder=encoder)
+
+    def model(self):
+        """Rebuild the co-occurrence model, bit-identical to the built one.
+
+        Rows were saved in the model dicts' iteration order, so the rebuilt
+        dicts match the originals in content *and* insertion order --
+        downstream consumers that iterate (priors, index) see exactly what
+        they would have seen pre-restart.
+        """
+        from repro.core.model import CooccurrenceModel
+
+        meta = self.section_meta(_MODEL_SECTION)
+        predictors = list(map(tuple, meta["predictors"]))
+        columns = self.columns(_MODEL_SECTION)
+        cooccurrence: Dict[Any, Dict[int, int]] = {}
+        # ``tolist()`` unboxes each mapped column in one C pass (element-wise
+        # iteration over a memoryview is ~5x slower), and pairs were saved
+        # grouped by predictor, so one dict lookup per run -- not per pair --
+        # suffices to rebuild the nested dicts in original insertion order.
+        last_pid = -1
+        targets: Dict[int, int] = {}
+        for pid, port, count in zip(columns["pair_pids"].tolist(),
+                                    columns["pair_ports"].tolist(),
+                                    columns["pair_counts"].tolist()):
+            if pid != last_pid:
+                targets = cooccurrence.setdefault(predictors[pid], {})
+                last_pid = pid
+            targets[port] = count
+        denominators = {
+            predictors[pid]: count
+            for pid, count in zip(columns["denominator_pids"].tolist(),
+                                  columns["denominator_counts"].tolist())
+        }
+        return CooccurrenceModel(cooccurrence=cooccurrence,
+                                 denominators=denominators)
+
+    def priors_plan(self):
+        """Rebuild the ordered priors scan list."""
+        from repro.core.priors import PriorsEntry
+
+        columns = self.columns(_PRIORS_SECTION)
+        return [
+            PriorsEntry(port=port, subnet=subnet, coverage=coverage)
+            for port, subnet, coverage in zip(
+                columns["ports"].tolist(), columns["subnets"].tolist(),
+                columns["coverage"].tolist())
+        ]
+
+    def prediction_index(self):
+        """Rebuild the most-predictive-feature-values index."""
+        from repro.core.predictions import (
+            PredictiveFeature,
+            PredictiveFeatureIndex,
+        )
+
+        meta = self.section_meta(_INDEX_SECTION)
+        predictors = list(map(tuple, meta["predictors"]))
+        columns = self.columns(_INDEX_SECTION)
+        return PredictiveFeatureIndex(
+            PredictiveFeature(predictor=predictors[pid], target_port=port,
+                              probability=probability)
+            for pid, port, probability in zip(
+                columns["pids"].tolist(), columns["ports"].tolist(),
+                columns["probabilities"].tolist())
+        )
+
+
+def _predictor_to_json(predictor: Any) -> list:
+    """Predictor tuples (flat str/int tuples) as JSON arrays."""
+    return list(predictor)
+
+
+def _predictor_from_json(row: Sequence[Any]) -> tuple:
+    return tuple(row)
+
+
+def _verify_checksums(directory: str, manifest: dict) -> None:
+    """Walk every column file's crc32 against the manifest."""
+    for name, section in manifest["sections"].items():
+        for column_name, entry in section["columns"].items():
+            column = ColumnFile(name=column_name, file=entry["file"],
+                                rows=entry["rows"], dtype=entry["dtype"],
+                                crc32=entry["crc32"])
+            path = os.path.join(directory, column.file)
+            buffer = _map_column(path, column)
+            actual = zlib.crc32(memoryview(buffer))
+            if actual != column.crc32:
+                raise SnapshotIntegrityError(
+                    f"snapshot column {name}.{column_name} ({path}) fails "
+                    f"its checksum: crc32 {actual:#010x}, manifest says "
+                    f"{column.crc32:#010x}")
+
+
+def open_snapshot(directory: str, verify: bool = True,
+                  telemetry: Optional[Telemetry] = None) -> Snapshot:
+    """Open and validate a snapshot directory.
+
+    Structural validation always runs: the manifest must parse, declare our
+    format at a version this reader knows, and every column file must exist
+    at exactly its manifest size (truncation is never silent).  With
+    ``verify=True`` (the default) every file's crc32 is also checked -- one
+    sequential pass over mapped memory; pass ``verify=False`` only when the
+    caller just verified the same directory.
+
+    Raises:
+        SnapshotError: missing/unparseable manifest or missing files.
+        SnapshotVersionError: manifest from a future format version.
+        SnapshotIntegrityError: truncated file or checksum mismatch.
+    """
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tel.span("snapshot.open") as span:
+        manifest_path = os.path.join(directory, MANIFEST_NAME)
+        try:
+            with open(manifest_path, "r", encoding="utf-8") as handle:
+                manifest = json.load(handle)
+        except OSError as exc:
+            raise SnapshotError(
+                f"no snapshot manifest at {manifest_path}") from exc
+        except json.JSONDecodeError as exc:
+            raise SnapshotError(
+                f"snapshot manifest at {manifest_path} is not valid JSON: "
+                f"{exc}") from exc
+        if manifest.get("format") != FORMAT_NAME:
+            raise SnapshotError(
+                f"{manifest_path} is not a {FORMAT_NAME} manifest "
+                f"(format={manifest.get('format')!r})")
+        version = manifest.get("format_version")
+        if not isinstance(version, int) or version < 1:
+            raise SnapshotError(
+                f"snapshot manifest declares invalid format_version "
+                f"{version!r}")
+        if version > FORMAT_VERSION:
+            raise SnapshotVersionError(
+                f"snapshot at {directory} is format version {version}; "
+                f"this reader understands up to {FORMAT_VERSION} -- "
+                "upgrade before loading it")
+        snapshot = Snapshot(directory, manifest)
+        total_bytes = 0
+        for name in snapshot.sections():
+            for column in snapshot.column_files(name):
+                # Size check (cheap, catches truncation) runs even without
+                # checksum verification.
+                _map_column(os.path.join(directory, column.file), column)
+                total_bytes += column.nbytes
+        if verify:
+            _verify_checksums(directory, manifest)
+        span.set("sections", len(snapshot.sections()))
+        span.set("bytes", total_bytes)
+        span.set("verified", verify)
+        if tel.enabled:
+            tel.gauge("snapshot_bytes_read",
+                      "Bytes of column files in the last opened snapshot"
+                      ).set(total_bytes)
+    return snapshot
+
+
+# -- high-level save ---------------------------------------------------------------------
+
+
+def _add_observations(writer: SnapshotWriter, batch: Any) -> None:
+    writer.add_section(
+        _SEED_SECTION,
+        {"ips": batch.ips, "ports": batch.ports, "status": batch.status,
+         "banner_ids": batch.banner_ids, "ttls": batch.ttls},
+        meta={
+            "statuses": list(batch.statuses.values()),
+            "banners": [dict(batch.banners.features(i))
+                        for i in range(len(batch.banners))],
+            "local_banners": [dict(banner) for banner in batch.local_banners],
+        })
+
+
+def _add_host_features(writer: SnapshotWriter, host_features: Any) -> None:
+    writer.add_section(
+        _FEATURES_SECTION,
+        {"ips": host_features.ips,
+         "member_starts": host_features.member_starts,
+         "ports": host_features.ports,
+         "value_starts": host_features.value_starts,
+         "value_ids": host_features.value_ids},
+        meta={"encoder": [_predictor_to_json(p)
+                          for p in host_features.encoder.values()]})
+
+
+def _add_model(writer: SnapshotWriter, model: Any) -> None:
+    encoder = DictionaryEncoder()
+    pair_pids, pair_ports, pair_counts = IntColumn(), IntColumn(), IntColumn()
+    for predictor, targets in model.cooccurrence.items():
+        pid = encoder.encode(predictor)
+        for port, count in targets.items():
+            pair_pids.append(pid)
+            pair_ports.append(port)
+            pair_counts.append(count)
+    denominator_pids, denominator_counts = IntColumn(), IntColumn()
+    for predictor, count in model.denominators.items():
+        denominator_pids.append(encoder.encode(predictor))
+        denominator_counts.append(count)
+    writer.add_section(
+        _MODEL_SECTION,
+        {"pair_pids": pair_pids, "pair_ports": pair_ports,
+         "pair_counts": pair_counts, "denominator_pids": denominator_pids,
+         "denominator_counts": denominator_counts},
+        meta={"predictors": [_predictor_to_json(p)
+                             for p in encoder.values()]})
+
+
+def _add_priors(writer: SnapshotWriter, priors_plan: Sequence[Any]) -> None:
+    writer.add_section(
+        _PRIORS_SECTION,
+        {"ports": IntColumn(entry.port for entry in priors_plan),
+         "subnets": IntColumn(entry.subnet for entry in priors_plan),
+         "coverage": IntColumn(entry.coverage for entry in priors_plan)})
+
+
+def _add_index(writer: SnapshotWriter, index: Any) -> None:
+    encoder = DictionaryEncoder()
+    pids, ports = IntColumn(), IntColumn()
+    probabilities = array("d")
+    # Save in the index's own iteration order (not the sorted entries()
+    # view) so the rebuilt _by_predictor matches insertion order exactly.
+    for predictor, targets in index._by_predictor.items():
+        pid = encoder.encode(predictor)
+        for port, probability in targets.items():
+            pids.append(pid)
+            ports.append(port)
+            probabilities.append(probability)
+    writer.add_section(
+        _INDEX_SECTION,
+        {"pids": pids, "ports": ports, "probabilities": probabilities},
+        meta={"predictors": [_predictor_to_json(p)
+                             for p in encoder.values()]},
+        dtypes={"probabilities": "float64"})
+
+
+def _add_shards(writer: SnapshotWriter, host_features: Any, shard_count: int,
+                step_size: int, placement_workers: int) -> dict:
+    """Shard the host groups exactly like the resident loader and save them.
+
+    Uses the same flatten/shard pipeline as
+    :class:`repro.core.runtime_plans.ResidentHostGroups` (subnet group keys
+    at ``step_size``, stable-hash assignment over ``shard_count``), so a
+    runtime loading these files holds byte-identical shards to one that
+    shipped them through queues.
+    """
+    from repro.engine.runtime import lpt_placement
+    from repro.engine.shard import shard_group_columns
+    from repro.net.ipv4 import subnet_key
+
+    assign_keys = host_features.ips
+    group_keys = [subnet_key(ip, step_size) for ip in assign_keys]
+    sharded = shard_group_columns(
+        assign_keys, group_keys, host_features.member_starts,
+        host_features.ports, host_features.value_starts,
+        host_features.value_ids, shard_count)
+    rows_per_shard = []
+    for shard_idx, payload in enumerate(sharded.shards):
+        writer.add_section(
+            _SHARD_SECTION_FMT.format(idx=shard_idx),
+            {name: payload[name] for name in _SHARD_COLUMNS})
+        rows_per_shard.append(sum(len(payload[name])
+                                  for name in _SHARD_COLUMNS))
+    return {
+        "shard_count": shard_count,
+        "step_size": step_size,
+        "group_count": len(group_keys),
+        "rows_per_shard": rows_per_shard,
+        "placement": {
+            "workers": placement_workers,
+            "shard_to_worker": lpt_placement(rows_per_shard,
+                                             placement_workers),
+        },
+    }
+
+
+def save_snapshot(directory: str, *, observations: Any = None,
+                  host_features: Any = None, model: Any = None,
+                  priors_plan: Optional[Sequence[Any]] = None,
+                  index: Any = None, shard_count: Optional[int] = None,
+                  step_size: Optional[int] = None,
+                  placement_workers: Optional[int] = None,
+                  meta: Optional[dict] = None,
+                  telemetry: Optional[Telemetry] = None) -> dict:
+    """Save any subset of the engine's artifacts as one snapshot directory.
+
+    Args:
+        directory: target directory (created if missing; existing column
+            files for the same sections are overwritten).
+        observations: an :class:`~repro.scanner.records.ObservationBatch`
+            (the encoded seed columns).
+        host_features: a :class:`~repro.core.features.HostFeatureColumns`.
+        model: a :class:`~repro.core.model.CooccurrenceModel`.
+        priors_plan: the ordered :class:`~repro.core.priors.PriorsEntry`
+            list.
+        index: a :class:`~repro.core.predictions.PredictiveFeatureIndex`.
+        shard_count: additionally save ``host_features`` pre-sharded into
+            this many mmap-loadable shard sections (requires ``step_size``).
+        step_size: the priors subnet prefix length the shard group keys use
+            -- must match the ``GPSConfig.step_size`` the runtime will use.
+        placement_workers: worker count the manifest's placement hint is
+            computed for (defaults to ``shard_count``); runtimes with a
+            different pool size recompute their own placement.
+        meta: extra JSON-serializable manifest metadata.
+        telemetry: optional instrumentation (``snapshot.save`` span + byte
+            gauge).
+
+    Returns:
+        The manifest dict, as written.
+    """
+    tel = telemetry if telemetry is not None else NULL_TELEMETRY
+    with tel.span("snapshot.save") as span:
+        writer = SnapshotWriter(directory)
+        top_meta = dict(meta or {})
+        if observations is not None:
+            _add_observations(writer, observations)
+        if host_features is not None:
+            _add_host_features(writer, host_features)
+            if shard_count is not None:
+                if step_size is None:
+                    raise ValueError(
+                        "saving sharded host groups requires step_size")
+                if shard_count < 1:
+                    raise ValueError("shard_count must be >= 1")
+                top_meta["shards"] = _add_shards(
+                    writer, host_features, shard_count, step_size,
+                    placement_workers or shard_count)
+        elif shard_count is not None:
+            raise ValueError("shard_count requires host_features")
+        if model is not None:
+            _add_model(writer, model)
+        if priors_plan is not None:
+            _add_priors(writer, priors_plan)
+        if index is not None:
+            _add_index(writer, index)
+        manifest = writer.finish(top_meta)
+        span.set("sections", len(manifest["sections"]))
+        span.set("bytes", writer.bytes_written)
+        if tel.enabled:
+            tel.gauge("snapshot_bytes_written",
+                      "Bytes of column files written by the last snapshot "
+                      "save").set(writer.bytes_written)
+    return manifest

@@ -71,8 +71,16 @@ class PreparedModel:
         index: the predictive-feature index every lookup reads.
         resident: the seed's encoded columns, resident in the runtime's
             workers (``None`` when the model was built on a per-call path).
-        build_seconds: wall-clock cost of the build (the price one-shot
-            consumers pay per invocation; ``BENCH_serving.json`` compares).
+        build_seconds: wall-clock cost of acquiring the artifacts -- the
+            full build for ``source="built"`` models, the snapshot load for
+            ``source="snapshot"`` ones (``BENCH_snapshot.json`` compares the
+            two).
+        source: ``"built"`` (computed in this process) or ``"snapshot"``
+            (loaded from a saved snapshot -- a warm restart).
+        snapshot_version: the snapshot's on-disk format version when
+            ``source="snapshot"``, else ``None``.
+        loaded_at: wall-clock timestamp (``time.time()``) the snapshot load
+            finished, else ``None``.
     """
 
     name: str
@@ -84,6 +92,9 @@ class PreparedModel:
     index: PredictiveFeatureIndex
     resident: Optional[ResidentHostGroups]
     build_seconds: float
+    source: str = "built"
+    snapshot_version: Optional[int] = None
+    loaded_at: Optional[float] = None
 
     def __post_init__(self) -> None:
         self._asn_db: Optional[AsnDatabase] = \
@@ -131,6 +142,9 @@ class PreparedModel:
             priors_entries=len(self.priors_plan),
             build_seconds=self.build_seconds,
             resident_shards=self.resident is not None,
+            source=self.source,
+            snapshot_version=self.snapshot_version,
+            loaded_at=self.loaded_at,
         )
 
     # -- lifecycle -----------------------------------------------------------------
@@ -139,6 +153,67 @@ class PreparedModel:
         """Free the worker-resident shards; idempotent."""
         if self.resident is not None:
             self.resident.release()
+
+    @classmethod
+    def from_snapshot(
+        cls,
+        name: str,
+        pipeline: ScanPipeline,
+        snapshot: object,
+        config: Optional[GPSConfig] = None,
+        runtime: Optional[EngineRuntime] = None,
+    ) -> "PreparedModel":
+        """Load a prepared model from a saved snapshot -- the warm restart.
+
+        ``snapshot`` is a snapshot directory path or an already-opened
+        :class:`repro.engine.snapshot.Snapshot`.  Every artifact the build
+        path would compute rebuilds from the snapshot's columns instead --
+        bit-identical to the freshly-built ones by the snapshot round-trip
+        invariant -- so a restarted ``gps-repro serve`` answers its first
+        lookup without re-running a single build fold.  When a ``runtime``
+        is supplied and the snapshot carries sharded host groups, the seed
+        relation goes worker-resident zero-copy
+        (:meth:`~repro.core.runtime_plans.ResidentHostGroups.from_snapshot`:
+        workers ``mmap`` shard files, nothing ships through queues), making
+        scan jobs and engine rebuilds as warm as a built model's.
+
+        ``build_seconds`` records the load cost; ``source`` /
+        ``snapshot_version`` / ``loaded_at`` mark the provenance surfaced
+        by ``GET /models`` and ``/stats``.
+        """
+        from repro.engine.snapshot import Snapshot, open_snapshot
+
+        config = config or GPSConfig()
+        start = time.perf_counter()
+        if not isinstance(snapshot, Snapshot):
+            snapshot = open_snapshot(str(snapshot))
+        seed_observations = snapshot.observation_batch().materialize()
+        model = snapshot.model()
+        priors_plan = snapshot.priors_plan()
+        index = snapshot.prediction_index()
+        resident: Optional[ResidentHostGroups] = None
+        fused = config.use_engine and config.engine_mode == "fused"
+        if runtime is not None and fused and snapshot.shard_layout() is not None:
+            resident = ResidentHostGroups.from_snapshot(runtime, snapshot)
+        try:
+            return cls(
+                name=name,
+                pipeline=pipeline,
+                config=config,
+                seed_observations=seed_observations,
+                model=model,
+                priors_plan=priors_plan,
+                index=index,
+                resident=resident,
+                build_seconds=time.perf_counter() - start,
+                source="snapshot",
+                snapshot_version=snapshot.version,
+                loaded_at=time.time(),
+            )
+        except BaseException:
+            if resident is not None:
+                resident.release()
+            raise
 
 
 def build_prepared_model(

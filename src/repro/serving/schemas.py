@@ -14,7 +14,7 @@ hangs.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, FrozenSet, Tuple
+from typing import Dict, FrozenSet, Optional, Tuple
 
 from repro.core.predictions import PREDICTION_BATCH_PREFIX_LEN, PredictedService
 from repro.scanner.records import ProbeBatch, ScanObservation
@@ -235,7 +235,14 @@ class ScanUpdate:
 
 @dataclass(frozen=True)
 class ModelInfo:
-    """What the registry knows about one loaded model."""
+    """What the registry knows about one loaded model.
+
+    ``source`` tells an operator whether the artifacts were ``"built"`` in
+    this process or ``"snapshot"``-loaded (a warm restart); snapshot-loaded
+    models also carry the snapshot's format version and the wall-clock time
+    the load finished, so a rebuild and a warm restart are distinguishable
+    from ``GET /models`` and ``/stats`` alone.
+    """
 
     name: str
     seed_services: int
@@ -244,6 +251,9 @@ class ModelInfo:
     priors_entries: int
     build_seconds: float
     resident_shards: bool
+    source: str = "built"
+    snapshot_version: Optional[int] = None
+    loaded_at: Optional[float] = None
 
 
 @dataclass

@@ -323,6 +323,41 @@ class GPSService:
             if t0 is not None:
                 self._observe_request("load_model", time.perf_counter() - t0)
 
+    async def load_model_from_snapshot(self, name: str, pipeline: ScanPipeline,
+                                       snapshot_dir: Any,
+                                       gps_config: Optional[GPSConfig] = None,
+                                       ) -> ModelInfo:
+        """Warm-restart a model from an on-disk snapshot directory.
+
+        The Table 2 artifacts deserialize instead of rebuilding, and under
+        the fused pool the host-group shards reach workers as mmap file
+        references -- zero shard bytes cross the inbox queues.  Everything
+        else matches :meth:`load_model`: builds serialize on the build lock,
+        the name swaps atomically, and the reply is the registered model's
+        :class:`ModelInfo` (``source="snapshot"``).
+        """
+        self._ensure_loop_state()
+        self._admit()
+        t0 = time.perf_counter() if self.telemetry.enabled else None
+        try:
+            assert self._build_lock is not None
+            async with self._build_lock:
+                config = gps_config or GPSConfig(use_engine=True)
+                runtime = None
+                if config.use_engine and config.engine_mode == "fused":
+                    runtime = self.runtime()
+                loop = asyncio.get_running_loop()
+                prepared = await loop.run_in_executor(
+                    self._threads, PreparedModel.from_snapshot, name, pipeline,
+                    snapshot_dir, config, runtime)
+            self._registry.register(prepared)
+            return prepared.info()
+        finally:
+            self._release()
+            if t0 is not None:
+                self._observe_request("load_model_from_snapshot",
+                                      time.perf_counter() - t0)
+
     async def evict_model(self, name: str) -> None:
         """Release a model's resident shards and forget its name."""
         self._ensure_loop_state()
@@ -344,7 +379,8 @@ class GPSService:
         Extends :meth:`ServingStats.as_dict` with the live pending-admission
         count, the number of lookups currently waiting in open micro-batches,
         and the engine runtime's :class:`RecoveryStats` (zeros before the
-        first build creates the runtime).
+        first build creates the runtime).  ``models`` lists every loaded
+        model's provenance: built in-process or snapshot-loaded, and when.
         """
         recovery = (self._runtime.recovery_stats if self._runtime is not None
                     else RecoveryStats())
@@ -353,6 +389,11 @@ class GPSService:
         snapshot["batch_queue_depth"] = sum(
             len(batcher._items) for batcher in list(self._batchers.values()))
         snapshot["recovery"] = dict(vars(recovery))
+        snapshot["models"] = [
+            {"name": info.name, "source": info.source,
+             "snapshot_version": info.snapshot_version,
+             "loaded_at": info.loaded_at}
+            for info in self._registry.infos()]
         return snapshot
 
     # -- point lookups (micro-batched) -------------------------------------------------

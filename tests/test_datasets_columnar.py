@@ -168,3 +168,96 @@ class TestColumnarRoundTripProperty:
         chained = restricted.filtered_min_responsive_ips(minimum)
         chained_oracle = restricted_oracle.filtered_min_responsive_ips(minimum)
         assert chained.observations == chained_oracle.observations
+
+
+class TestStreamingJsonlLoader:
+    """`load_observation_batch` folds JSONL straight into columns; the
+    object loader (`load_observations_jsonl`) stays the equivalence oracle."""
+
+    @settings(deadline=None, max_examples=40)
+    @given(observations=_observations_strategy)
+    def test_streamed_batch_matches_object_oracle(self, observations,
+                                                  tmp_path_factory):
+        from repro.datasets.io import (
+            load_observation_batch,
+            load_observations_jsonl,
+            save_observations_jsonl,
+        )
+
+        path = tmp_path_factory.mktemp("jsonl") / "seed.jsonl"
+        save_observations_jsonl(observations, path)
+        oracle = load_observations_jsonl(path)
+        batch = load_observation_batch(path)
+        assert batch.materialize() == oracle
+        assert batch.materialize() == \
+            ObservationBatch.from_observations(oracle).materialize()
+
+    def test_shared_status_encoder_aligns_ids(self, tmp_path):
+        from repro.datasets.io import (
+            load_observation_batch,
+            save_observations_jsonl,
+        )
+        from repro.engine.encoding import DictionaryEncoder
+
+        rows = [_observation(ip=1, port=80, protocol="http"),
+                _observation(ip=2, port=22, protocol="ssh")]
+        path = tmp_path / "seed.jsonl"
+        save_observations_jsonl(rows, path)
+        statuses = DictionaryEncoder()
+        statuses.encode("ssh")  # pre-existing pipeline id space
+        batch = load_observation_batch(path, statuses=statuses)
+        assert batch.statuses is statuses
+        assert batch.status.tolist() == [statuses.encode("http"),
+                                         statuses.encode("ssh")]
+
+    def test_blank_lines_are_skipped(self, tmp_path):
+        from repro.datasets.io import load_observation_batch
+
+        path = tmp_path / "seed.jsonl"
+        path.write_text('{"ip": 1, "port": 80, "protocol": "http"}\n\n\n')
+        batch = load_observation_batch(path)
+        assert len(batch) == 1
+        assert batch.ttls.tolist() == [64]  # default ttl, like the oracle
+
+    def test_invalid_json_names_the_line(self, tmp_path):
+        from repro.datasets.io import load_observation_batch
+
+        path = tmp_path / "seed.jsonl"
+        path.write_text('{"ip": 1, "port": 80, "protocol": "http"}\n{oops\n')
+        with pytest.raises(ValueError, match=":2: invalid JSON"):
+            load_observation_batch(path)
+
+    def test_malformed_record_raises(self, tmp_path):
+        from repro.datasets.io import load_observation_batch
+
+        path = tmp_path / "seed.jsonl"
+        path.write_text('{"ip": 1, "protocol": "http"}\n')
+        with pytest.raises(ValueError, match="malformed observation record"):
+            load_observation_batch(path)
+
+    def test_out_of_range_port_raises(self, tmp_path):
+        from repro.datasets.io import load_observation_batch
+
+        path = tmp_path / "seed.jsonl"
+        path.write_text('{"ip": 1, "port": 70000, "protocol": "http"}\n')
+        with pytest.raises(ValueError, match="invalid port"):
+            load_observation_batch(path)
+
+    def test_non_mapping_features_raise(self, tmp_path):
+        from repro.datasets.io import load_observation_batch
+
+        path = tmp_path / "seed.jsonl"
+        path.write_text('{"ip": 1, "port": 80, "protocol": "http", '
+                        '"app_features": [1, 2]}\n')
+        with pytest.raises(ValueError, match="app_features"):
+            load_observation_batch(path)
+
+    def test_equal_banners_intern_once(self, tmp_path):
+        from repro.datasets.io import load_observation_batch
+
+        path = tmp_path / "seed.jsonl"
+        row = ('{"ip": %d, "port": 80, "protocol": "http", '
+               '"app_features": {"title": "same"}}')
+        path.write_text("\n".join(row % ip for ip in (1, 2, 3)) + "\n")
+        batch = load_observation_batch(path)
+        assert len(set(batch.banner_ids.tolist())) == 1

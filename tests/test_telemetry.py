@@ -360,7 +360,8 @@ class TestHTTPSurface:
         assert payload["batch_queue_depth"] == 0
         assert set(payload["recovery"]) == {
             "crashes_detected", "respawns", "reloaded_shards",
-            "reloaded_broadcasts", "redispatched_tasks", "retry_rounds"}
+            "reloaded_broadcasts", "redispatched_tasks", "retry_rounds",
+            "resizes", "migrated_shards", "shard_bytes_queued"}
 
     def test_batch_flushes_reported_by_reason(self, telemetry_server):
         _, host, _ = telemetry_server
